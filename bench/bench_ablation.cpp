@@ -1,0 +1,201 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//   A. compact-W storage (§III "recomputing W with (10)"): factor memory
+//      versus solve-time cost.
+//   B. lambda re-factorization: reuse of the stored V kernel blocks
+//      across a cross-validation lambda sweep versus fresh factorization.
+//   C. factorization-as-preconditioner: GMRES iterations on the EXACT
+//      kernel system as a function of the compression tolerance tau,
+//      against the unpreconditioned baseline.
+//   D. skeleton-sampling neighbours: exact O(N^2 d) kNN versus the
+//      randomized-projection forest, build time and downstream solver
+//      accuracy.
+#include "bench_util.hpp"
+#include "core/preconditioned.hpp"
+#include "core/solver.hpp"
+#include "data/preprocess.hpp"
+#include "knn/rp_tree.hpp"
+
+using namespace fdks;
+using la::index_t;
+
+int main(int argc, char** argv) {
+  const index_t n = bench::arg_n(argc, argv, 8192);
+
+  // ---- A: compact-W storage --------------------------------------------
+  bench::print_header("Ablation A: dense P^ storage vs compact-W "
+                      "telescoping stencils (§III)");
+  std::printf("%8s %10s %12s %12s %12s %12s\n", "N", "mode", "factor(s)",
+              "mem(MB)", "solve(s)", "residual");
+  for (index_t nn = n / 4; nn <= n; nn *= 2) {
+    data::Dataset ds =
+        data::make_synthetic(data::SyntheticKind::Normal, nn, 701);
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 256;
+    acfg.max_rank = 96;
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    auto u = bench::random_rhs(nn, 1);
+    for (bool compact : {false, true}) {
+      core::SolverOptions so;
+      so.lambda = 1.0;
+      so.compact_w = compact;
+      so.scheme = kernel::Scheme::Gsks;  // Matrix-free V isolates P^ mem.
+      core::FastDirectSolver solver(h, so);
+      std::vector<double> x(static_cast<size_t>(nn));
+      solver.solve(u, x);  // Warm.
+      bench::Timer t;
+      solver.solve(u, x);
+      std::printf("%8td %10s %12.3f %12.1f %12.4f %12.2e\n", nn,
+                  compact ? "compact" : "dense", solver.factor_seconds(),
+                  double(solver.factor_bytes()) / 1048576.0, t.seconds(),
+                  h.relative_residual(x, u, 1.0));
+    }
+  }
+
+  // ---- B: lambda re-factorization --------------------------------------
+  bench::print_header("Ablation B: cross-validation lambda sweep — fresh "
+                      "factorization vs refactorize()");
+  {
+    data::Dataset ds =
+        data::make_synthetic(data::SyntheticKind::CovtypeLike, n / 2, 702);
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 128;
+    acfg.max_rank = 96;
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(3.0), acfg);
+    const std::vector<double> lambdas = {10.0, 1.0, 0.1, 0.01};
+
+    bench::Timer t_fresh;
+    for (double lam : lambdas) {
+      core::SolverOptions so;
+      so.lambda = lam;
+      core::FastDirectSolver solver(h, so);
+    }
+    const double fresh = t_fresh.seconds();
+
+    core::SolverOptions so;
+    so.lambda = lambdas[0];
+    core::FastDirectSolver solver(h, so);
+    bench::Timer t_reuse;
+    for (double lam : lambdas) solver.refactorize(lam);
+    const double reuse = t_reuse.seconds();
+    std::printf("N=%td, %zu lambdas: fresh=%.2fs  refactorize=%.2fs  "
+                "speedup=%.2fx\n",
+                n / 2, lambdas.size(), fresh, reuse, fresh / reuse);
+  }
+
+  // ---- C: preconditioned exact solve vs tau ----------------------------
+  bench::print_header("Ablation C: GMRES on the EXACT system, "
+                      "factorization as right preconditioner");
+  {
+    const index_t ne = std::min<index_t>(n / 2, 4096);
+    data::Dataset ds =
+        data::make_synthetic(data::SyntheticKind::Normal, ne, 703);
+    auto u = bench::random_rhs(ne, 3);
+    // Small lambda => ill-conditioned exact system: unpreconditioned
+    // GMRES grinds, the preconditioned iteration count stays flat.
+    const double lambda = 1e-3;
+    std::printf("%10s %8s %12s %14s\n", "tau", "iters", "time(s)",
+                "exact resid");
+    for (double tau : {1e-2, 1e-4, 1e-6}) {
+      askit::AskitConfig acfg;
+      acfg.leaf_size = 256;
+      acfg.max_rank = 128;
+      acfg.tol = tau;
+      acfg.num_neighbors = 0;
+      askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+      core::SolverOptions so;
+      so.lambda = lambda;
+      core::FastDirectSolver m(h, so);
+      iter::GmresOptions go;
+      go.rtol = 1e-12;
+      go.max_iters = 120;
+      bench::Timer t;
+      auto r = core::solve_exact_preconditioned(h, m, u, go);
+      std::printf("%10.0e %8d %12.2f %14.2e\n", tau, r.gmres.iterations,
+                  t.seconds(), r.exact_residual);
+    }
+    {
+      askit::AskitConfig acfg;
+      acfg.leaf_size = 256;
+      acfg.max_rank = 128;
+      acfg.tol = 1e-4;
+      acfg.num_neighbors = 0;
+      askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+      iter::GmresOptions go;
+      go.rtol = 1e-12;
+      go.max_iters = 120;
+      bench::Timer t;
+      auto r = core::solve_exact_unpreconditioned(h, lambda, u, go);
+      std::printf("%10s %8d %12.2f %14.2e  (unpreconditioned baseline)\n",
+                  "-", r.gmres.iterations, t.seconds(), r.exact_residual);
+    }
+  }
+
+  // ---- D: exact vs approximate neighbour sampling -----------------------
+  bench::print_header("Ablation D: skeleton sampling with exact kNN vs "
+                      "randomized-projection forest");
+  {
+    const index_t nd = std::min<index_t>(n, 8192);
+    data::Dataset ds =
+        data::make_synthetic(data::SyntheticKind::CovtypeLike, nd, 704);
+    auto u = bench::random_rhs(nd, 5);
+    std::printf("%10s %12s %12s %12s\n", "neighbors", "build(s)",
+                "factor(s)", "residual");
+    struct Mode {
+      const char* name;
+      index_t kappa;
+      bool approx;
+    };
+    for (Mode mode : {Mode{"none", 0, false}, Mode{"exact", 16, false},
+                      Mode{"rp-forest", 16, true}}) {
+      askit::AskitConfig acfg;
+      acfg.leaf_size = 128;
+      acfg.max_rank = 96;
+      acfg.tol = 1e-5;
+      acfg.num_neighbors = mode.kappa;
+      acfg.approx_neighbors = mode.approx;
+      bench::Timer tb;
+      askit::HMatrix h(ds.points, kernel::Kernel::gaussian(3.0), acfg);
+      const double build = tb.seconds();
+      core::SolverOptions so;
+      so.lambda = 1.0;
+      core::FastDirectSolver solver(h, so);
+      std::vector<double> x(static_cast<size_t>(nd));
+      solver.solve(u, x);
+      std::printf("%10s %12.2f %12.2f %12.2e\n", mode.name, build,
+                  solver.factor_seconds(), h.relative_residual(x, u, 1.0));
+    }
+  }
+
+  // ---- E: leaf factorization kernel (LU vs SPD Cholesky) ----------------
+  bench::print_header("Ablation E: leaf blocks via partial-pivot LU vs "
+                      "SPD Cholesky (lambda > 0 => SPD)");
+  {
+    const index_t ne = std::min<index_t>(n, 8192);
+    data::Dataset ds =
+        data::make_synthetic(data::SyntheticKind::Normal, ne, 705);
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 512;  // Large leaves: the leaf factorization
+    acfg.max_rank = 64;    // dominates, exposing the 2x flop gap.
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    auto u = bench::random_rhs(ne, 7);
+    std::printf("%10s %12s %12s\n", "leaf", "factor(s)", "residual");
+    for (bool spd : {false, true}) {
+      core::SolverOptions so;
+      so.lambda = 1.0;
+      so.spd_leaves = spd;
+      core::FastDirectSolver solver(h, so);
+      std::vector<double> x(static_cast<size_t>(ne));
+      solver.solve(u, x);
+      std::printf("%10s %12.2f %12.2e\n", spd ? "cholesky" : "lu",
+                  solver.factor_seconds(), h.relative_residual(x, u, 1.0));
+    }
+  }
+  return 0;
+}

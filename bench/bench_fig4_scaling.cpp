@@ -1,0 +1,111 @@
+// Figure 4 reproduction.
+//
+// Left (#17): O(N log N) complexity verification — factorization time
+// over an N sweep on the NORMAL dataset with fixed rank, against ideal
+// N log N and N log^2 N curves.
+//
+// Right (#18): strong scaling — fixed problem, increasing worker count.
+// The paper scales to 3,072 Haswell / 4,352 KNL cores; this container
+// exposes a single core, so the rank sweep exercises the distributed
+// code path and reports efficiency relative to p=1 (expected ~1 modulo
+// messaging overhead, since the physical parallelism is 1).
+#include <cmath>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "core/dist_solver.hpp"
+#include "core/solver.hpp"
+#include "data/preprocess.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace fdks;
+using la::index_t;
+
+int main(int argc, char** argv) {
+  const index_t nmax = bench::arg_n(argc, argv, 32768);
+  bench::print_header(
+      "Figure 4 (#17): O(N log N) verification, NORMAL 64-D, fixed rank "
+      "s=64,\nm=256, L=1 equivalent. Ideal columns are normalized to the "
+      "first row.");
+
+  double c_nlogn = 0.0, c_nlog2n = 0.0;
+  std::printf("%8s %10s %12s %12s %12s\n", "N", "Tf(s)", "ideal NlogN",
+              "ideal Nlog2N", "Ts(s)");
+  for (index_t n = 2048; n <= nmax; n *= 2) {
+    data::Dataset ds = data::make_synthetic(data::SyntheticKind::Normal, n,
+                                            501);
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 256;
+    acfg.max_rank = 64;
+    acfg.tol = 0.0;  // Fixed rank as #17.
+    acfg.num_neighbors = 0;
+    acfg.seed = 19;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    core::SolverOptions so;
+    so.lambda = 1.0;
+    core::FastDirectSolver solver(h, so);
+    const double tf = solver.factor_seconds();
+    auto u = bench::random_rhs(n, 7);
+    std::vector<double> x(static_cast<size_t>(n));
+    bench::Timer ts;
+    solver.solve(u, x);
+    const double tsolve = ts.seconds();
+
+    const double nd = double(n);
+    if (c_nlogn == 0.0) {
+      c_nlogn = tf / (nd * std::log2(nd));
+      c_nlog2n = tf / (nd * std::pow(std::log2(nd), 2));
+    }
+    std::printf("%8td %10.3f %12.3f %12.3f %12.4f\n", n, tf,
+                c_nlogn * nd * std::log2(nd),
+                c_nlog2n * nd * std::pow(std::log2(nd), 2), tsolve);
+  }
+  std::printf("\nExpected shape: Tf tracks the NlogN column and falls "
+              "increasingly below\nthe Nlog2N column (paper: blue curve on "
+              "the yellow ideal, below purple).\n");
+
+  // ---- Strong scaling (#18) -------------------------------------------
+  const index_t n = std::min<index_t>(nmax, 8192);
+  bench::print_header(
+      "Figure 4 (#18): strong scaling, fixed N, mpisim rank sweep.\n"
+      "Single-core container: the distributed CODE PATH is exercised; "
+      "physical\nspeedup requires real cores (paper: 62% at 3,072 Haswell "
+      "cores).");
+  data::Dataset ds = data::make_synthetic(data::SyntheticKind::Normal, n,
+                                          502);
+  askit::AskitConfig acfg;
+  acfg.leaf_size = 256;
+  acfg.max_rank = 64;
+  acfg.tol = 0.0;
+  acfg.num_neighbors = 0;
+  acfg.seed = 23;
+  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  auto u = bench::random_rhs(n, 8);
+
+  std::printf("%6s %10s %12s\n", "p", "Tf(s)", "work-eff(%)");
+  double t1 = 0.0;
+  for (int p : {1, 2, 4, 8}) {
+    double tf = 0.0;
+    if (p == 1) {
+      core::FastDirectSolver solver(h, so);
+      tf = solver.factor_seconds();
+    } else {
+      std::mutex mu;
+      mpisim::run(p, [&](mpisim::Comm& comm) {
+        core::DistributedSolver dsv(h, so, comm);
+        (void)dsv.solve(u);
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          tf = dsv.factor_seconds();
+        }
+      });
+    }
+    if (p == 1) t1 = tf;
+    // Work efficiency: serial time / (p * per-rank wall time) on one
+    // physical core equals t1/tf when ranks time-share the core.
+    std::printf("%6d %10.3f %12.1f\n", p, tf, 100.0 * t1 / tf);
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Figure 5 reproduction (#28-#39): convergence of (a) unpreconditioned
+// GMRES on the ASKIT treecode matvec versus (b) the hybrid solver, for
+// lambda = {1e-2, 1e-3, 1e-5} * sigma_1(K~) (condition numbers ~1e2,
+// 1e3, 1e5), on four datasets with level restriction.
+//
+// Expected shape (paper): at kappa <= 1e3 both converge, the hybrid
+// faster and steeper; at kappa ~ 1e5 unpreconditioned GMRES stalls
+// (flat blue lines) while the hybrid keeps decreasing — except in the
+// narrow-bandwidth instability regime (#30), where the factorization's
+// stability detector trips and both methods fail.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/hybrid.hpp"
+#include "data/preprocess.hpp"
+#include "iterative/gmres.hpp"
+#include "la/norms.hpp"
+
+using namespace fdks;
+using data::SyntheticKind;
+using la::index_t;
+
+namespace {
+
+const char* trace_verdict(const std::vector<double>& res, bool converged) {
+  if (converged) return "converged";
+  // Distinguish a flat stall from steady progress (the paper's blue vs
+  // orange behaviour at kappa ~ 1e5): compare the last residual with
+  // the residual ~30% of the way in.
+  if (res.size() >= 4) {
+    const double early = res[res.size() / 3];
+    if (res.back() < 0.5 * early) return "decreasing";
+  }
+  return "STALLED";
+}
+
+void print_trace(const char* label, const std::vector<double>& res,
+                 const std::vector<double>& times, double setup,
+                 bool converged) {
+  std::printf("  %-8s setup=%6.2fs  trace(iter:time:residual):", label,
+              setup);
+  const size_t npts = 6;
+  const size_t n = res.size();
+  if (n == 0) {
+    std::printf(" <no iterations>");
+  } else {
+    for (size_t k = 0; k < npts; ++k) {
+      const size_t i = std::min(n - 1, k * std::max<size_t>(1, n / npts));
+      std::printf(" %zu:%.2f:%.1e", i + 1, setup + times[i], res[i]);
+      if (i == n - 1) break;
+    }
+  }
+  std::printf("  [%s]\n", trace_verdict(res, converged));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = bench::arg_n(argc, argv, 4096);
+  bench::print_header(
+      "Figure 5 (#28-#39): GMRES on lambda I + K~ — (a) unpreconditioned "
+      "treecode\nmatvec vs (b) hybrid solver. lambda = c * sigma1(K~), "
+      "c in {1e-2,1e-3,1e-5}\n=> kappa ~ {1e2, 1e3, 1e5}.");
+
+  struct Case {
+    SyntheticKind kind;
+    double h;
+    index_t n;
+    index_t level;
+  };
+  // Bandwidths chosen so lambda I + K~ is in the paper's regimes on the
+  // z-scored synthetic stand-ins (see EXPERIMENTS.md on the bandwidth
+  // convention): large enough that K is not the identity, small enough
+  // that it is not rank-one.
+  const std::vector<Case> cases = {
+      {SyntheticKind::CovtypeLike, 3.0, n, 3},
+      {SyntheticKind::SusyLike, 0.5, n, 3},
+      {SyntheticKind::HiggsLike, 2.0, n, 3},
+      {SyntheticKind::MnistLike, 8.0, n / 4, 3},
+  };
+  const std::vector<double> cs = {1e-2, 1e-3, 1e-5};
+
+  int expnum = 28;
+  for (const Case& c : cases) {
+    data::Dataset ds = data::make_synthetic(c.kind, c.n, 601);
+    bench::Timer setup_timer;
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 128;
+    acfg.max_rank = 128;
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    acfg.level_restriction = c.level;
+    acfg.seed = 29;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(c.h), acfg);
+    const double t_setup = setup_timer.seconds();
+
+    // sigma_1(K~) via power iteration on the treecode matvec.
+    const double sigma1 = la::norm2_estimate_op(
+        c.n,
+        [&](std::span<const double> x, std::span<double> y) {
+          h.apply(x, y, 0.0);
+        },
+        20);
+
+    auto u = bench::random_rhs(c.n, 11);
+
+    for (double cc : cs) {
+      const double lambda = cc * sigma1;
+      std::printf("\n#%d %s h=%.2f N=%td lambda=%.3e (kappa~%.0e)\n",
+                  expnum++, data::kind_name(c.kind), c.h, c.n, lambda,
+                  1.0 / cc);
+
+      // (a) Unpreconditioned GMRES on the source-form treecode matvec.
+      {
+        iter::GmresOptions go;
+        go.rtol = 1e-9;
+        go.max_iters = 60;
+        go.restart = 60;
+        bench::Timer t;
+        auto r = iter::gmres(
+            c.n,
+            [&](std::span<const double> x, std::span<double> y) {
+              h.apply_source(x, y, lambda);
+            },
+            u, go);
+        (void)t;
+        print_trace("gmres", r.residual_history, r.time_history, t_setup,
+                    r.converged);
+      }
+
+      // (b) Hybrid solver: factor to the frontier + reduced GMRES.
+      // Full (non-restarted) GMRES on the small reduced system: at
+      // kappa ~ 1e5 a short restart cycle loses the superlinear phase
+      // and stalls, hiding the method's actual behaviour.
+      {
+        core::HybridOptions ho;
+        ho.direct.lambda = lambda;
+        ho.gmres.rtol = 1e-9;
+        ho.gmres.max_iters = 300;
+        ho.gmres.restart = 300;
+        bench::Timer tf;
+        core::HybridSolver hy(h, ho);
+        const double t_factor = tf.seconds();
+        auto x = hy.solve(u);
+        const auto& g = hy.last_gmres();
+        print_trace("hybrid", g.residual_history, g.time_history,
+                    t_setup + t_factor, g.converged);
+        std::printf("  %-8s final residual vs K~: %.2e  stability: %s\n",
+                    "hybrid", h.relative_residual(x, u, lambda),
+                    hy.stability().stable()
+                        ? "ok"
+                        : "UNSTABLE DETECTED (paper #30 regime)");
+      }
+    }
+  }
+  // ---- Instability probe (#30 regime, §III) --------------------------
+  // Near-duplicate points make the leaf blocks K_aa numerically singular;
+  // with lambda ~ 0 the factorization's pivots collapse and the stability
+  // detector must trip (the paper's #30 is detected the same way).
+  std::printf("\n#30-probe: near-duplicate points, lambda -> 0 (stability "
+              "detection)\n");
+  {
+    const index_t np = 1024;
+    data::Dataset ds = data::make_synthetic(SyntheticKind::Normal, np / 4,
+                                            602);
+    la::Matrix pts(ds.dim(), np);
+    std::mt19937_64 rng(603);
+    std::normal_distribution<double> g(0.0, 1e-13);
+    for (index_t j = 0; j < np; ++j)
+      for (index_t i = 0; i < ds.dim(); ++i)
+        pts(i, j) = ds.points(i, j % (np / 4)) + g(rng);
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 128;
+    acfg.max_rank = 64;
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    acfg.seed = 31;
+    askit::HMatrix h(pts, kernel::Kernel::gaussian(1.0), acfg);
+    for (double lambda : {1.0, 1e-13}) {
+      core::HybridOptions ho;
+      ho.direct.lambda = lambda;
+      ho.gmres.max_iters = 50;
+      core::HybridSolver hy(h, ho);
+      auto u = bench::random_rhs(np, 13);
+      auto x = hy.solve(u);
+      std::printf("  lambda=%8.0e  min leaf pivot ratio=%.1e  flagged "
+                  "nodes=%td  -> %s (residual %.1e)\n",
+                  lambda, hy.stability().min_leaf_pivot_ratio,
+                  hy.stability().flagged_nodes,
+                  hy.stability().stable() ? "stable"
+                                          : "UNSTABLE DETECTED",
+                  h.relative_residual(x, u, lambda));
+    }
+  }
+
+  std::printf("\nExpected shape (paper Fig. 5): hybrid converges steeply in "
+              "all\nwell-conditioned cells; unpreconditioned GMRES stalls "
+              "at kappa~1e5;\n10-1000x speedup on the solve phase; the #30 "
+              "probe trips the detector\nonly at tiny lambda.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks for the dense linear-algebra
+// substrate: GEMM, LU, pivoted QR, and the fused kernel summation.
+// These are the primitives whose throughput sets GFf/GFs in Tables I/IV.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "kernel/gsks.hpp"
+#include "kernel/kernel_matrix.hpp"
+#include "la/gemm.hpp"
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+
+using namespace fdks;
+using la::Matrix;
+using la::index_t;
+
+static void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::mt19937_64 rng(1);
+  Matrix a = Matrix::random_gaussian(n, n, rng);
+  Matrix b = Matrix::random_gaussian(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Trans::No, la::Trans::No, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(n) * double(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+static void BM_LuFactor(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::mt19937_64 rng(2);
+  Matrix a = Matrix::random_gaussian(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += double(n);
+  for (auto _ : state) {
+    la::LuFactor f = la::lu_factor(a);
+    benchmark::DoNotOptimize(f.lu.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      (2.0 / 3.0) * double(n) * double(n) * double(n) *
+          double(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LuFactor)->Arg(128)->Arg(256)->Arg(512);
+
+static void BM_PivotedQr(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::mt19937_64 rng(3);
+  Matrix a = Matrix::random_gaussian(2 * n, n, rng);
+  for (auto _ : state) {
+    la::QrFactor f = la::qr_factor_pivoted(a);
+    benchmark::DoNotOptimize(f.qr.data());
+  }
+}
+BENCHMARK(BM_PivotedQr)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_GsksApply(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const index_t d = state.range(1);
+  std::mt19937_64 rng(4);
+  Matrix pts = Matrix::random_gaussian(d, 2 * n, rng);
+  kernel::KernelMatrix km(pts, kernel::Kernel::gaussian(1.0));
+  std::vector<index_t> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), index_t{0});
+  std::vector<index_t> cols(static_cast<size_t>(n));
+  std::iota(cols.begin(), cols.end(), n);
+  std::vector<double> u(static_cast<size_t>(n), 1.0);
+  std::vector<double> y(static_cast<size_t>(n), 0.0);
+  for (auto _ : state) {
+    kernel::gsks_apply(km, rows, cols, u, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(d) * double(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GsksApply)
+    ->Args({1024, 8})
+    ->Args({1024, 64})
+    ->Args({2048, 8})
+    ->Args({2048, 64});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table I reproduction: Gaussian kernel-summation efficiency, reference
+// (materialize the block, then GEMV — the paper's "MKL+VML" scheme)
+// versus the fused matrix-free GSKS scheme, across problem sizes and
+// dimensions d in {4, 20, 36, 68, 132, 260}.
+//
+// The paper reports GFLOPS on 16K/8K/4K blocks on Haswell and KNL; here
+// sizes are scaled to a single-core container (4K/2K/1K) and the FLOP
+// count is the rank-d Gram update 2*m*n*d, the dominant term both
+// schemes share. The reproduction target is the *ratio*: GSKS beats the
+// materialize+GEMV reference, and the gap grows as d shrinks (the
+// reference becomes memory-bound on the O(mn) block, GSKS never
+// materializes it).
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "kernel/gsks.hpp"
+#include "kernel/kernel_matrix.hpp"
+#include "la/gemm.hpp"
+
+using namespace fdks;
+using la::index_t;
+
+namespace {
+
+// Reference scheme (eq. 11): K = kernel(GEMM(X^T, X)), y = GEMV(K, u).
+double run_reference(const kernel::KernelMatrix& km,
+                     std::span<const index_t> rows,
+                     std::span<const index_t> cols,
+                     std::span<const double> u, std::span<double> y) {
+  bench::Timer t;
+  la::Matrix block = km.block(rows, cols);
+  la::gemv(la::Trans::No, 1.0, block, u, 0.0, y);
+  return t.seconds();
+}
+
+double run_gsks(const kernel::KernelMatrix& km, std::span<const index_t> rows,
+                std::span<const index_t> cols, std::span<const double> u,
+                std::span<double> y) {
+  bench::Timer t;
+  std::fill(y.begin(), y.end(), 0.0);
+  kernel::gsks_apply(km, rows, cols, u, y);
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t base = bench::arg_n(argc, argv, 4096);
+  bench::print_header(
+      "Table I: Gaussian kernel summation GFLOPS (reference = materialize"
+      "+GEMV,\n         GSKS = fused matrix-free). Paper: Haswell/KNL 16K/8K/"
+      "4K;\n         here: single core, scaled sizes.");
+
+  const std::vector<index_t> dims = {4, 20, 36, 68, 132, 260};
+  std::printf("%6s %10s %8s %8s %8s %8s %8s %8s\n", "n", "scheme", "d=4",
+              "d=20", "d=36", "d=68", "d=132", "d=260");
+
+  for (index_t n = base; n >= base / 4; n /= 2) {
+    std::vector<double> ref_gf(dims.size()), gsks_gf(dims.size());
+    for (size_t di = 0; di < dims.size(); ++di) {
+      const index_t d = dims[di];
+      std::mt19937_64 rng(static_cast<uint64_t>(n * 131 + d));
+      la::Matrix pts = la::Matrix::random_gaussian(d, 2 * n, rng);
+      kernel::KernelMatrix km(pts, kernel::Kernel::gaussian(2.0));
+      std::vector<index_t> rows(static_cast<size_t>(n));
+      std::iota(rows.begin(), rows.end(), index_t{0});
+      std::vector<index_t> cols(static_cast<size_t>(n));
+      std::iota(cols.begin(), cols.end(), n);
+      auto u = bench::random_rhs(n, 5);
+      std::vector<double> y(static_cast<size_t>(n));
+
+      const double flops = 2.0 * double(n) * double(n) * double(d);
+      // Best of 2 runs each, warm cache.
+      double tr = 1e30, tg = 1e30;
+      for (int rep = 0; rep < 2; ++rep) {
+        tr = std::min(tr, run_reference(km, rows, cols, u, y));
+        tg = std::min(tg, run_gsks(km, rows, cols, u, y));
+      }
+      ref_gf[di] = flops / tr / 1e9;
+      gsks_gf[di] = flops / tg / 1e9;
+    }
+    std::printf("%6td %10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n", n,
+                "reference", ref_gf[0], ref_gf[1], ref_gf[2], ref_gf[3],
+                ref_gf[4], ref_gf[5]);
+    std::printf("%6td %10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n", n, "GSKS",
+                gsks_gf[0], gsks_gf[1], gsks_gf[2], gsks_gf[3], gsks_gf[4],
+                gsks_gf[5]);
+  }
+  std::printf(
+      "\nExpected shape (paper): GSKS >= reference. Where the margin "
+      "peaks depends on\nthe memory hierarchy: the paper's KNL peaked at "
+      "small d (MCDRAM-bound block\nwrites); on cache-resident scaled "
+      "blocks the margin grows with d instead.\nSee EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table III reproduction: factorization time of the O(N log^2 N)
+// INV-ASKIT baseline [36] versus this paper's O(N log N) telescoped
+// algorithm, across datasets/bandwidths and adaptive-rank tolerances
+// tau in {1e-1, 1e-3, 1e-5}.
+//
+// Paper (3,072 cores, N up to 32M): speedups of 2-4x, growing with N
+// because the gap is the extra log factor. At laptop N the expected gap
+// is smaller but must be consistently >= 1 and grow with N (see
+// bench_fig4 for the growth trend). Both algorithms build the identical
+// factorization, so only time differs.
+#include "bench_util.hpp"
+#include "core/solver.hpp"
+#include "data/preprocess.hpp"
+
+using namespace fdks;
+using data::SyntheticKind;
+using la::index_t;
+
+namespace {
+
+struct Row {
+  int id;
+  SyntheticKind kind;
+  double h;
+  index_t n;
+};
+
+double factor_time(const askit::HMatrix& h, core::FactorizationAlgo algo) {
+  core::SolverOptions opts;
+  opts.lambda = 1.0;
+  opts.algo = algo;
+  core::FastDirectSolver solver(h, opts);
+  return solver.factor_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t base = bench::arg_n(argc, argv, 4096);
+  bench::print_header(
+      "Table III: factorization time (s), [36] O(N log^2 N) vs ours "
+      "O(N log N),\nadaptive rank via tau. Paper speedup 2-4x at "
+      "cluster scale; same-factorization\nguarantee is tested in "
+      "tests/solver_test.cpp.");
+
+  // The paper's ten rows, with each dataset replaced by its stand-in at
+  // laptop N (MNIST-like capped: d=784 kernel evaluations dominate).
+  const std::vector<Row> rows = {
+      {1, SyntheticKind::CovtypeLike, 3.0, base},
+      {2, SyntheticKind::CovtypeLike, 0.5, base},
+      {3, SyntheticKind::SusyLike, 2.0, base},
+      {4, SyntheticKind::SusyLike, 0.3, base},
+      {5, SyntheticKind::MnistLike, 6.0, base / 4},
+      {6, SyntheticKind::MnistLike, 1.0, base / 4},
+      {7, SyntheticKind::HiggsLike, 2.0, base},
+      {8, SyntheticKind::HiggsLike, 0.9, base},
+      {9, SyntheticKind::Normal, 1.0, base},
+      {10, SyntheticKind::Normal, 0.2, base},
+  };
+  const std::vector<double> taus = {1e-1, 1e-3, 1e-5};
+
+  std::printf("%3s %-14s %5s %7s |", "#", "dataset", "h", "N");
+  for (double t : taus) std::printf("  tau=%-6.0e log2   log  spdup |", t);
+  std::printf("\n");
+
+  for (const Row& r : rows) {
+    data::Dataset ds = data::make_synthetic(r.kind, r.n, 201);
+    std::printf("%3d %-14s %5.2f %7td |", r.id, data::kind_name(r.kind), r.h,
+                r.n);
+    for (double tau : taus) {
+      askit::AskitConfig acfg;
+      acfg.leaf_size = 256;
+      acfg.max_rank = 256;
+      acfg.tol = tau;
+      acfg.num_neighbors = 0;
+      acfg.seed = 11;
+      askit::HMatrix h(ds.points, kernel::Kernel::gaussian(r.h), acfg);
+      const double t_log2 =
+          factor_time(h, core::FactorizationAlgo::Subtree);
+      const double t_log =
+          factor_time(h, core::FactorizationAlgo::Telescoped);
+      std::printf("       %7.2f %6.2f %6.2f |", t_log2, t_log,
+                  t_log2 / t_log);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape (paper Table III): log column < log2 column "
+              "everywhere;\nruntime grows with rank (smaller tau, smaller h "
+              "=> larger s => slower).\n");
+  return 0;
+}

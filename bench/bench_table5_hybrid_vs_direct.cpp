@@ -1,0 +1,98 @@
+// Table V reproduction: hybrid (Algorithm II.6) versus level-restricted
+// direct factorization (Algorithm II.2 with expanded blocks), L = 3,
+// adaptive ranks tau = 1e-5.
+//
+// Paper: SUSY / MRI / MNIST2M on Haswell and KNL; the direct
+// factorization takes ~2x the hybrid's factorization time, the hybrid's
+// solve is ~20x slower per solve (it iterates), but hybrid total time
+// and memory win. Reported per method: ASKIT build time, factorization
+// time Tf, solve time Ts, relative residual r, Krylov iterations (KSP).
+#include "bench_util.hpp"
+#include "core/hybrid.hpp"
+#include "core/solver.hpp"
+#include "data/preprocess.hpp"
+
+using namespace fdks;
+using data::SyntheticKind;
+using la::index_t;
+
+int main(int argc, char** argv) {
+  const index_t n = bench::arg_n(argc, argv, 4096);
+  bench::print_header(
+      "Table V: hybrid vs direct with level restriction L=3, adaptive "
+      "tau=1e-5.\nPaper experiments #19-#27 (SUSY h=0.15, MRI h=3.5, "
+      "MNIST2M h=1.0).");
+
+  struct Row {
+    SyntheticKind kind;
+    double h;
+    double lambda;
+    index_t n;
+  };
+  const std::vector<Row> rows = {
+      {SyntheticKind::SusyLike, 0.5, 40.0, n},
+      {SyntheticKind::MriLike, 3.5, 10.0, n},
+      {SyntheticKind::MnistLike, 8.0, 1.0, n / 4},
+  };
+
+  std::printf("%-12s %-7s %9s %8s %8s %9s %10s %5s %9s\n", "dataset",
+              "method", "askit(s)", "Tf(s)", "Ts(s)", "resid", "mem(MB)",
+              "KSP", "total(s)");
+
+  for (const Row& r : rows) {
+    data::Dataset ds = data::make_synthetic(r.kind, r.n, 401);
+    bench::Timer askit_timer;
+    askit::AskitConfig acfg;
+    acfg.leaf_size = 128;
+    acfg.max_rank = 128;
+    acfg.tol = 1e-5;
+    acfg.num_neighbors = 0;
+    acfg.level_restriction = 3;
+    acfg.seed = 17;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(r.h), acfg);
+    const double t_askit = askit_timer.seconds();
+    auto u = bench::random_rhs(r.n, 5);
+
+    // Direct (level-restricted, expanded above the frontier).
+    {
+      core::SolverOptions so;
+      so.lambda = r.lambda;
+      bench::Timer tf;
+      core::FastDirectSolver solver(h, so);
+      const double t_factor = tf.seconds();
+      std::vector<double> x(static_cast<size_t>(r.n));
+      bench::Timer tsolve;
+      solver.solve(u, x);
+      const double t_solve = tsolve.seconds();
+      std::printf("%-12s %-7s %9.2f %8.2f %8.3f %9.1e %10.1f %5s %9.2f\n",
+                  data::kind_name(r.kind), "direct", t_askit, t_factor,
+                  t_solve, h.relative_residual(x, u, r.lambda),
+                  double(solver.factor_bytes()) / 1048576.0, "-",
+                  t_factor + t_solve);
+    }
+
+    // Hybrid (factorize to the frontier, GMRES on the reduced system).
+    {
+      core::HybridOptions ho;
+      ho.direct.lambda = r.lambda;
+      ho.gmres.rtol = 1e-4;  // Paper's hybrid rows report r ~ 1e-3..1e-4.
+      ho.gmres.max_iters = 400;
+      bench::Timer tf;
+      core::HybridSolver solver(h, ho);
+      const double t_factor = tf.seconds();
+      bench::Timer tsolve;
+      auto x = solver.solve(u);
+      const double t_solve = tsolve.seconds();
+      std::printf("%-12s %-7s %9.2f %8.2f %8.3f %9.1e %10.1f %5d %9.2f\n",
+                  data::kind_name(r.kind), "hybrid", t_askit, t_factor,
+                  t_solve, h.relative_residual(x, u, r.lambda),
+                  double(solver.factor_bytes()) / 1048576.0,
+                  solver.last_gmres().iterations, t_factor + t_solve);
+    }
+  }
+  std::printf("\nExpected shape (paper Table V): Tf(direct) ~ 2x "
+              "Tf(hybrid); Ts(hybrid) >>\nTs(direct); total time and memory "
+              "favor the hybrid; direct reaches ~1e-10\nresidual, hybrid "
+              "stops at the Krylov tolerance (~1e-3).\n");
+  return 0;
+}

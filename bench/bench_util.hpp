@@ -1,0 +1,54 @@
+// Shared helpers for the benchmark harnesses: wall-clock timing, random
+// right-hand sides, and dataset shortcuts. Every bench binary reproduces
+// one table or figure of the paper; absolute numbers differ from the
+// paper's cluster hardware, the *shape* (who wins, by what factor, where
+// crossovers happen) is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+
+namespace fdks::bench {
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+  void reset() { t0_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline std::vector<double> random_rhs(la::index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+/// Parse an optional size-scale argument: benches default to laptop
+/// sizes; pass a larger N for longer runs.
+inline la::index_t arg_n(int argc, char** argv, la::index_t fallback) {
+  return argc > 1 ? static_cast<la::index_t>(std::atol(argv[1])) : fallback;
+}
+
+inline void print_header(const char* title) {
+  std::printf("==============================================================="
+              "=========\n%s\n"
+              "==============================================================="
+              "=========\n",
+              title);
+}
+
+}  // namespace fdks::bench

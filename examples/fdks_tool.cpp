@@ -1,0 +1,292 @@
+// fdks_tool — command-line driver for the library.
+//
+//   fdks_tool solve  [--data KIND] [--n N] [--h H] [--lambda L]
+//                    [--tau T] [--leaf M] [--rank S] [--restrict LVL]
+//                    [--hybrid] [--compact-w] [--scheme gemv|gemm|gsks]
+//   fdks_tool krr    [--data KIND] [--n N] [--h H] [--lambda L] ...
+//   fdks_tool info   [--data KIND] [--n N] [--h H] [--tau T] ...
+//   fdks_tool gen    [--data KIND] [--n N] [--out PATH]
+//                    (format from extension: .svm | .csv | .bin)
+//
+// KIND: covtype | susy | mnist | higgs | mri | normal.
+// `solve` factorizes lambda I + K~ and solves a random system, printing
+// timings/residuals; `krr` trains and evaluates a classifier; `info`
+// prints compression statistics (ranks, frontier, memory); `gen` writes
+// a synthetic dataset to disk for external tooling.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/hybrid.hpp"
+#include "core/solver.hpp"
+#include "data/io.hpp"
+#include "data/preprocess.hpp"
+#include "krr/krr.hpp"
+
+namespace {
+
+using namespace fdks;
+using la::index_t;
+
+struct Args {
+  std::string cmd;
+  data::SyntheticKind kind = data::SyntheticKind::Normal;
+  index_t n = 4096;
+  double h = 1.0;
+  double lambda = 1.0;
+  double tau = 1e-5;
+  index_t leaf = 128;
+  index_t rank = 128;
+  index_t restrict_level = 0;
+  bool hybrid = false;
+  bool compact_w = false;
+  bool spd_leaves = false;
+  kernel::Scheme scheme = kernel::Scheme::StoredGemv;
+  uint64_t seed = 42;
+  std::string out;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fdks_tool <solve|krr|info|gen> [--data "
+               "covtype|susy|mnist|higgs|mri|normal]\n"
+               "       [--n N] [--h H] [--lambda L] [--tau T] [--leaf M] "
+               "[--rank S]\n"
+               "       [--restrict LVL] [--hybrid] [--compact-w] "
+               "[--spd-leaves]\n"
+               "       [--scheme gemv|gemm|gsks] [--seed X]\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  if (argc < 2) return false;
+  a.cmd = argv[1];
+  if (a.cmd != "solve" && a.cmd != "krr" && a.cmd != "info" &&
+      a.cmd != "gen")
+    return false;
+  const std::map<std::string, data::SyntheticKind> kinds = {
+      {"covtype", data::SyntheticKind::CovtypeLike},
+      {"susy", data::SyntheticKind::SusyLike},
+      {"mnist", data::SyntheticKind::MnistLike},
+      {"higgs", data::SyntheticKind::HiggsLike},
+      {"mri", data::SyntheticKind::MriLike},
+      {"normal", data::SyntheticKind::Normal},
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--hybrid") {
+      a.hybrid = true;
+    } else if (flag == "--compact-w") {
+      a.compact_w = true;
+    } else if (flag == "--spd-leaves") {
+      a.spd_leaves = true;
+    } else if (flag == "--data") {
+      const char* v = need("--data");
+      if (!v || !kinds.count(v)) return false;
+      a.kind = kinds.at(v);
+    } else if (flag == "--scheme") {
+      const char* v = need("--scheme");
+      if (!v) return false;
+      if (!std::strcmp(v, "gemv")) a.scheme = kernel::Scheme::StoredGemv;
+      else if (!std::strcmp(v, "gemm")) a.scheme = kernel::Scheme::ReevalGemm;
+      else if (!std::strcmp(v, "gsks")) a.scheme = kernel::Scheme::Gsks;
+      else return false;
+    } else if (flag == "--n") {
+      const char* v = need("--n");
+      if (!v) return false;
+      a.n = std::atol(v);
+    } else if (flag == "--h") {
+      const char* v = need("--h");
+      if (!v) return false;
+      a.h = std::atof(v);
+    } else if (flag == "--lambda") {
+      const char* v = need("--lambda");
+      if (!v) return false;
+      a.lambda = std::atof(v);
+    } else if (flag == "--tau") {
+      const char* v = need("--tau");
+      if (!v) return false;
+      a.tau = std::atof(v);
+    } else if (flag == "--leaf") {
+      const char* v = need("--leaf");
+      if (!v) return false;
+      a.leaf = std::atol(v);
+    } else if (flag == "--rank") {
+      const char* v = need("--rank");
+      if (!v) return false;
+      a.rank = std::atol(v);
+    } else if (flag == "--restrict") {
+      const char* v = need("--restrict");
+      if (!v) return false;
+      a.restrict_level = std::atol(v);
+    } else if (flag == "--seed") {
+      const char* v = need("--seed");
+      if (!v) return false;
+      a.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--out") {
+      const char* v = need("--out");
+      if (!v) return false;
+      a.out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+askit::AskitConfig askit_config(const Args& a) {
+  askit::AskitConfig cfg;
+  cfg.leaf_size = a.leaf;
+  cfg.max_rank = a.rank;
+  cfg.tol = a.tau;
+  cfg.num_neighbors = 0;
+  cfg.level_restriction = a.restrict_level;
+  cfg.seed = a.seed;
+  return cfg;
+}
+
+int run_solve(const Args& a) {
+  data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
+  std::printf("dataset %s: N=%td d=%td\n", ds.name.c_str(), ds.n(), ds.dim());
+  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
+                   askit_config(a));
+  std::printf("hmatrix: %td nodes skeletonized, max rank %td, frontier %zu\n",
+              h.stats().skeletonized_nodes, h.stats().max_rank_used,
+              h.frontier().size());
+  std::mt19937_64 rng(a.seed + 1);
+  std::vector<double> u(static_cast<size_t>(a.n));
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (auto& v : u) v = g(rng);
+
+  if (a.hybrid) {
+    core::HybridOptions ho;
+    ho.direct.lambda = a.lambda;
+    ho.direct.compact_w = a.compact_w;
+    ho.direct.scheme = a.scheme;
+    core::HybridSolver solver(h, ho);
+    auto x = solver.solve(u);
+    std::printf("hybrid: factor %.3fs, reduced %td, ksp %d, residual %.2e, "
+                "mem %.1f MB, %s\n",
+                solver.factor_seconds(), solver.reduced_size(),
+                solver.last_gmres().iterations,
+                h.relative_residual(x, u, a.lambda),
+                double(solver.factor_bytes()) / 1048576.0,
+                solver.stability().stable() ? "stable" : "UNSTABLE");
+  } else {
+    core::SolverOptions so;
+    so.lambda = a.lambda;
+    so.compact_w = a.compact_w;
+    so.spd_leaves = a.spd_leaves;
+    so.scheme = a.scheme;
+    core::FastDirectSolver solver(h, so);
+    auto x = solver.solve(u);
+    std::printf("direct: factor %.3fs, residual %.2e, mem %.1f MB, %s\n",
+                solver.factor_seconds(),
+                h.relative_residual(x, u, a.lambda),
+                double(solver.factor_bytes()) / 1048576.0,
+                solver.stability().stable() ? "stable" : "UNSTABLE");
+  }
+  return 0;
+}
+
+int run_krr(const Args& a) {
+  data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
+  if (!ds.labeled()) {
+    std::fprintf(stderr, "dataset %s has no labels; pick covtype/susy/"
+                         "mnist/higgs\n",
+                 ds.name.c_str());
+    return 1;
+  }
+  auto [train, test] = data::train_test_split(ds, 0.2, a.seed + 1);
+  krr::KrrConfig cfg;
+  cfg.bandwidth = a.h;
+  cfg.lambda = a.lambda;
+  cfg.askit = askit_config(a);
+  cfg.use_hybrid = a.hybrid;
+  krr::KernelRidge model(train, cfg);
+  std::printf("%s: train N=%td, test N=%td, h=%.3f lambda=%.4f\n",
+              ds.name.c_str(), train.n(), test.n(), a.h, a.lambda);
+  std::printf("train residual %.2e, factor %.3fs, %s\n",
+              model.train_residual(), model.factor_seconds(),
+              model.stable() ? "stable" : "UNSTABLE");
+  std::printf("test accuracy: %.2f%%\n", 100.0 * model.accuracy(test));
+  return 0;
+}
+
+int run_info(const Args& a) {
+  data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
+  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
+                   askit_config(a));
+  std::printf("dataset %s: N=%td d=%td intrinsic=%td\n", ds.name.c_str(),
+              ds.n(), ds.dim(), ds.intrinsic_dim);
+  std::printf("tree: depth %d, %zu nodes, leaf size <= %td\n",
+              h.tree().depth(), h.tree().nodes().size(),
+              h.config().leaf_size);
+  std::printf("skeletons: %td nodes, max rank %td, frontier %zu, "
+              "knn %.2fs + skel %.2fs\n",
+              h.stats().skeletonized_nodes, h.stats().max_rank_used,
+              h.frontier().size(), h.stats().knn_seconds,
+              h.stats().skeleton_seconds);
+  // Rank profile per level.
+  for (size_t l = 0; l < h.tree().levels().size(); ++l) {
+    index_t maxr = 0, count = 0;
+    double sum = 0.0;
+    for (index_t id : h.tree().levels()[l]) {
+      if (!h.is_skeletonized(id)) continue;
+      const index_t r = h.skeleton(id).rank();
+      maxr = std::max(maxr, r);
+      sum += double(r);
+      ++count;
+    }
+    if (count > 0)
+      std::printf("  level %2zu: %td skeletonized, rank avg %.1f max %td\n",
+                  l, count, sum / double(count), maxr);
+  }
+  return 0;
+}
+
+int run_gen(const Args& a) {
+  if (a.out.empty()) {
+    std::fprintf(stderr, "gen: --out PATH required (.svm/.csv/.bin)\n");
+    return 2;
+  }
+  data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s = suffix;
+    return a.out.size() >= s.size() &&
+           a.out.compare(a.out.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".svm")) {
+    data::write_libsvm(a.out, ds);
+  } else if (ends_with(".csv")) {
+    data::write_csv(a.out, ds);
+  } else if (ends_with(".bin")) {
+    data::write_binary(a.out, ds);
+  } else {
+    std::fprintf(stderr, "gen: unknown extension on %s\n", a.out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: N=%td d=%td labeled=%s\n", a.out.c_str(), ds.n(),
+              ds.dim(), ds.labeled() ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+  if (a.cmd == "solve") return run_solve(a);
+  if (a.cmd == "krr") return run_krr(a);
+  if (a.cmd == "gen") return run_gen(a);
+  return run_info(a);
+}

@@ -1,0 +1,70 @@
+#include "askit/diagnostics.hpp"
+
+#include <numeric>
+
+#include "kernel/gsks.hpp"
+#include "la/norms.hpp"
+
+namespace fdks::askit {
+
+namespace {
+
+// Exact (lambda = 0) kernel matvec in tree order.
+void exact_apply_tree_order(const HMatrix& h, std::span<const double> w,
+                            std::span<double> y) {
+  std::vector<index_t> all(static_cast<size_t>(h.n()));
+  std::iota(all.begin(), all.end(), index_t{0});
+  std::fill(y.begin(), y.end(), 0.0);
+  kernel::gsks_apply(h.km(), all, all, w, y);
+}
+
+}  // namespace
+
+CompressionReport compression_report(const HMatrix& h, int power_iters,
+                                     uint64_t seed) {
+  CompressionReport out;
+  const index_t n = h.n();
+
+  out.sigma1 = la::norm2_estimate_op(
+      n,
+      [&](std::span<const double> w, std::span<double> y) {
+        std::vector<double> wt = h.to_tree_order(w);
+        std::vector<double> yt(wt.size());
+        exact_apply_tree_order(h, wt, yt);
+        const std::vector<double> yo = h.from_tree_order(yt);
+        std::copy(yo.begin(), yo.end(), y.begin());
+      },
+      power_iters, seed);
+
+  const double err2 = la::norm2_estimate_op(
+      n,
+      [&](std::span<const double> w, std::span<double> y) {
+        // Power iteration on the difference operator. K is exactly
+        // symmetric and K~ is symmetric up to the compression error, so
+        // the dominant-eigenvalue estimate is a faithful 2-norm proxy.
+        std::vector<double> approx(w.size());
+        h.apply(w, approx, 0.0);
+        std::vector<double> wt = h.to_tree_order(w);
+        std::vector<double> yt(wt.size());
+        exact_apply_tree_order(h, wt, yt);
+        const std::vector<double> exact = h.from_tree_order(yt);
+        for (size_t i = 0; i < w.size(); ++i) y[i] = exact[i] - approx[i];
+      },
+      power_iters, seed + 1);
+  out.rel_error_2norm = out.sigma1 > 0.0 ? err2 / out.sigma1 : 0.0;
+
+  size_t stored = 0;
+  for (index_t id = 0; id < static_cast<index_t>(h.tree().nodes().size());
+       ++id) {
+    if (!h.is_skeletonized(id)) continue;
+    out.total_skeleton_size += h.skeleton(id).rank();
+    out.max_rank = std::max(out.max_rank, h.skeleton(id).rank());
+    stored += static_cast<size_t>(h.skeleton(id).proj.size());
+  }
+  out.compression_ratio =
+      double(stored) / (double(n) * double(n));
+  out.frontier_size = static_cast<index_t>(h.frontier().size());
+  return out;
+}
+
+}  // namespace fdks::askit

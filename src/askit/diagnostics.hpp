@@ -1,0 +1,23 @@
+// Compression-quality diagnostics for the hierarchical representation.
+#pragma once
+
+#include "askit/hmatrix.hpp"
+
+namespace fdks::askit {
+
+struct CompressionReport {
+  double rel_error_2norm = 0.0;  ///< ||K - K~||_2 / ||K||_2 estimate.
+  double sigma1 = 0.0;           ///< ||K||_2 estimate.
+  index_t total_skeleton_size = 0;  ///< Sum of skeleton ranks.
+  double compression_ratio = 0.0;   ///< Stored factor doubles / N^2.
+  index_t frontier_size = 0;
+  index_t max_rank = 0;
+};
+
+/// Estimate the global compression error with power iteration on the
+/// difference operator w -> K w - K~ w (the exact matvec is the fused
+/// matrix-free summation, O(dN^2) per probe — diagnostics-scale only).
+CompressionReport compression_report(const HMatrix& h, int power_iters = 15,
+                                     uint64_t seed = 7);
+
+}  // namespace fdks::askit

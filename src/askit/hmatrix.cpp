@@ -1,0 +1,196 @@
+// Treecode matvecs and skeleton gather/scatter passes for HMatrix.
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "askit/hmatrix.hpp"
+#include "kernel/gsks.hpp"
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+
+namespace fdks::askit {
+
+std::vector<double> HMatrix::to_tree_order(std::span<const double> v) const {
+  const auto& perm = tree_.perm();
+  std::vector<double> out(v.size());
+  for (size_t p = 0; p < v.size(); ++p)
+    out[p] = v[static_cast<size_t>(perm[p])];
+  return out;
+}
+
+std::vector<double> HMatrix::from_tree_order(std::span<const double> v) const {
+  const auto& perm = tree_.perm();
+  std::vector<double> out(v.size());
+  for (size_t p = 0; p < v.size(); ++p)
+    out[static_cast<size_t>(perm[p])] = v[p];
+  return out;
+}
+
+std::vector<std::vector<double>> HMatrix::gather_skeleton_weights(
+    std::span<const double> w_perm) const {
+  const index_t nn = static_cast<index_t>(tree_.nodes().size());
+  std::vector<std::vector<double>> wt(static_cast<size_t>(nn));
+  // Reverse id order is post-order (children first).
+  for (index_t id = nn - 1; id >= 0; --id) {
+    const tree::Node& nd = tree_.node(id);
+    const NodeSkeleton& sk = skeletons_[static_cast<size_t>(id)];
+    auto& out = wt[static_cast<size_t>(id)];
+    if (nd.is_leaf()) {
+      if (!sk.skeletonized) {  // Root-leaf degenerate case.
+        out.assign(w_perm.begin() + nd.begin, w_perm.begin() + nd.end);
+        continue;
+      }
+      out.assign(static_cast<size_t>(sk.rank()), 0.0);
+      la::gemv(la::Trans::No, 1.0, sk.proj,
+               w_perm.subspan(static_cast<size_t>(nd.begin),
+                              static_cast<size_t>(nd.size())),
+               0.0, out);
+    } else {
+      const auto& wl = wt[static_cast<size_t>(nd.left)];
+      const auto& wr = wt[static_cast<size_t>(nd.right)];
+      std::vector<double> cat;
+      cat.reserve(wl.size() + wr.size());
+      cat.insert(cat.end(), wl.begin(), wl.end());
+      cat.insert(cat.end(), wr.begin(), wr.end());
+      if (sk.skeletonized) {
+        out.assign(static_cast<size_t>(sk.rank()), 0.0);
+        la::gemv(la::Trans::No, 1.0, sk.proj, cat, 0.0, out);
+      } else {
+        out = std::move(cat);  // Effective skeleton: plain concatenation.
+      }
+    }
+  }
+  return wt;
+}
+
+void HMatrix::scatter_from_skeleton(index_t node, std::span<const double> z,
+                                    std::span<double> y_perm) const {
+  const tree::Node& nd = tree_.node(node);
+  const NodeSkeleton& sk = skeletons_[static_cast<size_t>(node)];
+  if (nd.is_leaf()) {
+    if (!sk.skeletonized) {  // Root-leaf degenerate case: z is pointwise.
+      for (index_t i = 0; i < nd.size(); ++i) y_perm[nd.begin + i] += z[i];
+      return;
+    }
+    // y_leaf += P^T z.
+    la::gemv(la::Trans::Yes, 1.0, sk.proj, z, 1.0,
+             y_perm.subspan(static_cast<size_t>(nd.begin),
+                            static_cast<size_t>(nd.size())));
+    return;
+  }
+  std::vector<double> z2;
+  std::span<const double> zc = z;
+  if (sk.skeletonized) {
+    z2.assign(static_cast<size_t>(sk.proj.cols()), 0.0);
+    la::gemv(la::Trans::Yes, 1.0, sk.proj, z, 0.0, z2);
+    zc = z2;
+  }
+  const size_t ls = eff_skel_[static_cast<size_t>(nd.left)].size();
+  scatter_from_skeleton(nd.left, zc.subspan(0, ls), y_perm);
+  scatter_from_skeleton(nd.right, zc.subspan(ls), y_perm);
+}
+
+void HMatrix::apply_impl(std::span<const double> w, std::span<double> y,
+                         double lambda, bool source_form) const {
+  if (w.size() != static_cast<size_t>(n()) || y.size() != w.size())
+    throw std::invalid_argument("HMatrix::apply: size mismatch");
+  const std::vector<double> wt = to_tree_order(w);
+  std::vector<double> yt(wt.size(), 0.0);
+
+  // Diagonal blocks: exact leaf interactions K_aa w_a.
+  for (index_t id = 0; id < static_cast<index_t>(tree_.nodes().size());
+       ++id) {
+    const tree::Node& nd = tree_.node(id);
+    if (!nd.is_leaf()) continue;
+    std::vector<index_t> pts(static_cast<size_t>(nd.size()));
+    std::iota(pts.begin(), pts.end(), nd.begin);
+    kernel::gsks_apply(km_, pts, pts,
+                       std::span<const double>(wt.data() + nd.begin,
+                                               static_cast<size_t>(nd.size())),
+                       std::span<double>(yt.data() + nd.begin,
+                                         static_cast<size_t>(nd.size())));
+  }
+
+  if (source_form) {
+    // Classic ASKIT: y_l += K(X_l, r~eff) w~_r and symmetrically.
+    const auto wskel = gather_skeleton_weights(wt);
+    for (index_t id = 0; id < static_cast<index_t>(tree_.nodes().size());
+         ++id) {
+      const tree::Node& nd = tree_.node(id);
+      if (nd.is_leaf()) continue;
+      const tree::Node& l = tree_.node(nd.left);
+      const tree::Node& r = tree_.node(nd.right);
+      std::vector<index_t> lpts(static_cast<size_t>(l.size()));
+      std::iota(lpts.begin(), lpts.end(), l.begin);
+      std::vector<index_t> rpts(static_cast<size_t>(r.size()));
+      std::iota(rpts.begin(), rpts.end(), r.begin);
+      kernel::gsks_apply(km_, lpts, eff_skel_[static_cast<size_t>(nd.right)],
+                         wskel[static_cast<size_t>(nd.right)],
+                         std::span<double>(yt.data() + l.begin,
+                                           static_cast<size_t>(l.size())));
+      kernel::gsks_apply(km_, rpts, eff_skel_[static_cast<size_t>(nd.left)],
+                         wskel[static_cast<size_t>(nd.left)],
+                         std::span<double>(yt.data() + r.begin,
+                                           static_cast<size_t>(r.size())));
+    }
+  } else {
+    // Target-interpolation form (eq. 6): z_l = K(l~eff, X_r) w_r, then
+    // scatter z_l through the telescoped projections into y_l.
+    for (index_t id = 0; id < static_cast<index_t>(tree_.nodes().size());
+         ++id) {
+      const tree::Node& nd = tree_.node(id);
+      if (nd.is_leaf()) continue;
+      const tree::Node& l = tree_.node(nd.left);
+      const tree::Node& r = tree_.node(nd.right);
+      const auto& leff = eff_skel_[static_cast<size_t>(nd.left)];
+      const auto& reff = eff_skel_[static_cast<size_t>(nd.right)];
+      std::vector<index_t> lpts(static_cast<size_t>(l.size()));
+      std::iota(lpts.begin(), lpts.end(), l.begin);
+      std::vector<index_t> rpts(static_cast<size_t>(r.size()));
+      std::iota(rpts.begin(), rpts.end(), r.begin);
+
+      std::vector<double> zl(leff.size(), 0.0);
+      kernel::gsks_apply(km_, leff, rpts,
+                         std::span<const double>(wt.data() + r.begin,
+                                                 static_cast<size_t>(r.size())),
+                         zl);
+      scatter_from_skeleton(nd.left, zl, yt);
+
+      std::vector<double> zr(reff.size(), 0.0);
+      kernel::gsks_apply(km_, reff, lpts,
+                         std::span<const double>(wt.data() + l.begin,
+                                                 static_cast<size_t>(l.size())),
+                         zr);
+      scatter_from_skeleton(nd.right, zr, yt);
+    }
+  }
+
+  if (lambda != 0.0)
+    for (size_t i = 0; i < yt.size(); ++i) yt[i] += lambda * wt[i];
+
+  const std::vector<double> yo = from_tree_order(yt);
+  std::copy(yo.begin(), yo.end(), y.begin());
+}
+
+void HMatrix::apply(std::span<const double> w, std::span<double> y,
+                    double lambda) const {
+  apply_impl(w, y, lambda, /*source_form=*/false);
+}
+
+void HMatrix::apply_source(std::span<const double> w, std::span<double> y,
+                           double lambda) const {
+  apply_impl(w, y, lambda, /*source_form=*/true);
+}
+
+double HMatrix::relative_residual(std::span<const double> w,
+                                  std::span<const double> u,
+                                  double lambda) const {
+  std::vector<double> kw(w.size());
+  apply(w, kw, lambda);
+  const double un = la::nrm2(u);
+  if (un == 0.0) return 0.0;
+  for (size_t i = 0; i < kw.size(); ++i) kw[i] = u[i] - kw[i];
+  return la::nrm2(kw) / un;
+}
+
+}  // namespace fdks::askit

@@ -1,0 +1,179 @@
+#include "askit/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace fdks::askit {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x46444b53484d4131ull;  // "FDKSHMA1".
+
+template <class T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+void put_matrix(std::ofstream& out, const la::Matrix& m) {
+  put<int64_t>(out, m.rows());
+  put<int64_t>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+la::Matrix get_matrix(std::ifstream& in) {
+  const auto r = get<int64_t>(in);
+  const auto c = get<int64_t>(in);
+  la::Matrix m(static_cast<index_t>(r), static_cast<index_t>(c));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  return m;
+}
+
+void put_ids(std::ofstream& out, const std::vector<index_t>& v) {
+  put<uint64_t>(out, v.size());
+  for (index_t x : v) put<int64_t>(out, x);
+}
+
+std::vector<index_t> get_ids(std::ifstream& in) {
+  const auto nv = get<uint64_t>(in);
+  std::vector<index_t> v(nv);
+  for (auto& x : v) x = static_cast<index_t>(get<int64_t>(in));
+  return v;
+}
+
+void put_doubles(std::ofstream& out, const std::vector<double>& v) {
+  put<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> get_doubles(std::ifstream& in) {
+  const auto nv = get<uint64_t>(in);
+  std::vector<double> v(nv);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(nv * sizeof(double)));
+  return v;
+}
+
+}  // namespace
+
+void save_hmatrix(const std::string& path, const HMatrix& h) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_hmatrix: cannot open " + path);
+  put(out, kMagic);
+
+  // Kernel.
+  const Kernel& k = h.kernel();
+  put<int32_t>(out, static_cast<int32_t>(k.type));
+  put(out, k.bandwidth);
+  put(out, k.shift);
+  put<int32_t>(out, k.degree);
+
+  // Config (fields individually, stable across struct changes guarded by
+  // the magic/version byte baked into kMagic).
+  const AskitConfig& cfg = h.config();
+  put<int64_t>(out, cfg.leaf_size);
+  put<int64_t>(out, cfg.max_rank);
+  put(out, cfg.tol);
+  put<int64_t>(out, cfg.level_restriction);
+  put<int64_t>(out, cfg.num_neighbors);
+  put<int64_t>(out, cfg.sample_oversampling);
+  put<uint64_t>(out, cfg.seed);
+  put<uint8_t>(out, cfg.adaptive_frontier ? 1 : 0);
+  put<uint8_t>(out, cfg.approx_neighbors ? 1 : 0);
+
+  // Points in ORIGINAL order (reconstructed from the permuted copy).
+  const auto& perm = h.tree().perm();
+  const la::Matrix& pp = h.km().points();
+  la::Matrix orig(pp.rows(), pp.cols());
+  for (index_t p = 0; p < pp.cols(); ++p)
+    for (index_t i = 0; i < pp.rows(); ++i)
+      orig(i, perm[static_cast<size_t>(p)]) = pp(i, p);
+  put_matrix(out, orig);
+
+  // Tree: nodes + permutation.
+  const auto& nodes = h.tree().nodes();
+  put<uint64_t>(out, nodes.size());
+  for (const tree::Node& nd : nodes) {
+    put<int64_t>(out, nd.begin);
+    put<int64_t>(out, nd.end);
+    put<int64_t>(out, nd.left);
+    put<int64_t>(out, nd.right);
+    put<int64_t>(out, nd.parent);
+    put<int32_t>(out, nd.level);
+  }
+  put_ids(out, perm);
+
+  // Skeletons.
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const NodeSkeleton& sk = h.skeleton(static_cast<index_t>(id));
+    put<uint8_t>(out, sk.skeletonized ? 1 : 0);
+    put_ids(out, sk.skel);
+    put_matrix(out, sk.proj);
+    put_doubles(out, sk.rdiag);
+  }
+  if (!out) throw std::runtime_error("save_hmatrix: write failed " + path);
+}
+
+HMatrix load_hmatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_hmatrix: cannot open " + path);
+  if (get<uint64_t>(in) != kMagic)
+    throw std::runtime_error("load_hmatrix: bad magic in " + path);
+
+  Kernel k;
+  k.type = static_cast<kernel::KernelType>(get<int32_t>(in));
+  k.bandwidth = get<double>(in);
+  k.shift = get<double>(in);
+  k.degree = get<int32_t>(in);
+
+  AskitConfig cfg;
+  cfg.leaf_size = static_cast<index_t>(get<int64_t>(in));
+  cfg.max_rank = static_cast<index_t>(get<int64_t>(in));
+  cfg.tol = get<double>(in);
+  cfg.level_restriction = static_cast<index_t>(get<int64_t>(in));
+  cfg.num_neighbors = static_cast<index_t>(get<int64_t>(in));
+  cfg.sample_oversampling = static_cast<index_t>(get<int64_t>(in));
+  cfg.seed = get<uint64_t>(in);
+  cfg.adaptive_frontier = get<uint8_t>(in) != 0;
+  cfg.approx_neighbors = get<uint8_t>(in) != 0;
+
+  la::Matrix points = get_matrix(in);
+
+  const auto nnodes = get<uint64_t>(in);
+  std::vector<tree::Node> nodes(nnodes);
+  for (auto& nd : nodes) {
+    nd.begin = static_cast<index_t>(get<int64_t>(in));
+    nd.end = static_cast<index_t>(get<int64_t>(in));
+    nd.left = static_cast<index_t>(get<int64_t>(in));
+    nd.right = static_cast<index_t>(get<int64_t>(in));
+    nd.parent = static_cast<index_t>(get<int64_t>(in));
+    nd.level = get<int32_t>(in);
+  }
+  std::vector<index_t> perm = get_ids(in);
+  tree::BallTree t(tree::BallTreeConfig{cfg.leaf_size, cfg.seed},
+                   std::move(nodes), std::move(perm));
+
+  std::vector<NodeSkeleton> skeletons(nnodes);
+  for (auto& sk : skeletons) {
+    sk.skeletonized = get<uint8_t>(in) != 0;
+    sk.skel = get_ids(in);
+    sk.proj = get_matrix(in);
+    sk.rdiag = get_doubles(in);
+  }
+  if (!in) throw std::runtime_error("load_hmatrix: truncated " + path);
+
+  return HMatrix(std::move(points), k, cfg, std::move(t),
+                 std::move(skeletons));
+}
+
+}  // namespace fdks::askit

@@ -1,0 +1,21 @@
+// Binary serialization of the hierarchical representation.
+//
+// Building an HMatrix costs O(dN log N) (tree + kNN + skeletonization);
+// saving it lets a production pipeline compress once and re-factorize
+// for many (kernel-fixed) lambda values across runs, which is the
+// paper's cross-validation workload. The format stores the original
+// points, kernel, config, tree (nodes + permutation), and all node
+// skeletons; everything derived is rebuilt on load.
+#pragma once
+
+#include <string>
+
+#include "askit/hmatrix.hpp"
+
+namespace fdks::askit {
+
+void save_hmatrix(const std::string& path, const HMatrix& h);
+
+HMatrix load_hmatrix(const std::string& path);
+
+}  // namespace fdks::askit

@@ -1,0 +1,149 @@
+#include "core/dist_hybrid.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "kernel/gsks.hpp"
+
+namespace fdks::core {
+
+DistributedHybridSolver::DistributedHybridSolver(const HMatrix& h,
+                                                 HybridOptions opts,
+                                                 mpisim::Comm comm)
+    : h_(&h), opts_(opts), ft_(h, opts.direct), comm_(std::move(comm)) {
+  const int p = comm_.size();
+  if (p <= 0 || (p & (p - 1)) != 0)
+    throw std::invalid_argument(
+        "DistributedHybridSolver: p must be a power of 2");
+  int logp = 0;
+  while ((1 << logp) < p) ++logp;
+
+  const auto& t = h.tree();
+  if (static_cast<int>(t.levels().size()) <= logp ||
+      static_cast<int>(t.levels()[static_cast<size_t>(logp)].size()) != p)
+    throw std::invalid_argument(
+        "DistributedHybridSolver: tree has no complete level log2(p)");
+
+  // My level-log2(p) node: the p nodes of that level ordered by range.
+  std::vector<index_t> owners = t.levels()[static_cast<size_t>(logp)];
+  std::sort(owners.begin(), owners.end(), [&](index_t a, index_t b) {
+    return t.node(a).begin < t.node(b).begin;
+  });
+  local_root_ = owners[static_cast<size_t>(comm_.rank())];
+  local_begin_ = t.node(local_root_).begin;
+  local_end_ = t.node(local_root_).end;
+
+  frontier_ = h.frontier();
+  offsets_.reserve(frontier_.size() + 1);
+  offsets_.push_back(0);
+  for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+    const index_t a = frontier_[ai];
+    const tree::Node& nd = t.node(a);
+    if (nd.level < logp)
+      throw std::invalid_argument(
+          "DistributedHybridSolver: frontier node spans ranks; use level "
+          "restriction L >= log2(p)");
+    offsets_.push_back(offsets_.back() +
+                       static_cast<index_t>(h.skeleton(a).skel.size()));
+    if (nd.begin >= local_begin_ && nd.end <= local_end_)
+      local_frontier_.push_back(ai);
+  }
+  reduced_size_ = offsets_.back();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t ai : local_frontier_)
+    ft_.factorize_subtree(frontier_[ai], /*compute_phat=*/true);
+  factor_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void DistributedHybridSolver::matvec_v_local(std::span<const double> q_local,
+                                             std::span<double> z) const {
+  // Algorithm II.8: contributions K(a~, {x}_i) q_i for EVERY frontier
+  // skeleton against the local points, own-diagonal-block subtracted by
+  // the owner, then AllReduce so all ranks hold the full V q.
+  std::vector<double> partial(static_cast<size_t>(reduced_size_), 0.0);
+  std::vector<index_t> local_pts(static_cast<size_t>(local_end_ -
+                                                     local_begin_));
+  std::iota(local_pts.begin(), local_pts.end(), local_begin_);
+
+  for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+    const auto& skel = h_->skeleton(frontier_[ai]).skel;
+    auto za = std::span<double>(partial.data() + offsets_[ai], skel.size());
+    kernel::gsks_apply(h_->km(), skel, local_pts, q_local, za, 1.0);
+  }
+  for (size_t ai : local_frontier_) {
+    const tree::Node& nd = h_->tree().node(frontier_[ai]);
+    const auto& skel = h_->skeleton(frontier_[ai]).skel;
+    std::vector<index_t> own(static_cast<size_t>(nd.size()));
+    std::iota(own.begin(), own.end(), nd.begin);
+    auto za = std::span<double>(partial.data() + offsets_[ai], skel.size());
+    kernel::gsks_apply(h_->km(), skel, own,
+                       q_local.subspan(static_cast<size_t>(nd.begin -
+                                                           local_begin_),
+                                       static_cast<size_t>(nd.size())),
+                       za, -1.0);
+  }
+  comm_.allreduce_sum(partial);
+  std::copy(partial.begin(), partial.end(), z.begin());
+}
+
+void DistributedHybridSolver::matvec_w_local(std::span<const double> z,
+                                             std::span<double> q_local)
+    const {
+  std::fill(q_local.begin(), q_local.end(), 0.0);
+  for (size_t ai : local_frontier_) {
+    const tree::Node& nd = h_->tree().node(frontier_[ai]);
+    const auto& skel = h_->skeleton(frontier_[ai]).skel;
+    ft_.apply_phat(frontier_[ai],
+                   z.subspan(static_cast<size_t>(offsets_[ai]), skel.size()),
+                   q_local.subspan(static_cast<size_t>(nd.begin -
+                                                       local_begin_),
+                                   static_cast<size_t>(nd.size())));
+  }
+}
+
+std::vector<double> DistributedHybridSolver::solve(
+    std::span<const double> u) {
+  if (static_cast<index_t>(u.size()) != h_->n())
+    throw std::invalid_argument("DistributedHybridSolver: size mismatch");
+
+  const std::vector<double> ut = h_->to_tree_order(u);
+  std::vector<double> w(ut.begin() + local_begin_, ut.begin() + local_end_);
+
+  // Step 1: w = D^-1 u on the locally owned frontier subtrees.
+  for (size_t ai : local_frontier_) {
+    const tree::Node& nd = h_->tree().node(frontier_[ai]);
+    ft_.solve_subtree(frontier_[ai],
+                      std::span<double>(w.data() + (nd.begin - local_begin_),
+                                        static_cast<size_t>(nd.size())));
+  }
+
+  if (reduced_size_ > 0) {
+    // Step 2: rhs = V w (collective). Step 3: replicated GMRES on the
+    // reduced system; the matvec's AllReduce keeps ranks in lockstep.
+    std::vector<double> rhs(static_cast<size_t>(reduced_size_), 0.0);
+    matvec_v_local(w, rhs);
+    std::vector<double> q_local(w.size(), 0.0);
+    last_ = iter::gmres(
+        reduced_size_,
+        [&](std::span<const double> z, std::span<double> y) {
+          matvec_w_local(z, q_local);
+          matvec_v_local(q_local, y);
+          for (size_t i = 0; i < z.size(); ++i) y[i] += z[i];
+        },
+        rhs, opts_.gmres);
+
+    // Step 4: x = w - W z, locally.
+    matvec_w_local(last_.x, q_local);
+    for (size_t i = 0; i < w.size(); ++i) w[i] -= q_local[i];
+  }
+
+  const std::vector<double> full_tree = comm_.allgatherv(w);
+  return h_->from_tree_order(full_tree);
+}
+
+}  // namespace fdks::core

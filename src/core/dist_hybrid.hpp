@@ -1,0 +1,57 @@
+// Distributed hybrid solver (Algorithms II.6-II.8 over mpisim).
+//
+// Ownership: with p ranks, each rank owns the frontier subtrees inside
+// its level-log2(p) node (level restriction L must be >= log2(p) so no
+// frontier node spans ranks). D^-1 is per-rank local; MatVecW is local
+// (W rows live with their points); MatVecV follows Algorithm II.8 —
+// every rank computes K(a~, {x}_local) q_local for ALL frontier
+// skeletons a~ against its own points, and an AllReduce assembles the
+// full reduced vector on every rank. GMRES on (I + VW) then runs
+// replicated, with the collective matvec keeping all ranks in lockstep.
+#pragma once
+
+#include "core/hybrid.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace fdks::core {
+
+class DistributedHybridSolver {
+ public:
+  /// Collective over comm; factorizes the local frontier subtrees.
+  /// Requires p a power of two, a complete tree level log2(p), and
+  /// every frontier node at level >= log2(p).
+  DistributedHybridSolver(const HMatrix& h, HybridOptions opts,
+                          mpisim::Comm comm);
+
+  /// Collective solve; u identical on all ranks (original order);
+  /// returns the full solution on every rank.
+  std::vector<double> solve(std::span<const double> u);
+
+  index_t reduced_size() const { return reduced_size_; }
+  const iter::GmresResult& last_gmres() const { return last_; }
+  double factor_seconds() const { return factor_seconds_; }
+
+ private:
+  /// z = V q with q the rank-local slice (permuted order); collective.
+  void matvec_v_local(std::span<const double> q_local,
+                      std::span<double> z) const;
+  /// q_local = W z restricted to this rank's points.
+  void matvec_w_local(std::span<const double> z,
+                      std::span<double> q_local) const;
+
+  const HMatrix* h_;
+  HybridOptions opts_;
+  FactorTree ft_;
+  mpisim::Comm comm_;
+  index_t local_root_ = -1;
+  index_t local_begin_ = 0, local_end_ = 0;
+  std::vector<index_t> frontier_;        ///< Global frontier, all ranks.
+  std::vector<index_t> offsets_;         ///< Block offsets into S.
+  std::vector<size_t> local_frontier_;   ///< Indices into frontier_ owned
+                                         ///< by this rank.
+  index_t reduced_size_ = 0;
+  double factor_seconds_ = 0.0;
+  iter::GmresResult last_;
+};
+
+}  // namespace fdks::core

@@ -1,0 +1,70 @@
+// Distributed-memory factorization and solve (Algorithms II.4 / II.5)
+// over the mpisim message-passing runtime.
+//
+// Ownership follows the paper (Figure 1): with p ranks (a power of two),
+// the top log2(p) tree levels are "distributed" nodes shared by ranks;
+// each rank exclusively owns the subtree rooted at its level-log2(p)
+// node and factorizes it locally with the sequential Algorithm II.2.
+// For each distributed ancestor, ranks exchange child skeletons between
+// the group roots {0} and {q/2}, reduce their local contributions
+// K(sibling~, {x}_i) P^_{x_i} to assemble the reduced system Z on {0},
+// LU-factorize it there, and broadcast the telescoping solve so every
+// rank updates its local rows of P^ — point data {x}_i never leaves its
+// owner.
+//
+// Setup note (documented in DESIGN.md): the tree and skeletons are built
+// deterministically and replicated on every rank; the *factorization*
+// and *solve* state is fully distributed and all cross-rank data flow
+// goes through mpisim messages, which is the part Algorithms II.4/II.5
+// specify.
+#pragma once
+
+#include "core/factor_tree.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace fdks::core {
+
+class DistributedSolver {
+ public:
+  /// Construct inside a rank; collective over comm (factorizes).
+  /// comm.size() must be a power of two and the tree must have a
+  /// complete level log2(p).
+  DistributedSolver(const HMatrix& h, SolverOptions opts, mpisim::Comm comm);
+
+  /// Collective solve of (lambda I + K~) x = u. u must be identical on
+  /// all ranks (original point order); returns the full solution on
+  /// every rank.
+  std::vector<double> solve(std::span<const double> u);
+
+  index_t local_root() const { return local_root_; }
+  double factor_seconds() const { return factor_seconds_; }
+  const StabilityReport& local_stability() const { return ft_.stability(); }
+
+ private:
+  struct DistLevel {
+    index_t node = -1;            ///< Distributed ancestor node id.
+    mpisim::Comm comm;            ///< Communicator spanning the node.
+    mpisim::Comm half_comm;       ///< My child's half of comm.
+    bool is_left = false;         ///< Which child my rank belongs to.
+    std::vector<index_t> own_skel;  ///< My child's effective skeleton.
+    std::vector<index_t> sib_skel;  ///< Sibling skeleton (via messages).
+    index_t s_l = 0, s_r = 0;     ///< Child skeleton sizes.
+    la::LuFactor z_lu;            ///< Reduced system; rank 0 of comm only.
+    Matrix phat_child_local;      ///< Local rows of P^_child (the W rows
+                                  ///< this rank owns at this node).
+  };
+
+  void factorize();
+
+  const HMatrix* h_;
+  FactorTree ft_;
+  mpisim::Comm comm_;
+  int logp_ = 0;
+  index_t local_root_ = -1;
+  index_t local_begin_ = 0, local_end_ = 0;
+  /// Distributed ancestors from the root (index 0, level 0) downward.
+  std::vector<DistLevel> dist_;
+  double factor_seconds_ = 0.0;
+};
+
+}  // namespace fdks::core

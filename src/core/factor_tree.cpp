@@ -1,0 +1,144 @@
+#include "core/factor_tree.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "la/gemm.hpp"
+
+namespace fdks::core {
+
+size_t NodeFactor::bytes() const {
+  size_t b = 0;
+  b += static_cast<size_t>(leaf_chol.l.size()) * sizeof(double);
+  b += static_cast<size_t>(leaf_lu.lu.size()) * sizeof(double);
+  b += leaf_lu.piv.size() * sizeof(index_t);
+  b += static_cast<size_t>(z_lu.lu.size()) * sizeof(double);
+  b += z_lu.piv.size() * sizeof(index_t);
+  b += static_cast<size_t>(phat.size()) * sizeof(double);
+  b += static_cast<size_t>(tmat.size()) * sizeof(double);
+  b += v_lr.stored_bytes() + v_rl.stored_bytes();
+  return b;
+}
+
+FactorTree::FactorTree(const HMatrix& h, SolverOptions opts)
+    : h_(&h), opts_(opts) {
+  nf_.resize(h.tree().nodes().size());
+  stab_.threshold = opts_.rcond_threshold;
+}
+
+Matrix FactorTree::expand_projection(index_t id) const {
+  const tree::Node& nd = h_->tree().node(id);
+  const askit::NodeSkeleton& sk = h_->skeleton(id);
+
+  if (nd.is_leaf()) {
+    if (!sk.skeletonized) return Matrix::identity(nd.size());
+    return sk.proj.transposed();  // |a| x s.
+  }
+  Matrix el = expand_projection(nd.left);
+  Matrix er = expand_projection(nd.right);
+  const index_t sl = el.cols();
+  const index_t sr = er.cols();
+  if (!sk.skeletonized) {
+    // Effective skeleton: block-diagonal concatenation.
+    Matrix e(nd.size(), sl + sr);
+    e.set_block(0, 0, el);
+    e.set_block(el.rows(), sl, er);
+    return e;
+  }
+  // E_α = blockdiag(E_l, E_r) * proj^T.
+  const Matrix pt = sk.proj.transposed();  // (sl+sr) x s_α.
+  Matrix e(nd.size(), sk.rank());
+  Matrix top = la::matmul(el, pt.block(0, 0, sl, pt.cols()));
+  Matrix bot = la::matmul(er, pt.block(sl, 0, sr, pt.cols()));
+  e.set_block(0, 0, top);
+  e.set_block(el.rows(), 0, bot);
+  return e;
+}
+
+void FactorTree::apply_phat(index_t id, std::span<const double> z,
+                            std::span<double> y, double alpha) const {
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  const tree::Node& nd = h_->tree().node(id);
+  if (f.phat.size() > 0) {  // Dense factor stored (leaf or non-compact).
+    la::gemv(la::Trans::No, alpha, f.phat, z, 1.0, y);
+    return;
+  }
+  if (nd.is_leaf())
+    throw std::logic_error("apply_phat: leaf without a dense factor");
+  // Compact mode: z2 = T z, then descend into the children's W rows.
+  std::vector<double> z2(static_cast<size_t>(f.tmat.rows()), 0.0);
+  la::gemv(la::Trans::No, 1.0, f.tmat, z, 0.0, z2);
+  const index_t sl = static_cast<index_t>(
+      h_->effective_skeleton(nd.left).size());
+  const index_t nl = h_->tree().node(nd.left).size();
+  apply_phat(nd.left, std::span<const double>(z2.data(), sl),
+             y.subspan(0, static_cast<size_t>(nl)), alpha);
+  apply_phat(nd.right,
+             std::span<const double>(z2.data() + sl, z2.size() - sl),
+             y.subspan(static_cast<size_t>(nl)), alpha);
+}
+
+Matrix FactorTree::dense_phat(index_t id) const {
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  if (f.phat.size() > 0) return f.phat;
+  const tree::Node& nd = h_->tree().node(id);
+  const index_t s = static_cast<index_t>(h_->effective_skeleton(id).size());
+  Matrix out(nd.size(), s);
+  std::vector<double> e(static_cast<size_t>(s), 0.0);
+  for (index_t j = 0; j < s; ++j) {
+    e[static_cast<size_t>(j)] = 1.0;
+    apply_phat(id, e,
+               std::span<double>(out.col(j), static_cast<size_t>(nd.size())));
+    e[static_cast<size_t>(j)] = 0.0;
+  }
+  return out;
+}
+
+void FactorTree::set_lambda(double lambda) {
+  opts_.lambda = lambda;
+  // Invalidate lambda-dependent factors; V kernel blocks stay.
+  for (NodeFactor& f : nf_) f.factored = false;
+  stab_ = StabilityReport{};
+  stab_.threshold = opts_.rcond_threshold;
+  profile_ = FactorProfile{};
+}
+
+size_t FactorTree::subtree_bytes(index_t id) const {
+  const tree::Node& nd = h_->tree().node(id);
+  size_t b = nf_[static_cast<size_t>(id)].bytes();
+  if (!nd.is_leaf())
+    b += subtree_bytes(nd.left) + subtree_bytes(nd.right);
+  return b;
+}
+
+void FactorTree::record_stability(index_t id) {
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  const tree::Node& nd = h_->tree().node(id);
+  bool flagged = false;
+  double leaf_pr = 1.0, z_rc = 1.0;
+  if (nd.is_leaf()) {
+    if (f.leaf_uses_chol) {
+      // Cholesky pivots are sqrt-scaled relative to LU pivots; square
+      // the diagonal ratio so both paths feed the same threshold.
+      const double dmin = f.leaf_chol.min_diag;
+      double dmax = 0.0;
+      for (index_t i = 0; i < f.leaf_chol.n(); ++i)
+        dmax = std::max(dmax, f.leaf_chol.l(i, i));
+      leaf_pr = dmax > 0.0 ? (dmin / dmax) * (dmin / dmax) : 0.0;
+      flagged = !f.leaf_chol.spd || leaf_pr < stab_.threshold;
+    } else {
+      leaf_pr = f.leaf_lu.pivot_ratio();
+      flagged = f.leaf_lu.singular || leaf_pr < stab_.threshold;
+    }
+  } else {
+    z_rc = la::lu_rcond(f.z_lu, f.z_norm1);
+    flagged = f.z_lu.singular || z_rc < stab_.threshold;
+  }
+  std::lock_guard<std::mutex> lock(stab_mu_);  // parallel_tree tasks.
+  stab_.min_leaf_pivot_ratio = std::min(stab_.min_leaf_pivot_ratio, leaf_pr);
+  stab_.min_z_rcond = std::min(stab_.min_z_rcond, z_rc);
+  if (flagged) ++stab_.flagged_nodes;
+}
+
+
+}  // namespace fdks::core

@@ -1,0 +1,181 @@
+// Shared factorization state for the fast direct solver (§II-B).
+//
+// FactorTree holds, per tree node, the pieces of the recursive
+// Sherman-Morrison-Woodbury factorization of (lambda I + K~):
+//
+//   leaf a      : LU of (lambda I + K_aa), and P^_a = (lambda I+K_aa)^-1 E_a
+//   internal α  : V_α = [K(l~, X_r); K(r~, X_l)] as kernel-block operators,
+//                 LU of the reduced system Z_α = I + V_α W_α  (eq. 8),
+//                 and the telescoped P^_α = W_α Z_α^-1 P'_α   (eq. 10),
+//
+// where W_α = blockdiag(P^_l, P^_r) is never materialized (the children's
+// P^ factors play that role) and P'_α is the child-to-parent skeleton
+// projection (identity for unskeletonized nodes above the frontier, which
+// yields the expanded level-restricted direct factorization of Table V).
+//
+// Two algorithms produce the same factors:
+//   Telescoped — Algorithm II.2, O(N log N): P^ via eq. (10).
+//   Subtree    — the [36] baseline, O(N log^2 N): P^ via a recursive
+//                solve of K~_αα P^ = E_α over the whole subtree.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "askit/hmatrix.hpp"
+#include "kernel/summation.hpp"
+#include "la/chol.hpp"
+#include "la/lu.hpp"
+
+namespace fdks::core {
+
+using askit::HMatrix;
+using la::Matrix;
+using la::index_t;
+
+enum class FactorizationAlgo {
+  Telescoped,  ///< This paper: O(N log N), eq. (10).
+  Subtree,     ///< INV-ASKIT [36]: O(N log^2 N), recursive subtree solves.
+};
+
+struct SolverOptions {
+  double lambda = 0.0;
+  FactorizationAlgo algo = FactorizationAlgo::Telescoped;
+  kernel::Scheme scheme = kernel::Scheme::StoredGemv;  ///< V-block scheme.
+  double rcond_threshold = 1e-12;  ///< Stability flag threshold (§III).
+  /// §III storage reduction ("recomputing W with (10)"): store only the
+  /// small T = Z^-1 P' per internal node (s x s) instead of the dense
+  /// P^ (|alpha| x s); W actions are recomputed by telescoping through
+  /// the children at solve time. Cuts the O(sN log(N/m)) P^ storage to
+  /// O(sN + s^2 log(N/m)) at a modest time cost. Telescoped algo only.
+  bool compact_w = false;
+  /// Factorize independent subtrees as OpenMP tasks (the paper's
+  /// future-work task parallelism for load balancing).
+  bool parallel_tree = false;
+  /// Use the paper's level-synchronous traversal (bottom-up, all nodes
+  /// of a level factorized in a parallel-for) instead of recursion.
+  bool levelwise = false;
+  /// Factor leaf blocks with Cholesky instead of LU — valid because
+  /// lambda I + K_aa is SPD for PSD kernels with lambda > 0, at half
+  /// the factorization flops. Falls back to LU per leaf whenever a
+  /// non-positive pivot shows the block is not numerically SPD.
+  bool spd_leaves = false;
+};
+
+/// Where factorization time goes (accumulated across nodes; thread-safe
+/// under the parallel traversals). Feeds the GFLOPS breakdowns of the
+/// Table IV bench and performance debugging.
+struct FactorProfile {
+  double leaf_seconds = 0.0;       ///< Leaf LU/Cholesky + leaf P^.
+  double v_assembly_seconds = 0.0; ///< Kernel-block V construction + VW.
+  double z_factor_seconds = 0.0;   ///< Reduced-system LU.
+  double telescope_seconds = 0.0;  ///< Eq. (10) P^ updates.
+  index_t leaves = 0;
+  index_t internals = 0;
+
+  double total() const {
+    return leaf_seconds + v_assembly_seconds + z_factor_seconds +
+           telescope_seconds;
+  }
+};
+
+/// Aggregated conditioning diagnostics (§III stability detection).
+struct StabilityReport {
+  double min_leaf_pivot_ratio = 1.0;  ///< min over leaves of |p_min/p_max|.
+  double min_z_rcond = 1.0;           ///< min over reduced systems Z.
+  index_t flagged_nodes = 0;          ///< Nodes below the threshold.
+  double threshold = 1e-12;
+
+  bool stable() const { return flagged_nodes == 0; }
+};
+
+struct NodeFactor {
+  bool factored = false;
+  // Leaf only (exactly one of the two factorizations is populated):
+  la::LuFactor leaf_lu;
+  la::CholFactor leaf_chol;
+  bool leaf_uses_chol = false;
+  // Internal only:
+  kernel::KernelBlockOp v_lr;  ///< K(l~eff, X_r).
+  kernel::KernelBlockOp v_rl;  ///< K(r~eff, X_l).
+  la::LuFactor z_lu;           ///< LU of Z_α (eq. 8).
+  double z_norm1 = 0.0;        ///< ||Z_α||_1 before factorization.
+  // All non-root nodes:
+  Matrix phat;  ///< |α| x s_eff(α): P^_{α,α~} (already D^-1-applied).
+                ///< Empty for internal nodes in compact_w mode.
+  Matrix tmat;  ///< compact_w only: T = Z^-1 P' ((s_l+s_r) x s_α), the
+                ///< telescoping stencil P^_α = blockdiag(P^_l,P^_r) T.
+
+  size_t bytes() const;
+};
+
+/// Per-node factor storage plus the factorize/solve kernels, operating
+/// in *permuted* (tree) coordinates on contiguous subranges.
+class FactorTree {
+ public:
+  FactorTree(const HMatrix& h, SolverOptions opts);
+
+  const HMatrix& hmatrix() const { return *h_; }
+  const SolverOptions& options() const { return opts_; }
+  const StabilityReport& stability() const { return stab_; }
+  const FactorProfile& profile() const { return profile_; }
+  const NodeFactor& factor(index_t id) const {
+    return nf_[static_cast<size_t>(id)];
+  }
+
+  /// Factorize the subtree rooted at `id` bottom-up. compute_phat
+  /// controls whether the root of this subtree gets its own P^ (needed
+  /// when the subtree hangs below a larger factorization or frontier).
+  void factorize_subtree(index_t id, bool compute_phat);
+
+  /// Level-synchronous variant (§II-B "level-by-level traversals
+  /// combined with shared ... memory parallelism across nodes in the
+  /// same level"): all nodes of each level are factorized in a
+  /// parallel-for, deepest level first. Produces the same factors.
+  void factorize_subtree_levelwise(index_t id, bool compute_phat);
+
+  /// In-place solve (lambda I + K~_αα)^-1 on u (|α| entries, permuted
+  /// order, offset relative to node begin).
+  void solve_subtree(index_t id, std::span<double> u) const;
+
+  /// Block right-hand-side variant.
+  void solve_subtree(index_t id, Matrix& u) const;
+
+  /// Dense |α| x s_eff(α) unfactored basis E_α = P_{α,α~}^T expanded to
+  /// point level by telescoping the projections (used by the Subtree
+  /// baseline and by tests).
+  Matrix expand_projection(index_t id) const;
+
+  /// y += alpha * P^_id * z, independent of storage mode: a GEMV on the
+  /// dense factor, or a recursive descent through the T stencils when
+  /// compact_w is on. |y| = node size, |z| = s_eff(id).
+  void apply_phat(index_t id, std::span<const double> z,
+                  std::span<double> y, double alpha = 1.0) const;
+
+  /// Materialize P^_id (|id| x s_eff) regardless of storage mode.
+  Matrix dense_phat(index_t id) const;
+
+  /// Total bytes held by factors in the subtree at `id`.
+  size_t subtree_bytes(index_t id) const;
+
+  /// Change lambda and invalidate the lambda-dependent factors; the next
+  /// factorize_subtree() reuses the stored V kernel blocks (the dominant
+  /// kernel-evaluation cost) and rebuilds only leaf LUs, Z and P^ — the
+  /// fast path for the cross-validation lambda sweeps of §I.
+  void set_lambda(double lambda);
+
+ private:
+  void factorize_node(index_t id, bool compute_phat);
+  void record_stability(index_t id);
+
+  const HMatrix* h_;
+  SolverOptions opts_;
+  std::vector<NodeFactor> nf_;
+  StabilityReport stab_;
+  FactorProfile profile_;
+  mutable std::mutex stab_mu_;  ///< Guards stab_/profile_ under
+                                ///< parallel traversals.
+};
+
+}  // namespace fdks::core

@@ -1,0 +1,132 @@
+#include "core/hybrid.hpp"
+
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "kernel/gsks.hpp"
+#include "la/gemm.hpp"
+
+namespace fdks::core {
+
+HybridSolver::HybridSolver(const HMatrix& h, HybridOptions opts)
+    : h_(&h), opts_(opts), ft_(h, opts.direct) {
+  frontier_ = h.frontier();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (frontier_.empty()) {
+    // Degenerate single-leaf tree: the "frontier" is the root itself and
+    // the solver is a plain dense factorization.
+    ft_.factorize_subtree(h.tree().root(), /*compute_phat=*/false);
+  } else {
+    offsets_.reserve(frontier_.size() + 1);
+    offsets_.push_back(0);
+    for (index_t a : frontier_) {
+      // Each frontier root needs its own P^ (it is a W block).
+      ft_.factorize_subtree(a, /*compute_phat=*/true);
+      offsets_.push_back(offsets_.back() +
+                         static_cast<index_t>(h.skeleton(a).skel.size()));
+    }
+    reduced_size_ = offsets_.back();
+  }
+  factor_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  all_ids_.resize(static_cast<size_t>(h.n()));
+  std::iota(all_ids_.begin(), all_ids_.end(), index_t{0});
+}
+
+void HybridSolver::matvec_v(std::span<const double> q,
+                            std::span<double> z) const {
+  if (static_cast<index_t>(z.size()) != reduced_size_ ||
+      static_cast<index_t>(q.size()) != h_->n())
+    throw std::invalid_argument("matvec_v: size mismatch");
+  std::fill(z.begin(), z.end(), 0.0);
+  for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+    const index_t a = frontier_[ai];
+    const tree::Node& nd = h_->tree().node(a);
+    const auto& skel = h_->skeleton(a).skel;
+    auto za = z.subspan(static_cast<size_t>(offsets_[ai]), skel.size());
+    // K(a~, X \ a) q = K(a~, X) q - K(a~, X_a) q_a: two fused sweeps,
+    // nothing materialized (matrix-free V, the paper's storage saving).
+    kernel::gsks_apply(h_->km(), skel, all_ids_, q, za, 1.0);
+    std::vector<index_t> own(static_cast<size_t>(nd.size()));
+    std::iota(own.begin(), own.end(), nd.begin);
+    kernel::gsks_apply(h_->km(), skel, own,
+                       q.subspan(static_cast<size_t>(nd.begin),
+                                 static_cast<size_t>(nd.size())),
+                       za, -1.0);
+  }
+}
+
+void HybridSolver::matvec_w(std::span<const double> z,
+                            std::span<double> q) const {
+  if (static_cast<index_t>(z.size()) != reduced_size_ ||
+      static_cast<index_t>(q.size()) != h_->n())
+    throw std::invalid_argument("matvec_w: size mismatch");
+  std::fill(q.begin(), q.end(), 0.0);
+  for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+    const index_t a = frontier_[ai];
+    const tree::Node& nd = h_->tree().node(a);
+    const size_t sa = h_->skeleton(a).skel.size();
+    ft_.apply_phat(a, z.subspan(static_cast<size_t>(offsets_[ai]), sa),
+                   q.subspan(static_cast<size_t>(nd.begin),
+                             static_cast<size_t>(nd.size())));
+  }
+}
+
+void HybridSolver::reduced_apply(std::span<const double> z,
+                                 std::span<double> y) const {
+  std::vector<double> q(static_cast<size_t>(h_->n()), 0.0);
+  matvec_w(z, q);
+  matvec_v(q, y);
+  for (size_t i = 0; i < z.size(); ++i) y[i] += z[i];
+}
+
+std::vector<double> HybridSolver::solve(std::span<const double> u) const {
+  if (static_cast<index_t>(u.size()) != h_->n())
+    throw std::invalid_argument("HybridSolver::solve: size mismatch");
+
+  std::vector<double> ut = h_->to_tree_order(u);
+
+  if (frontier_.empty()) {  // Single-leaf degenerate case.
+    ft_.solve_subtree(h_->tree().root(), ut);
+    return h_->from_tree_order(ut);
+  }
+
+  // Algorithm II.6. Step 1: w = D^-1 u on every frontier subtree.
+  std::vector<double> w = ut;
+  for (index_t a : frontier_) {
+    const tree::Node& nd = h_->tree().node(a);
+    ft_.solve_subtree(a, std::span<double>(w.data() + nd.begin,
+                                           static_cast<size_t>(nd.size())));
+  }
+
+  if (reduced_size_ == 0) return h_->from_tree_order(w);
+
+  // Step 2: rhs = V w; step 3: solve (I + VW) z = rhs with GMRES.
+  std::vector<double> rhs(static_cast<size_t>(reduced_size_), 0.0);
+  matvec_v(w, rhs);
+  last_ = iter::gmres(
+      reduced_size_,
+      [this](std::span<const double> z, std::span<double> y) {
+        reduced_apply(z, y);
+      },
+      rhs, opts_.gmres);
+
+  // Step 4: x = w - W z.
+  std::vector<double> wz(static_cast<size_t>(h_->n()), 0.0);
+  matvec_w(last_.x, wz);
+  for (size_t i = 0; i < w.size(); ++i) w[i] -= wz[i];
+  return h_->from_tree_order(w);
+}
+
+size_t HybridSolver::factor_bytes() const {
+  if (frontier_.empty()) return ft_.subtree_bytes(h_->tree().root());
+  size_t b = 0;
+  for (index_t a : frontier_) b += ft_.subtree_bytes(a);
+  return b;
+}
+
+}  // namespace fdks::core

@@ -1,0 +1,67 @@
+// Hybrid direct/iterative solver (§II-C, Algorithms II.6–II.8).
+//
+// With level restriction, only the subtrees rooted at the
+// skeletonization frontier A are factorized directly (that is the
+// block-diagonal D). All couplings above the frontier are collapsed
+// into the global factors
+//
+//   W = blockdiag_{a in A}( P^_a )            (N x S,  S = sum_a s_a)
+//   V : row block a = K(a~, X \ a)            (S x N)
+//
+// and (lambda I + K~)^-1 u = D^-1 u - W (I + V W)^-1 V D^-1 u, where the
+// reduced S x S system is solved matrix-free with GMRES. V is applied
+// with the fused GSKS summation, so the hybrid solver stores no
+// above-frontier kernel blocks at all — the storage win of Table V.
+#pragma once
+
+#include "core/factor_tree.hpp"
+#include "iterative/gmres.hpp"
+
+namespace fdks::core {
+
+struct HybridOptions {
+  SolverOptions direct;        ///< Frontier-subtree factorization options.
+  iter::GmresOptions gmres;    ///< Reduced-system Krylov options.
+};
+
+class HybridSolver {
+ public:
+  /// Factorizes the frontier subtrees on construction.
+  HybridSolver(const HMatrix& h, HybridOptions opts);
+
+  /// Solve (lambda I + K~) x = u (vectors in original point order).
+  /// Records the reduced-system GMRES trace (last_gmres()).
+  std::vector<double> solve(std::span<const double> u) const;
+
+  /// Size S of the reduced system (I + VW).
+  index_t reduced_size() const { return reduced_size_; }
+
+  const iter::GmresResult& last_gmres() const { return last_; }
+  const StabilityReport& stability() const { return ft_.stability(); }
+  double factor_seconds() const { return factor_seconds_; }
+  size_t factor_bytes() const;
+
+  // -- Exposed for tests and the distributed driver --------------------
+
+  /// z = V q (Algorithm II.8): q length N (permuted order), z length S.
+  void matvec_v(std::span<const double> q, std::span<double> z) const;
+
+  /// q = W z (Algorithm II.7): z length S, q length N (permuted order).
+  void matvec_w(std::span<const double> z, std::span<double> q) const;
+
+  /// y = (I + V W) z, the reduced operator handed to GMRES.
+  void reduced_apply(std::span<const double> z, std::span<double> y) const;
+
+ private:
+  const HMatrix* h_;
+  HybridOptions opts_;
+  FactorTree ft_;
+  std::vector<index_t> frontier_;
+  std::vector<index_t> offsets_;   ///< Prefix offsets of each a's block in S.
+  std::vector<index_t> all_ids_;   ///< 0..N-1, the V column index set.
+  index_t reduced_size_ = 0;
+  double factor_seconds_ = 0.0;
+  mutable iter::GmresResult last_;
+};
+
+}  // namespace fdks::core

@@ -1,0 +1,44 @@
+// Exact-system solves with the factorization as a preconditioner.
+//
+// The direct solver inverts the *compressed* operator lambda I + K~; its
+// accuracy against the true kernel matrix is limited by the compression
+// tolerance tau. Following the paper's remark (§I "Limitations" and
+// [36]) that the factorization can serve as a preconditioner, this
+// module runs GMRES on the exact operator lambda I + K — applied
+// matrix-free with the fused GSKS summation, never forming K — with the
+// hierarchical factorization as a right preconditioner. A handful of
+// iterations then delivers dense-accuracy solutions at O(dN^2) per
+// iteration, with the iteration count controlled by tau instead of the
+// conditioning of K.
+#pragma once
+
+#include "core/solver.hpp"
+#include "iterative/gmres.hpp"
+
+namespace fdks::core {
+
+struct ExactSolveResult {
+  std::vector<double> x;
+  iter::GmresResult gmres;
+  double exact_residual = 1.0;  ///< ||u - (lambda I + K) x|| / ||u||.
+};
+
+/// y = (lambda I + K) w with the exact (uncompressed) kernel matrix,
+/// matrix-free. Vectors in original point order.
+void exact_apply(const askit::HMatrix& h, double lambda,
+                 std::span<const double> w, std::span<double> y);
+
+/// GMRES on the exact operator, right-preconditioned by the factorized
+/// compressed operator (preconditioner and operator must share lambda).
+ExactSolveResult solve_exact_preconditioned(const askit::HMatrix& h,
+                                            const FastDirectSolver& m,
+                                            std::span<const double> u,
+                                            iter::GmresOptions opts = {});
+
+/// Unpreconditioned baseline for the same exact operator (ablation).
+ExactSolveResult solve_exact_unpreconditioned(const askit::HMatrix& h,
+                                              double lambda,
+                                              std::span<const double> u,
+                                              iter::GmresOptions opts = {});
+
+}  // namespace fdks::core

@@ -1,0 +1,103 @@
+// Recursive solve (Algorithm II.3): apply (lambda I + K~_αα)^-1 via the
+// stored SMW factors.
+#include <stdexcept>
+
+#include "core/factor_tree.hpp"
+#include "la/gemm.hpp"
+
+namespace fdks::core {
+
+void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
+  const tree::Node& nd = h_->tree().node(id);
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  if (!f.factored) throw std::logic_error("solve_subtree: not factorized");
+  if (static_cast<index_t>(u.size()) != nd.size())
+    throw std::invalid_argument("solve_subtree: size mismatch");
+
+  if (nd.is_leaf()) {
+    if (f.leaf_uses_chol)
+      la::chol_solve(f.leaf_chol, u);
+    else
+      la::lu_solve(f.leaf_lu, u);
+    return;
+  }
+
+  const tree::Node& l = h_->tree().node(nd.left);
+  const index_t nl = l.size();
+  const index_t sl = f.v_lr.rows();
+  const index_t sr = f.v_rl.rows();
+
+  auto ul = u.subspan(0, static_cast<size_t>(nl));
+  auto ur = u.subspan(static_cast<size_t>(nl));
+
+  // u' = D^-1 u by recursion on the children.
+  solve_subtree(nd.left, ul);
+  solve_subtree(nd.right, ur);
+
+  // t = V u' = [K(l~, X_r) u'_r ; K(r~, X_l) u'_l], then t = Z^-1 t.
+  std::vector<double> t(static_cast<size_t>(sl + sr), 0.0);
+  f.v_lr.apply(ur, std::span<double>(t.data(), static_cast<size_t>(sl)));
+  f.v_rl.apply(ul, std::span<double>(t.data() + sl, static_cast<size_t>(sr)));
+  la::lu_solve(f.z_lu, t);
+
+  // u <- u' - W t with W = blockdiag(P^_l, P^_r); apply_phat dispatches
+  // on the storage mode (dense factor or compact telescoping).
+  apply_phat(nd.left,
+             std::span<const double>(t.data(), static_cast<size_t>(sl)), ul,
+             -1.0);
+  apply_phat(nd.right,
+             std::span<const double>(t.data() + sl, static_cast<size_t>(sr)),
+             ur, -1.0);
+}
+
+void FactorTree::solve_subtree(index_t id, Matrix& u) const {
+  const tree::Node& nd = h_->tree().node(id);
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  if (!f.factored) throw std::logic_error("solve_subtree: not factorized");
+  if (u.rows() != nd.size())
+    throw std::invalid_argument("solve_subtree: block rhs shape mismatch");
+
+  if (nd.is_leaf()) {
+    if (f.leaf_uses_chol)
+      la::chol_solve(f.leaf_chol, u);
+    else
+      la::lu_solve(f.leaf_lu, u);
+    return;
+  }
+
+  const tree::Node& l = h_->tree().node(nd.left);
+  const tree::Node& r = h_->tree().node(nd.right);
+  const index_t nl = l.size();
+  const index_t nr = r.size();
+  const index_t sl = f.v_lr.rows();
+  const index_t sr = f.v_rl.rows();
+
+  Matrix utop = u.block(0, 0, nl, u.cols());
+  Matrix ubot = u.block(nl, 0, nr, u.cols());
+  solve_subtree(nd.left, utop);
+  solve_subtree(nd.right, ubot);
+
+  Matrix t(sl + sr, u.cols());
+  Matrix t_top = f.v_lr.apply_block(ubot);
+  Matrix t_bot = f.v_rl.apply_block(utop);
+  t.set_block(0, 0, t_top);
+  t.set_block(sl, 0, t_bot);
+  la::lu_solve(f.z_lu, t);
+
+  for (index_t j = 0; j < u.cols(); ++j) {
+    apply_phat(nd.left,
+               std::span<const double>(t.col(j), static_cast<size_t>(sl)),
+               std::span<double>(utop.col(j), static_cast<size_t>(nl)),
+               -1.0);
+    apply_phat(nd.right,
+               std::span<const double>(t.col(j) + sl,
+                                       static_cast<size_t>(sr)),
+               std::span<double>(ubot.col(j), static_cast<size_t>(nr)),
+               -1.0);
+  }
+
+  u.set_block(0, 0, utop);
+  u.set_block(nl, 0, ubot);
+}
+
+}  // namespace fdks::core

@@ -1,0 +1,79 @@
+// FastDirectSolver driver: full-tree factorization (telescoped or the
+// [36] subtree baseline, selected by SolverOptions::algo) plus the
+// original-order solve wrappers.
+#include <chrono>
+
+#include "core/solver.hpp"
+
+namespace fdks::core {
+
+namespace {
+
+// The root needs no P^ of its own (it has no parent coupling). When
+// task parallelism is requested, open the parallel region here so the
+// factorization's OpenMP tasks have a team to run on.
+void run_factorize(FactorTree& ft, index_t root, bool parallel_tree) {
+  if (ft.options().levelwise) {
+    ft.factorize_subtree_levelwise(root, /*compute_phat=*/false);
+  } else if (parallel_tree) {
+#ifdef _OPENMP
+#pragma omp parallel
+#pragma omp single
+#endif
+    ft.factorize_subtree(root, /*compute_phat=*/false);
+  } else {
+    ft.factorize_subtree(root, /*compute_phat=*/false);
+  }
+}
+
+}  // namespace
+
+FastDirectSolver::FastDirectSolver(const HMatrix& h, SolverOptions opts)
+    : ft_(h, opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_factorize(ft_, h.tree().root(), opts.parallel_tree);
+  factor_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void FastDirectSolver::refactorize(double lambda) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ft_.set_lambda(lambda);
+  run_factorize(ft_, ft_.hmatrix().tree().root(),
+                ft_.options().parallel_tree);
+  factor_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void FastDirectSolver::solve(std::span<const double> u,
+                             std::span<double> x) const {
+  const HMatrix& h = ft_.hmatrix();
+  std::vector<double> ut = h.to_tree_order(u);
+  ft_.solve_subtree(h.tree().root(), ut);
+  std::vector<double> xo = h.from_tree_order(ut);
+  std::copy(xo.begin(), xo.end(), x.begin());
+}
+
+std::vector<double> FastDirectSolver::solve(std::span<const double> u) const {
+  std::vector<double> x(u.size());
+  solve(u, x);
+  return x;
+}
+
+Matrix FastDirectSolver::solve(const Matrix& u) const {
+  Matrix x(u.rows(), u.cols());
+  for (index_t j = 0; j < u.cols(); ++j) {
+    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
+    std::span<double> xc(x.col(j), static_cast<size_t>(x.rows()));
+    solve(uc, xc);
+  }
+  return x;
+}
+
+size_t FastDirectSolver::factor_bytes() const {
+  return ft_.subtree_bytes(ft_.hmatrix().tree().root());
+}
+
+}  // namespace fdks::core

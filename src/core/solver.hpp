@@ -1,0 +1,51 @@
+// Public entry point of the fast direct solver.
+//
+// FastDirectSolver factorizes (lambda I + K~) — the hierarchical
+// approximation held by an askit::HMatrix — in O(N log N) work
+// (Algorithm II.2, or the O(N log^2 N) [36] baseline for comparison)
+// and solves linear systems in O(N log N) (Algorithm II.3).
+//
+// With a level-restricted HMatrix, the factorization continues above the
+// frontier with expanded (identity-projection) blocks: correct but
+// increasingly expensive, exactly the direct-method columns of Table V.
+// Use HybridSolver (hybrid.hpp) for the paper's cheaper alternative.
+#pragma once
+
+#include "core/factor_tree.hpp"
+
+namespace fdks::core {
+
+class FastDirectSolver {
+ public:
+  /// Factorizes on construction. h must outlive the solver.
+  FastDirectSolver(const HMatrix& h, SolverOptions opts);
+
+  /// Re-factorize (lambda I + K~) for a new lambda, reusing the stored
+  /// V kernel blocks — the fast path for cross-validation lambda sweeps
+  /// (the paper's motivating workload: "the factorization has to be
+  /// done for different values of lambda", §I).
+  void refactorize(double lambda);
+
+  /// Solve (lambda I + K~) x = u. Vectors are in the caller's original
+  /// point order.
+  void solve(std::span<const double> u, std::span<double> x) const;
+  std::vector<double> solve(std::span<const double> u) const;
+
+  /// Block solve for multiple right-hand sides (columns of u).
+  Matrix solve(const Matrix& u) const;
+
+  const StabilityReport& stability() const { return ft_.stability(); }
+  const FactorTree& factor_tree() const { return ft_; }
+  /// Per-phase factorization time breakdown (leaf factors, V assembly,
+  /// Z factorization, telescoping).
+  const FactorProfile& profile() const { return ft_.profile(); }
+  double factor_seconds() const { return factor_seconds_; }
+  size_t factor_bytes() const;
+  double lambda() const { return ft_.options().lambda; }
+
+ private:
+  FactorTree ft_;
+  double factor_seconds_ = 0.0;
+};
+
+}  // namespace fdks::core

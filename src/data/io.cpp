@@ -1,0 +1,219 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fdks::data {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+Dataset read_libsvm(const std::string& path, index_t dim) {
+  std::ifstream in(path);
+  if (!in) fail("read_libsvm: cannot open", path);
+
+  std::vector<double> labels;
+  std::vector<std::vector<std::pair<index_t, double>>> rows;
+  index_t maxdim = dim;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double label;
+    if (!(ls >> label)) fail("read_libsvm: bad label line", path);
+    labels.push_back(label);
+    rows.emplace_back();
+    std::string tok;
+    while (ls >> tok) {
+      const size_t colon = tok.find(':');
+      if (colon == std::string::npos)
+        fail("read_libsvm: expected idx:value, got '" + tok + "' in", path);
+      const index_t idx = std::stol(tok.substr(0, colon));
+      const double val = std::stod(tok.substr(colon + 1));
+      if (idx < 1) fail("read_libsvm: indices are 1-based", path);
+      maxdim = std::max(maxdim, idx);
+      rows.back().emplace_back(idx - 1, val);
+    }
+  }
+  if (rows.empty()) fail("read_libsvm: empty file", path);
+  if (dim > 0 && maxdim > dim)
+    fail("read_libsvm: feature index exceeds requested dim in", path);
+
+  Dataset ds;
+  ds.name = path;
+  ds.points.resize(maxdim, static_cast<index_t>(rows.size()));
+  for (size_t j = 0; j < rows.size(); ++j)
+    for (const auto& [idx, val] : rows[j])
+      ds.points(idx, static_cast<index_t>(j)) = val;
+
+  ds.targets = labels;
+  // Map binary label sets onto {-1, +1} (LIBSVM files use 0/1, 1/2,
+  // -1/+1... conventions interchangeably).
+  const std::set<double> distinct(labels.begin(), labels.end());
+  if (distinct.size() == 2) {
+    const double lo = *distinct.begin();
+    ds.labels.resize(labels.size());
+    for (size_t j = 0; j < labels.size(); ++j)
+      ds.labels[j] = labels[j] == lo ? -1.0 : 1.0;
+  } else {
+    ds.labels = labels;
+  }
+  return ds;
+}
+
+void write_libsvm(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path);
+  if (!out) fail("write_libsvm: cannot open", path);
+  out.precision(17);
+  for (index_t j = 0; j < ds.n(); ++j) {
+    out << (ds.labeled() ? ds.labels[static_cast<size_t>(j)] : 0.0);
+    for (index_t i = 0; i < ds.dim(); ++i)
+      out << ' ' << (i + 1) << ':' << ds.points(i, j);
+    out << '\n';
+  }
+  if (!out) fail("write_libsvm: write failed", path);
+}
+
+void write_csv(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path);
+  if (!out) fail("write_csv: cannot open", path);
+  out.precision(17);
+  for (index_t j = 0; j < ds.n(); ++j) {
+    for (index_t i = 0; i < ds.dim(); ++i) {
+      if (i) out << ',';
+      out << ds.points(i, j);
+    }
+    if (ds.labeled()) out << ',' << ds.labels[static_cast<size_t>(j)];
+    out << '\n';
+  }
+  if (!out) fail("write_csv: write failed", path);
+}
+
+Dataset read_csv(const std::string& path, bool labeled) {
+  std::ifstream in(path);
+  if (!in) fail("read_csv: cannot open", path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.emplace_back();
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ','))
+      rows.back().push_back(std::stod(cell));
+    if (rows.back().size() != rows.front().size())
+      fail("read_csv: ragged rows in", path);
+  }
+  if (rows.empty()) fail("read_csv: empty file", path);
+  const index_t ncols = static_cast<index_t>(rows.front().size());
+  const index_t d = labeled ? ncols - 1 : ncols;
+  if (d < 1) fail("read_csv: no feature columns in", path);
+
+  Dataset ds;
+  ds.name = path;
+  ds.points.resize(d, static_cast<index_t>(rows.size()));
+  if (labeled) ds.labels.resize(rows.size());
+  for (size_t j = 0; j < rows.size(); ++j) {
+    for (index_t i = 0; i < d; ++i)
+      ds.points(i, static_cast<index_t>(j)) = rows[j][static_cast<size_t>(i)];
+    if (labeled) ds.labels[j] = rows[j][static_cast<size_t>(d)];
+  }
+  return ds;
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x46444b5344415431ull;  // "FDKSDAT1".
+
+template <class T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+void put_vec_d(std::ofstream& out, const std::vector<double>& v) {
+  put<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> get_vec_d(std::ifstream& in) {
+  const auto nv = get<uint64_t>(in);
+  std::vector<double> v(nv);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(nv * sizeof(double)));
+  return v;
+}
+
+void put_vec_i(std::ofstream& out, const std::vector<int>& v) {
+  put<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+std::vector<int> get_vec_i(std::ifstream& in) {
+  const auto nv = get<uint64_t>(in);
+  std::vector<int> v(nv);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(nv * sizeof(int)));
+  return v;
+}
+
+}  // namespace
+
+void write_binary(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("write_binary: cannot open", path);
+  put(out, kMagic);
+  put<int64_t>(out, ds.dim());
+  put<int64_t>(out, ds.n());
+  put<int64_t>(out, ds.intrinsic_dim);
+  out.write(reinterpret_cast<const char*>(ds.points.data()),
+            static_cast<std::streamsize>(ds.points.size() *
+                                         sizeof(double)));
+  put_vec_d(out, ds.labels);
+  put_vec_i(out, ds.classes);
+  put_vec_d(out, ds.targets);
+  const uint64_t name_len = ds.name.size();
+  put(out, name_len);
+  out.write(ds.name.data(), static_cast<std::streamsize>(name_len));
+  if (!out) fail("write_binary: write failed", path);
+}
+
+Dataset read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("read_binary: cannot open", path);
+  if (get<uint64_t>(in) != kMagic) fail("read_binary: bad magic in", path);
+  Dataset ds;
+  const auto d = get<int64_t>(in);
+  const auto n = get<int64_t>(in);
+  ds.intrinsic_dim = static_cast<index_t>(get<int64_t>(in));
+  ds.points.resize(static_cast<index_t>(d), static_cast<index_t>(n));
+  in.read(reinterpret_cast<char*>(ds.points.data()),
+          static_cast<std::streamsize>(ds.points.size() * sizeof(double)));
+  ds.labels = get_vec_d(in);
+  ds.classes = get_vec_i(in);
+  ds.targets = get_vec_d(in);
+  const auto name_len = get<uint64_t>(in);
+  ds.name.resize(name_len);
+  in.read(ds.name.data(), static_cast<std::streamsize>(name_len));
+  if (!in) fail("read_binary: truncated file", path);
+  return ds;
+}
+
+}  // namespace fdks::data

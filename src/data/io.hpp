@@ -1,0 +1,37 @@
+// Dataset I/O: LIBSVM text format (the distribution format of the
+// paper's real datasets — COVTYPE/SUSY/HIGGS/MNIST all ship as LIBSVM
+// files), a simple CSV reader/writer, and a fast binary container.
+// With these, the synthetic stand-ins can be swapped for the real data
+// whenever it is available, without touching any solver code.
+#pragma once
+
+#include <string>
+
+#include "data/generators.hpp"
+
+namespace fdks::data {
+
+/// Read a LIBSVM file: one sample per line, "label idx:value ..." with
+/// 1-based feature indices. dim 0 = infer from the maximum index.
+/// Labels are stored in .labels (mapped to +-1 when exactly two distinct
+/// values occur, kept verbatim otherwise) and also in .targets verbatim.
+Dataset read_libsvm(const std::string& path, index_t dim = 0);
+
+/// Write a dataset in LIBSVM format (dense: every feature emitted with
+/// its 1-based index). Labels come from .labels when present, else 0.
+void write_libsvm(const std::string& path, const Dataset& ds);
+
+/// Write points (and labels, when present) as CSV: one point per line,
+/// label last when labeled.
+void write_csv(const std::string& path, const Dataset& ds);
+
+/// Read CSV written by write_csv (or any numeric CSV); when
+/// `labeled` is true the last column is the +-1 label.
+Dataset read_csv(const std::string& path, bool labeled);
+
+/// Binary container (magic + dims + raw doubles), lossless round-trip
+/// of points/labels/classes/targets.
+void write_binary(const std::string& path, const Dataset& ds);
+Dataset read_binary(const std::string& path);
+
+}  // namespace fdks::data

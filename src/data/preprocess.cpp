@@ -1,0 +1,87 @@
+#include "data/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace fdks::data {
+
+void zscore_normalize(Matrix& points) {
+  const index_t d = points.rows();
+  const index_t n = points.cols();
+  if (n == 0) return;
+  for (index_t i = 0; i < d; ++i) {
+    double mean = 0.0;
+    for (index_t j = 0; j < n; ++j) mean += points(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const double t = points(i, j) - mean;
+      var += t * t;
+    }
+    var /= static_cast<double>(n);
+    const double scale = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+    for (index_t j = 0; j < n; ++j)
+      points(i, j) = (points(i, j) - mean) * scale;
+  }
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& ds,
+                                             double test_fraction,
+                                             uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("train_test_split: fraction in (0,1)");
+  const index_t n = ds.n();
+  const index_t ntest = std::max<index_t>(
+      1, static_cast<index_t>(std::floor(test_fraction * double(n))));
+  const index_t ntrain = n - ntest;
+  if (ntrain < 1)
+    throw std::invalid_argument("train_test_split: no training points left");
+
+  std::vector<index_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  auto take = [&](index_t from, index_t count, const char* suffix) {
+    Dataset out;
+    out.name = ds.name + suffix;
+    out.intrinsic_dim = ds.intrinsic_dim;
+    out.points.resize(ds.dim(), count);
+    if (ds.labeled()) out.labels.resize(static_cast<size_t>(count));
+    if (ds.multiclass()) out.classes.resize(static_cast<size_t>(count));
+    if (ds.has_targets()) out.targets.resize(static_cast<size_t>(count));
+    for (index_t j = 0; j < count; ++j) {
+      const index_t src = order[static_cast<size_t>(from + j)];
+      for (index_t i = 0; i < ds.dim(); ++i)
+        out.points(i, j) = ds.points(i, src);
+      if (ds.labeled())
+        out.labels[static_cast<size_t>(j)] =
+            ds.labels[static_cast<size_t>(src)];
+      if (ds.multiclass())
+        out.classes[static_cast<size_t>(j)] =
+            ds.classes[static_cast<size_t>(src)];
+      if (ds.has_targets())
+        out.targets[static_cast<size_t>(j)] =
+            ds.targets[static_cast<size_t>(src)];
+    }
+    return out;
+  };
+  return {take(0, ntrain, "/train"), take(ntrain, ntest, "/test")};
+}
+
+double accuracy(std::span<const double> predictions,
+                std::span<const double> labels) {
+  if (predictions.size() != labels.size() || predictions.empty())
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double sign = predictions[i] >= 0.0 ? 1.0 : -1.0;
+    if (sign == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace fdks::data

@@ -1,0 +1,25 @@
+// Dataset preprocessing: normalization and train/test splitting.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "data/generators.hpp"
+
+namespace fdks::data {
+
+/// In-place per-coordinate z-score normalization (zero mean, unit
+/// variance; coordinates with zero variance are left centered).
+void zscore_normalize(Matrix& points);
+
+/// Split a dataset into train/test by a random permutation. test_fraction
+/// in (0, 1); deterministic in seed.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& ds,
+                                             double test_fraction,
+                                             uint64_t seed);
+
+/// Classification accuracy of predictions (sign agreement with labels).
+double accuracy(std::span<const double> predictions,
+                std::span<const double> labels);
+
+}  // namespace fdks::data

@@ -1,0 +1,153 @@
+#include "iterative/gmres.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "la/blas1.hpp"
+
+namespace fdks::iter {
+
+namespace {
+
+using la::axpy;
+using la::dot;
+using la::nrm2;
+using la::scal;
+
+double elapsed(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
+                  const GmresOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  GmresResult out;
+  out.x.assign(static_cast<size_t>(n), 0.0);
+
+  const double bnorm = nrm2(b);
+  if (bnorm == 0.0) {
+    out.converged = true;
+    out.relative_residual = 0.0;
+    return out;
+  }
+  const double target = std::max(opts.rtol * bnorm, opts.atol);
+
+  const int m = std::max(1, opts.restart);
+  // Arnoldi basis (m+1 vectors) and Hessenberg in compact storage.
+  std::vector<std::vector<double>> v(
+      static_cast<size_t>(m + 1),
+      std::vector<double>(static_cast<size_t>(n), 0.0));
+  std::vector<double> h(static_cast<size_t>((m + 1) * m), 0.0);
+  std::vector<double> cs(static_cast<size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<size_t>(m), 0.0);
+  std::vector<double> g(static_cast<size_t>(m + 1), 0.0);
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+
+  auto H = [&](int i, int j) -> double& {
+    return h[static_cast<size_t>(i + j * (m + 1))];
+  };
+
+  int total_it = 0;
+  double rnorm = bnorm;
+
+  while (total_it < opts.max_iters) {
+    // Residual r = b - A x (x = 0 on the first cycle keeps this exact).
+    a(out.x, w);
+    for (index_t i = 0; i < n; ++i)
+      v[0][static_cast<size_t>(i)] = b[static_cast<size_t>(i)] -
+                                     w[static_cast<size_t>(i)];
+    rnorm = nrm2(v[0]);
+    if (rnorm <= target) {
+      out.converged = true;
+      break;
+    }
+    scal(1.0 / rnorm, v[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = rnorm;
+
+    int k = 0;
+    for (; k < m && total_it < opts.max_iters; ++k, ++total_it) {
+      // Arnoldi step: w = A v_k, orthogonalize against the basis with
+      // MGS, then (optionally) run a second CGS-style refinement pass.
+      a(v[static_cast<size_t>(k)], w);
+      for (int i = 0; i <= k; ++i) {
+        const double hik = dot(v[static_cast<size_t>(i)], w);
+        H(i, k) = hik;
+        axpy(-hik, v[static_cast<size_t>(i)], w);
+      }
+      if (opts.cgs_refine) {
+        for (int i = 0; i <= k; ++i) {
+          const double corr = dot(v[static_cast<size_t>(i)], w);
+          H(i, k) += corr;
+          axpy(-corr, v[static_cast<size_t>(i)], w);
+        }
+      }
+      const double hk1 = nrm2(w);
+      H(k + 1, k) = hk1;
+      if (hk1 > 0.0) {
+        v[static_cast<size_t>(k + 1)] = w;
+        scal(1.0 / hk1, v[static_cast<size_t>(k + 1)]);
+      }
+
+      // Apply stored Givens rotations to the new column, then create the
+      // rotation eliminating H(k+1, k).
+      for (int i = 0; i < k; ++i) {
+        const double t1 = cs[static_cast<size_t>(i)] * H(i, k) +
+                          sn[static_cast<size_t>(i)] * H(i + 1, k);
+        const double t2 = -sn[static_cast<size_t>(i)] * H(i, k) +
+                          cs[static_cast<size_t>(i)] * H(i + 1, k);
+        H(i, k) = t1;
+        H(i + 1, k) = t2;
+      }
+      const double denom = std::hypot(H(k, k), H(k + 1, k));
+      if (denom == 0.0) {
+        cs[static_cast<size_t>(k)] = 1.0;
+        sn[static_cast<size_t>(k)] = 0.0;
+      } else {
+        cs[static_cast<size_t>(k)] = H(k, k) / denom;
+        sn[static_cast<size_t>(k)] = H(k + 1, k) / denom;
+      }
+      H(k, k) = denom;
+      H(k + 1, k) = 0.0;
+      const double gk = g[static_cast<size_t>(k)];
+      g[static_cast<size_t>(k)] = cs[static_cast<size_t>(k)] * gk;
+      g[static_cast<size_t>(k + 1)] = -sn[static_cast<size_t>(k)] * gk;
+
+      rnorm = std::abs(g[static_cast<size_t>(k + 1)]);
+      if (opts.record_history) {
+        out.residual_history.push_back(rnorm / bnorm);
+        out.time_history.push_back(elapsed(t0));
+      }
+      if (rnorm <= target || hk1 == 0.0) {
+        ++k;
+        ++total_it;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangular H and update x += V y.
+    std::vector<double> y(static_cast<size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double s = g[static_cast<size_t>(i)];
+      for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[static_cast<size_t>(j)];
+      y[static_cast<size_t>(i)] = s / H(i, i);
+    }
+    for (int i = 0; i < k; ++i)
+      axpy(y[static_cast<size_t>(i)], v[static_cast<size_t>(i)], out.x);
+
+    if (rnorm <= target) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.iterations = total_it;
+  out.relative_residual = rnorm / bnorm;
+  if (rnorm <= target) out.converged = true;
+  return out;
+}
+
+}  // namespace fdks::iter

@@ -1,0 +1,115 @@
+#include "kernel/gsks.hpp"
+
+#include <vector>
+
+#include "la/gemm.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fdks::kernel {
+
+namespace {
+
+// Tile sizes: the Gram tile (kTm x kTn doubles = 32 KiB) plus the two
+// packed point panels stay L2-resident for the dimensions the paper
+// sweeps (d <= 260).
+constexpr index_t kTm = 64;
+constexpr index_t kTn = 64;
+
+// Pack points X(:, idx[i0..i0+m)) as an m-by-d row-panel so the Gram
+// tile is one plain gemm_raw (no transposes).
+void pack_points_rowmajor(const Matrix& x, std::span<const index_t> idx,
+                          index_t i0, index_t m, double* dst) {
+  const index_t d = x.rows();
+  for (index_t k = 0; k < d; ++k)
+    for (index_t i = 0; i < m; ++i)
+      dst[i + k * m] = x(k, idx[i0 + i]);
+}
+
+// Pack points X(:, idx[j0..j0+n)) as a d-by-n column panel.
+void pack_points_colmajor(const Matrix& x, std::span<const index_t> idx,
+                          index_t j0, index_t n, double* dst) {
+  const index_t d = x.rows();
+  for (index_t j = 0; j < n; ++j) {
+    const double* src = x.col(idx[j0 + j]);
+    for (index_t k = 0; k < d; ++k) dst[k + j * d] = src[k];
+  }
+}
+
+// One fused row-stripe: for rows [i0, i0+mi) of the logical block,
+// sweep all column tiles, evaluate the kernel on the Gram tile, and
+// reduce into y (and never store the block).
+void fused_row_stripe(const KernelMatrix& km, std::span<const index_t> rows,
+                      std::span<const index_t> cols,
+                      std::span<const double> u, std::span<double> y,
+                      double alpha, index_t i0, index_t mi) {
+  const Matrix& x = km.points();
+  const index_t d = x.rows();
+  const index_t n = static_cast<index_t>(cols.size());
+  const Kernel& k = km.kernel();
+
+  std::vector<double> arow(static_cast<size_t>(kTm * d));
+  std::vector<double> bcol(static_cast<size_t>(d * kTn));
+  std::vector<double> gram(static_cast<size_t>(kTm * kTn));
+  std::vector<double> acc(static_cast<size_t>(kTm));
+
+  pack_points_rowmajor(x, rows, i0, mi, arow.data());
+  for (index_t i = 0; i < mi; ++i) acc[static_cast<size_t>(i)] = 0.0;
+
+  for (index_t j0 = 0; j0 < n; j0 += kTn) {
+    const index_t nj = std::min(kTn, n - j0);
+    pack_points_colmajor(x, cols, j0, nj, bcol.data());
+    // Gram tile G = Xr^T Xc (mi x nj, rank-d update).
+    la::gemm_raw(mi, nj, d, 1.0, arow.data(), mi, bcol.data(), d, 0.0,
+                 gram.data(), kTm);
+    // Fused kernel evaluation + reduction against u, tile still hot.
+    for (index_t j = 0; j < nj; ++j) {
+      const double uj = u[j0 + j];
+      if (uj == 0.0) continue;
+      const double nj2 = km.sqnorm(cols[j0 + j]);
+      const double* gcol = gram.data() + j * kTm;
+      for (index_t i = 0; i < mi; ++i) {
+        const double kij = k.eval_gram(gcol[i], km.sqnorm(rows[i0 + i]), nj2);
+        acc[static_cast<size_t>(i)] += kij * uj;
+      }
+    }
+  }
+  for (index_t i = 0; i < mi; ++i) y[i0 + i] += alpha * acc[static_cast<size_t>(i)];
+}
+
+}  // namespace
+
+void gsks_apply(const KernelMatrix& km, std::span<const index_t> rows,
+                std::span<const index_t> cols, std::span<const double> u,
+                std::span<double> y, double alpha) {
+  const index_t m = static_cast<index_t>(rows.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (index_t i0 = 0; i0 < m; i0 += kTm) {
+    const index_t mi = std::min(kTm, m - i0);
+    fused_row_stripe(km, rows, cols, u, y, alpha, i0, mi);
+  }
+}
+
+void gsks_apply_trans(const KernelMatrix& km, std::span<const index_t> rows,
+                      std::span<const index_t> cols,
+                      std::span<const double> u, std::span<double> y,
+                      double alpha) {
+  // K(rows, cols)^T = K(cols, rows) by kernel symmetry.
+  gsks_apply(km, cols, rows, u, y, alpha);
+}
+
+void gsks_apply_block(const KernelMatrix& km, std::span<const index_t> rows,
+                      std::span<const index_t> cols, const Matrix& u,
+                      Matrix& y, double alpha) {
+  for (index_t j = 0; j < u.cols(); ++j) {
+    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
+    std::span<double> yc(y.col(j), static_cast<size_t>(y.rows()));
+    gsks_apply(km, rows, cols, uc, yc, alpha);
+  }
+}
+
+}  // namespace fdks::kernel

@@ -1,0 +1,19 @@
+#include "kernel/kernels.hpp"
+
+namespace fdks::kernel {
+
+std::string Kernel::name() const {
+  switch (type) {
+    case KernelType::Gaussian:
+      return "gaussian(h=" + std::to_string(bandwidth) + ")";
+    case KernelType::Laplacian:
+      return "laplacian(h=" + std::to_string(bandwidth) + ")";
+    case KernelType::Matern32:
+      return "matern32(h=" + std::to_string(bandwidth) + ")";
+    case KernelType::Polynomial:
+      return "polynomial(p=" + std::to_string(degree) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace fdks::kernel

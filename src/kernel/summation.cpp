@@ -1,0 +1,94 @@
+#include "kernel/summation.hpp"
+
+#include <stdexcept>
+
+#include "la/gemm.hpp"
+
+namespace fdks::kernel {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::StoredGemv:
+      return "GEMV";
+    case Scheme::ReevalGemm:
+      return "GEMM";
+    case Scheme::Gsks:
+      return "GSKS";
+  }
+  return "?";
+}
+
+KernelBlockOp::KernelBlockOp(const KernelMatrix* km,
+                             std::vector<index_t> rows,
+                             std::vector<index_t> cols, Scheme scheme)
+    : km_(km), rows_(std::move(rows)), cols_(std::move(cols)),
+      scheme_(scheme) {
+  if (scheme_ == Scheme::StoredGemv) stored_ = km_->block(rows_, cols_);
+}
+
+void KernelBlockOp::apply(std::span<const double> u, std::span<double> y,
+                          double alpha, double beta) const {
+  if (static_cast<index_t>(u.size()) != cols() ||
+      static_cast<index_t>(y.size()) != rows())
+    throw std::invalid_argument("KernelBlockOp::apply: size mismatch");
+  switch (scheme_) {
+    case Scheme::StoredGemv:
+      la::gemv(la::Trans::No, alpha, stored_, u, beta, y);
+      return;
+    case Scheme::ReevalGemm: {
+      const Matrix block = km_->block(rows_, cols_);
+      la::gemv(la::Trans::No, alpha, block, u, beta, y);
+      return;
+    }
+    case Scheme::Gsks: {
+      if (beta != 1.0)
+        for (auto& v : y) v = (beta == 0.0) ? 0.0 : beta * v;
+      gsks_apply(*km_, rows_, cols_, u, y, alpha);
+      return;
+    }
+  }
+}
+
+void KernelBlockOp::apply_trans(std::span<const double> u,
+                                std::span<double> y, double alpha,
+                                double beta) const {
+  if (static_cast<index_t>(u.size()) != rows() ||
+      static_cast<index_t>(y.size()) != cols())
+    throw std::invalid_argument("KernelBlockOp::apply_trans: size mismatch");
+  switch (scheme_) {
+    case Scheme::StoredGemv:
+      la::gemv(la::Trans::Yes, alpha, stored_, u, beta, y);
+      return;
+    case Scheme::ReevalGemm: {
+      const Matrix block = km_->block(rows_, cols_);
+      la::gemv(la::Trans::Yes, alpha, block, u, beta, y);
+      return;
+    }
+    case Scheme::Gsks: {
+      if (beta != 1.0)
+        for (auto& v : y) v = (beta == 0.0) ? 0.0 : beta * v;
+      gsks_apply_trans(*km_, rows_, cols_, u, y, alpha);
+      return;
+    }
+  }
+}
+
+Matrix KernelBlockOp::apply_block(const Matrix& u) const {
+  if (u.rows() != cols())
+    throw std::invalid_argument("KernelBlockOp::apply_block: size mismatch");
+  Matrix y(rows(), u.cols());
+  for (index_t j = 0; j < u.cols(); ++j) {
+    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
+    std::span<double> yc(y.col(j), static_cast<size_t>(y.rows()));
+    apply(uc, yc, 1.0, 0.0);
+  }
+  return y;
+}
+
+Matrix KernelBlockOp::to_dense() const { return km_->block(rows_, cols_); }
+
+size_t KernelBlockOp::stored_bytes() const {
+  return static_cast<size_t>(stored_.size()) * sizeof(double);
+}
+
+}  // namespace fdks::kernel

@@ -1,0 +1,106 @@
+#include "knn/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fdks::knn {
+
+namespace {
+
+// A bounded max-heap of (dist2, id) pairs: keeps the k smallest seen.
+class NeighborHeap {
+ public:
+  explicit NeighborHeap(index_t k) : k_(k) { heap_.reserve(static_cast<size_t>(k)); }
+
+  double worst() const {
+    return heap_.size() < static_cast<size_t>(k_)
+               ? std::numeric_limits<double>::infinity()
+               : heap_.front().first;
+  }
+
+  void push(double d2, index_t id) {
+    if (heap_.size() < static_cast<size_t>(k_)) {
+      heap_.emplace_back(d2, id);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (d2 < heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {d2, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  // Extract ascending by (distance, id).
+  void extract(index_t* ids, double* d2) {
+    std::sort(heap_.begin(), heap_.end());
+    for (size_t j = 0; j < heap_.size(); ++j) {
+      d2[j] = heap_[j].first;
+      ids[j] = heap_[j].second;
+    }
+  }
+
+ private:
+  index_t k_;
+  std::vector<std::pair<double, index_t>> heap_;
+};
+
+}  // namespace
+
+KnnResult exact_knn_subset(const Matrix& points,
+                           std::span<const index_t> queries, index_t k) {
+  const index_t n = points.cols();
+  const index_t d = points.rows();
+  const index_t nq = static_cast<index_t>(queries.size());
+  if (n < 2) throw std::invalid_argument("exact_knn: need at least 2 points");
+  k = std::min(k, n - 1);
+
+  std::vector<double> sq(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const double* col = points.col(j);
+    double s = 0.0;
+    for (index_t t = 0; t < d; ++t) s += col[t] * col[t];
+    sq[static_cast<size_t>(j)] = s;
+  }
+
+  KnnResult out;
+  out.k = k;
+  out.n = nq;
+  out.ids.assign(static_cast<size_t>(k * nq), -1);
+  out.dist2.assign(static_cast<size_t>(k * nq),
+                   std::numeric_limits<double>::infinity());
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 16)
+#endif
+  for (index_t qi = 0; qi < nq; ++qi) {
+    const index_t q = queries[qi];
+    const double* xq = points.col(q);
+    NeighborHeap heap(k);
+    for (index_t r = 0; r < n; ++r) {
+      if (r == q) continue;
+      const double* xr = points.col(r);
+      double xy = 0.0;
+      for (index_t t = 0; t < d; ++t) xy += xq[t] * xr[t];
+      const double d2 = std::max(
+          0.0, sq[static_cast<size_t>(q)] + sq[static_cast<size_t>(r)] -
+                   2.0 * xy);
+      if (d2 < heap.worst()) heap.push(d2, r);
+    }
+    heap.extract(out.ids.data() + qi * k, out.dist2.data() + qi * k);
+  }
+  return out;
+}
+
+KnnResult exact_knn(const Matrix& points, index_t k) {
+  std::vector<index_t> all(static_cast<size_t>(points.cols()));
+  std::iota(all.begin(), all.end(), index_t{0});
+  return exact_knn_subset(points, all, k);
+}
+
+}  // namespace fdks::knn

@@ -1,0 +1,45 @@
+// Exact k-nearest-neighbour search.
+//
+// ASKIT samples the rows S' used in skeletonization from the kappa
+// nearest neighbours of a node's points (plus uniform samples); this
+// module provides the blocked exact search that feeds that sampler.
+// The blocking follows the same Gram-tile strategy as GSKS so distances
+// come from a rank-d update instead of a scalar loop.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fdks::knn {
+
+using la::Matrix;
+using la::index_t;
+
+struct KnnResult {
+  index_t k = 0;
+  index_t n = 0;
+  /// Neighbor ids, k-by-n column-major: neighbor j of point i is
+  /// ids[j + i*k], sorted by ascending distance. Self-matches excluded.
+  std::vector<index_t> ids;
+  /// Squared distances, same layout.
+  std::vector<double> dist2;
+
+  index_t id(index_t point, index_t j) const {
+    return ids[static_cast<size_t>(j + point * k)];
+  }
+  double d2(index_t point, index_t j) const {
+    return dist2[static_cast<size_t>(j + point * k)];
+  }
+};
+
+/// All-pairs exact kNN over the columns of points (d-by-N). k is clamped
+/// to N-1. Deterministic; ties broken by smaller index.
+KnnResult exact_knn(const Matrix& points, index_t k);
+
+/// kNN of a query subset against all points, excluding self matches.
+/// queries are column indices into points.
+KnnResult exact_knn_subset(const Matrix& points,
+                           std::span<const index_t> queries, index_t k);
+
+}  // namespace fdks::knn

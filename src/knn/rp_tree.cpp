@@ -1,0 +1,154 @@
+#include "knn/rp_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fdks::knn {
+
+namespace {
+
+// Recursively split idx[lo, hi) by the median of projections onto a
+// random Gaussian direction; record leaf ranges in `leaves`.
+void build_rp_tree(const Matrix& x, std::vector<index_t>& idx, index_t lo,
+                   index_t hi, index_t leaf_size, std::mt19937_64& rng,
+                   std::vector<std::pair<index_t, index_t>>& leaves,
+                   std::vector<double>& proj) {
+  if (hi - lo <= leaf_size) {
+    leaves.emplace_back(lo, hi);
+    return;
+  }
+  const index_t d = x.rows();
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> w(static_cast<size_t>(d));
+  for (auto& v : w) v = g(rng);
+  for (index_t p = lo; p < hi; ++p) {
+    const double* col = x.col(idx[static_cast<size_t>(p)]);
+    double s = 0.0;
+    for (index_t t = 0; t < d; ++t) s += w[static_cast<size_t>(t)] * col[t];
+    proj[static_cast<size_t>(p)] = s;
+  }
+  const index_t mid = lo + (hi - lo) / 2;
+  // Median split: nth_element over an order array keyed by projection
+  // (idx itself is permuted afterwards in one gather pass).
+  std::vector<index_t> order(static_cast<size_t>(hi - lo));
+  std::iota(order.begin(), order.end(), lo);
+  std::nth_element(order.begin(), order.begin() + (mid - lo), order.end(),
+                   [&](index_t a, index_t b) {
+                     return proj[static_cast<size_t>(a)] <
+                            proj[static_cast<size_t>(b)];
+                   });
+  std::vector<index_t> tmp(static_cast<size_t>(hi - lo));
+  for (index_t p = 0; p < hi - lo; ++p)
+    tmp[static_cast<size_t>(p)] =
+        idx[static_cast<size_t>(order[static_cast<size_t>(p)])];
+  std::copy(tmp.begin(), tmp.end(), idx.begin() + lo);
+
+  build_rp_tree(x, idx, lo, mid, leaf_size, rng, leaves, proj);
+  build_rp_tree(x, idx, mid, hi, leaf_size, rng, leaves, proj);
+}
+
+}  // namespace
+
+KnnResult approx_knn(const Matrix& points, index_t k, RpTreeConfig cfg) {
+  const index_t n = points.cols();
+  const index_t d = points.rows();
+  if (n < 2)
+    throw std::invalid_argument("approx_knn: need at least 2 points");
+  k = std::min(k, n - 1);
+
+  std::vector<double> sq(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const double* col = points.col(j);
+    double s = 0.0;
+    for (index_t t = 0; t < d; ++t) s += col[t] * col[t];
+    sq[static_cast<size_t>(j)] = s;
+  }
+
+  // Per-point best-k heaps, merged across trees.
+  struct Best {
+    std::vector<std::pair<double, index_t>> heap;  // max-heap of (d2, id).
+  };
+  std::vector<Best> best(static_cast<size_t>(n));
+
+  auto offer = [&](index_t q, index_t r) {
+    if (q == r) return;
+    const double* xq = points.col(q);
+    const double* xr = points.col(r);
+    double xy = 0.0;
+    for (index_t t = 0; t < d; ++t) xy += xq[t] * xr[t];
+    const double d2 = std::max(
+        0.0,
+        sq[static_cast<size_t>(q)] + sq[static_cast<size_t>(r)] - 2.0 * xy);
+    auto& h = best[static_cast<size_t>(q)].heap;
+    // Reject duplicates (same id offered by several trees).
+    for (const auto& e : h)
+      if (e.second == r) return;
+    if (static_cast<index_t>(h.size()) < k) {
+      h.emplace_back(d2, r);
+      std::push_heap(h.begin(), h.end());
+    } else if (d2 < h.front().first) {
+      std::pop_heap(h.begin(), h.end());
+      h.back() = {d2, r};
+      std::push_heap(h.begin(), h.end());
+    }
+  };
+
+  std::mt19937_64 seeder(cfg.seed);
+  for (index_t tree = 0; tree < cfg.num_trees; ++tree) {
+    std::mt19937_64 rng(seeder());
+    std::vector<index_t> idx(static_cast<size_t>(n));
+    std::iota(idx.begin(), idx.end(), index_t{0});
+    std::vector<std::pair<index_t, index_t>> leaves;
+    std::vector<double> proj(static_cast<size_t>(n));
+    build_rp_tree(points, idx, 0, n, std::max<index_t>(cfg.leaf_size, k + 1),
+                  rng, leaves, proj);
+    for (const auto& [lo, hi] : leaves)
+      for (index_t a = lo; a < hi; ++a)
+        for (index_t b = lo; b < hi; ++b)
+          offer(idx[static_cast<size_t>(a)], idx[static_cast<size_t>(b)]);
+  }
+
+  KnnResult out;
+  out.k = k;
+  out.n = n;
+  out.ids.assign(static_cast<size_t>(k * n), -1);
+  out.dist2.assign(static_cast<size_t>(k * n),
+                   std::numeric_limits<double>::infinity());
+  for (index_t q = 0; q < n; ++q) {
+    auto& h = best[static_cast<size_t>(q)].heap;
+    std::sort(h.begin(), h.end());
+    for (size_t j = 0; j < h.size(); ++j) {
+      out.ids[static_cast<size_t>(q * k) + j] = h[j].second;
+      out.dist2[static_cast<size_t>(q * k) + j] = h[j].first;
+    }
+  }
+  return out;
+}
+
+double knn_recall(const KnnResult& approx, const KnnResult& exact) {
+  if (approx.n != exact.n || approx.k != exact.k)
+    throw std::invalid_argument("knn_recall: shape mismatch");
+  size_t hits = 0;
+  for (index_t q = 0; q < exact.n; ++q) {
+    for (index_t j = 0; j < exact.k; ++j) {
+      const index_t truth = exact.id(q, j);
+      for (index_t jj = 0; jj < approx.k; ++jj) {
+        if (approx.id(q, jj) == truth) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return double(hits) / (double(exact.n) * double(exact.k));
+}
+
+}  // namespace fdks::knn

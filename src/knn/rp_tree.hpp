@@ -1,0 +1,32 @@
+// Approximate k-nearest-neighbour search with randomized projection
+// trees.
+//
+// Exact all-pairs kNN is O(N^2 d) — fine for validation, too slow for
+// the skeleton-sampling pass at bench scale. ASKIT itself uses
+// randomized projection forests for its neighbour pass; this module
+// implements that scheme: T random-projection trees with leaf size
+// `leaf_size`, candidates for a query are its co-leaf members across
+// all trees, and exact distances are computed only among candidates.
+// Recall improves with more trees; cost is O(T N (d log N + leaf_size d)).
+#pragma once
+
+#include "knn/knn.hpp"
+
+namespace fdks::knn {
+
+struct RpTreeConfig {
+  index_t num_trees = 4;
+  index_t leaf_size = 64;   ///< Candidate pool per tree.
+  uint64_t seed = 1234;
+};
+
+/// Approximate all-pairs kNN. Same result layout as exact_knn; ids may
+/// contain -1 (with +inf distance) if fewer than k candidates were seen
+/// (only possible for pathological configs).
+KnnResult approx_knn(const Matrix& points, index_t k, RpTreeConfig cfg = {});
+
+/// Fraction of true k-nearest neighbours recovered, averaged over
+/// queries (for tests and tuning).
+double knn_recall(const KnnResult& approx, const KnnResult& exact);
+
+}  // namespace fdks::knn

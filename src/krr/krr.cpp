@@ -1,0 +1,192 @@
+#include "krr/krr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/preprocess.hpp"
+
+namespace fdks::krr {
+
+KernelRidge::KernelRidge(const Dataset& train, KrrConfig cfg)
+    : cfg_(cfg), train_points_(train.points) {
+  if (!train.labeled())
+    throw std::invalid_argument("KernelRidge: training set has no labels");
+
+  const kernel::Kernel k = kernel::Kernel::gaussian(cfg_.bandwidth);
+  askit::HMatrix h(train_points_, k, cfg_.askit);
+
+  if (cfg_.use_hybrid) {
+    core::HybridOptions ho;
+    ho.direct.lambda = cfg_.lambda;
+    ho.gmres = cfg_.gmres;
+    core::HybridSolver solver(h, ho);
+    weights_ = solver.solve(train.labels);
+    stable_ = solver.stability().stable();
+    factor_seconds_ = solver.factor_seconds();
+  } else {
+    core::SolverOptions so;
+    so.lambda = cfg_.lambda;
+    core::FastDirectSolver solver(h, so);
+    weights_ = solver.solve(train.labels);
+    stable_ = solver.stability().stable();
+    factor_seconds_ = solver.factor_seconds();
+  }
+  train_residual_ = h.relative_residual(weights_, train.labels, cfg_.lambda);
+}
+
+double KernelRidge::decision(const double* x) const {
+  const kernel::Kernel k = kernel::Kernel::gaussian(cfg_.bandwidth);
+  const index_t n = train_points_.cols();
+  const index_t d = train_points_.rows();
+  double s = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    s += k.eval(x, train_points_.col(j), d) *
+         weights_[static_cast<size_t>(j)];
+  return s;
+}
+
+std::vector<double> KernelRidge::decision(const Matrix& test_points) const {
+  if (test_points.rows() != train_points_.rows())
+    throw std::invalid_argument("KernelRidge::decision: dimension mismatch");
+  std::vector<double> out(static_cast<size_t>(test_points.cols()));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t j = 0; j < test_points.cols(); ++j)
+    out[static_cast<size_t>(j)] = decision(test_points.col(j));
+  return out;
+}
+
+double KernelRidge::accuracy(const Dataset& test) const {
+  if (!test.labeled())
+    throw std::invalid_argument("KernelRidge::accuracy: no labels");
+  const std::vector<double> dec = decision(test.points);
+  return data::accuracy(dec, test.labels);
+}
+
+KernelRidgeMulticlass::KernelRidgeMulticlass(const Dataset& train,
+                                             int num_classes, KrrConfig cfg)
+    : cfg_(cfg), num_classes_(num_classes), train_points_(train.points) {
+  if (!train.multiclass())
+    throw std::invalid_argument(
+        "KernelRidgeMulticlass: training set has no class labels");
+  const index_t n = train.n();
+  for (int c : train.classes)
+    if (c < 0 || c >= num_classes)
+      throw std::invalid_argument(
+          "KernelRidgeMulticlass: class id out of range");
+
+  const kernel::Kernel k = kernel::Kernel::gaussian(cfg_.bandwidth);
+  askit::HMatrix h(train_points_, k, cfg_.askit);
+  core::SolverOptions so;
+  so.lambda = cfg_.lambda;
+  core::FastDirectSolver solver(h, so);
+  factor_seconds_ = solver.factor_seconds();
+
+  // One-vs-all right-hand sides, solved as a single block through the
+  // shared factorization.
+  Matrix rhs(n, num_classes);
+  for (index_t j = 0; j < n; ++j)
+    for (int c = 0; c < num_classes; ++c)
+      rhs(j, c) = (train.classes[static_cast<size_t>(j)] == c) ? 1.0 : -1.0;
+  weights_ = solver.solve(rhs);
+}
+
+int KernelRidgeMulticlass::predict_class(const double* x) const {
+  const kernel::Kernel k = kernel::Kernel::gaussian(cfg_.bandwidth);
+  const index_t n = train_points_.cols();
+  const index_t d = train_points_.rows();
+  std::vector<double> score(static_cast<size_t>(num_classes_), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const double kij = k.eval(x, train_points_.col(j), d);
+    for (int c = 0; c < num_classes_; ++c)
+      score[static_cast<size_t>(c)] += kij * weights_(j, c);
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c)
+    if (score[static_cast<size_t>(c)] > score[static_cast<size_t>(best)])
+      best = c;
+  return best;
+}
+
+std::vector<int> KernelRidgeMulticlass::predict(
+    const Matrix& test_points) const {
+  if (test_points.rows() != train_points_.rows())
+    throw std::invalid_argument(
+        "KernelRidgeMulticlass::predict: dimension mismatch");
+  std::vector<int> out(static_cast<size_t>(test_points.cols()));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t j = 0; j < test_points.cols(); ++j)
+    out[static_cast<size_t>(j)] = predict_class(test_points.col(j));
+  return out;
+}
+
+double KernelRidgeMulticlass::accuracy(const Dataset& test) const {
+  if (!test.multiclass())
+    throw std::invalid_argument(
+        "KernelRidgeMulticlass::accuracy: no class labels");
+  const std::vector<int> pred = predict(test.points);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == test.classes[i]) ++correct;
+  return double(correct) / double(pred.size());
+}
+
+Dataset KernelRidgeRegressor::as_labeled(const Dataset& train) {
+  if (!train.has_targets())
+    throw std::invalid_argument(
+        "KernelRidgeRegressor: training set has no targets");
+  Dataset out = train;
+  out.labels = train.targets;  // KernelRidge solves against any RHS.
+  return out;
+}
+
+KernelRidgeRegressor::KernelRidgeRegressor(const Dataset& train,
+                                           KrrConfig cfg)
+    : model_(as_labeled(train), cfg) {}
+
+std::vector<double> KernelRidgeRegressor::predict(
+    const Matrix& test_points) const {
+  return model_.decision(test_points);
+}
+
+double KernelRidgeRegressor::rmse(const Dataset& test) const {
+  if (!test.has_targets())
+    throw std::invalid_argument("KernelRidgeRegressor::rmse: no targets");
+  const std::vector<double> pred = predict(test.points);
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - test.targets[i];
+    s += e * e;
+  }
+  return std::sqrt(s / double(pred.size()));
+}
+
+CvResult cross_validate(const Dataset& ds, std::span<const double> bandwidths,
+                        std::span<const double> lambdas, KrrConfig base,
+                        double holdout_fraction, uint64_t seed) {
+  auto [train, holdout] = data::train_test_split(ds, holdout_fraction, seed);
+  CvResult out;
+  out.best.accuracy = -1.0;
+  for (double h : bandwidths) {
+    for (double lam : lambdas) {
+      KrrConfig cfg = base;
+      cfg.bandwidth = h;
+      cfg.lambda = lam;
+      KernelRidge model(train, cfg);
+      CvCell cell;
+      cell.bandwidth = h;
+      cell.lambda = lam;
+      cell.accuracy = model.accuracy(holdout);
+      cell.train_residual = model.train_residual();
+      cell.factor_seconds = model.factor_seconds();
+      out.cells.push_back(cell);
+      if (cell.accuracy > out.best.accuracy) out.best = cell;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdks::krr

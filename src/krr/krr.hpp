@@ -1,0 +1,137 @@
+// Kernel ridge regression for binary classification (the paper's §IV
+// learning task).
+//
+// Training solves w = (lambda I + K~)^-1 u with the fast direct solver
+// (or the hybrid solver when the HMatrix is level-restricted); prediction
+// for a point x not in X is sign(K(x, X) w). Holdout cross-validation
+// over (h, lambda) reproduces the parameter-selection loop whose cost
+// motivates fast refactorization.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "askit/hmatrix.hpp"
+#include "core/hybrid.hpp"
+#include "core/solver.hpp"
+#include "data/generators.hpp"
+
+namespace fdks::krr {
+
+using data::Dataset;
+using la::Matrix;
+using la::index_t;
+
+struct KrrConfig {
+  double bandwidth = 1.0;  ///< Gaussian kernel h.
+  double lambda = 1.0;     ///< Ridge regularization.
+  askit::AskitConfig askit;
+  bool use_hybrid = false;  ///< Solve with HybridSolver instead of the
+                            ///< full direct factorization.
+  iter::GmresOptions gmres;  ///< Hybrid-only.
+};
+
+class KernelRidge {
+ public:
+  /// Train on a labeled dataset. Builds the hierarchical representation
+  /// and factorizes once; the model owns everything it needs to predict.
+  KernelRidge(const Dataset& train, KrrConfig cfg);
+
+  /// Decision value K(x, X) w for one point (column vector, dim() rows).
+  double decision(const double* x) const;
+
+  /// Decision values for a batch of test points (d-by-M).
+  std::vector<double> decision(const Matrix& test_points) const;
+
+  /// Classification accuracy against +-1 labels.
+  double accuracy(const Dataset& test) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  const KrrConfig& config() const { return cfg_; }
+  double train_residual() const { return train_residual_; }
+  double factor_seconds() const { return factor_seconds_; }
+  bool stable() const { return stable_; }
+
+ private:
+  KrrConfig cfg_;
+  Matrix train_points_;  ///< d-by-N copy (original order).
+  std::vector<double> weights_;
+  double train_residual_ = 0.0;
+  double factor_seconds_ = 0.0;
+  bool stable_ = true;
+};
+
+/// One-vs-all multi-class kernel ridge classifier (the paper performs
+/// one-vs-all on MNIST digits). All C binary problems share a single
+/// hierarchical factorization: training is ONE factorize plus a C-column
+/// block solve, which is exactly the amortization the fast direct solver
+/// buys over iterative methods.
+class KernelRidgeMulticlass {
+ public:
+  /// train.classes() must hold labels in [0, num_classes).
+  KernelRidgeMulticlass(const Dataset& train, int num_classes,
+                        KrrConfig cfg);
+
+  int num_classes() const { return num_classes_; }
+
+  /// argmax_c K(x, X) w_c for one point.
+  int predict_class(const double* x) const;
+
+  /// Predicted class per column of test_points.
+  std::vector<int> predict(const Matrix& test_points) const;
+
+  /// Multi-class accuracy against test.classes.
+  double accuracy(const Dataset& test) const;
+
+  double factor_seconds() const { return factor_seconds_; }
+
+ private:
+  KrrConfig cfg_;
+  int num_classes_ = 0;
+  Matrix train_points_;
+  Matrix weights_;  ///< N x C, one one-vs-all weight vector per class.
+  double factor_seconds_ = 0.0;
+};
+
+/// Kernel ridge *regression* on continuous targets (the same linear
+/// algebra; predictions are the decision values themselves).
+class KernelRidgeRegressor {
+ public:
+  /// train.targets() must be non-empty.
+  KernelRidgeRegressor(const Dataset& train, KrrConfig cfg);
+
+  std::vector<double> predict(const Matrix& test_points) const;
+
+  /// Root-mean-square error on a test set with targets.
+  double rmse(const Dataset& test) const;
+
+  const std::vector<double>& weights() const { return model_.weights(); }
+  double train_residual() const { return model_.train_residual(); }
+
+ private:
+  KernelRidge model_;
+
+  static Dataset as_labeled(const Dataset& train);
+};
+
+/// One cross-validation cell: parameters and holdout accuracy.
+struct CvCell {
+  double bandwidth = 0.0;
+  double lambda = 0.0;
+  double accuracy = 0.0;
+  double train_residual = 0.0;
+  double factor_seconds = 0.0;
+};
+
+struct CvResult {
+  std::vector<CvCell> cells;  ///< Every grid point evaluated.
+  CvCell best;                ///< Highest holdout accuracy.
+};
+
+/// Grid cross-validation over (bandwidths x lambdas) with a holdout
+/// split: the parameter-sweep workload of the paper's training phase.
+CvResult cross_validate(const Dataset& ds, std::span<const double> bandwidths,
+                        std::span<const double> lambdas, KrrConfig base,
+                        double holdout_fraction = 0.2, uint64_t seed = 99);
+
+}  // namespace fdks::krr

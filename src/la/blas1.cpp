@@ -1,0 +1,69 @@
+#include "la/blas1.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fdks::la {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(std::span<const double> x) {
+  // Two-pass scaled norm: cheap and immune to overflow/underflow for the
+  // magnitudes seen in kernel methods.
+  double amax = 0.0;
+  for (double v : x) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0) return 0.0;
+  double s = 0.0;
+  for (double v : x) {
+    const double t = v / amax;
+    s += t * t;
+  }
+  return amax * std::sqrt(s);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+index_t iamax(std::span<const double> x) {
+  if (x.empty()) return -1;
+  index_t best = 0;
+  double bestval = std::abs(x[0]);
+  for (size_t i = 1; i < x.size(); ++i) {
+    const double v = std::abs(x[i]);
+    if (v > bestval) {
+      bestval = v;
+      best = static_cast<index_t>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<double> vsub(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vsub: size mismatch");
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> vadd(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vadd: size mismatch");
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace fdks::la

@@ -1,0 +1,37 @@
+// Level-1 BLAS-style vector kernels.
+//
+// Vectors are std::vector<double> or (pointer, n) spans; these are the
+// primitives the iterative solvers and orthogonalization loops build on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fdks::la {
+
+/// Dot product sum_i x[i]*y[i].
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ||x||_2 (with scaling to avoid spurious overflow).
+double nrm2(std::span<const double> x);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// Index of the entry with the largest absolute value; -1 when empty.
+index_t iamax(std::span<const double> x);
+
+/// out = a - b elementwise.
+std::vector<double> vsub(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// out = a + b elementwise.
+std::vector<double> vadd(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace fdks::la

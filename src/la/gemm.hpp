@@ -1,0 +1,47 @@
+// Level-2/3 BLAS-style matrix kernels: GEMV and a blocked, packed GEMM.
+//
+// This file substitutes for the MKL DGEMM/DGEMV calls in the paper. The
+// GEMM is cache-blocked with operand packing (a miniature BLIS-style
+// loop nest) and parallelized across column panels with OpenMP; the goal
+// is to keep the factorization compute-bound, not to chase peak FLOPS.
+#pragma once
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace fdks::la {
+
+enum class Trans { No, Yes };
+
+/// y = beta*y + alpha * op(A) * x, with op controlled by trans.
+void gemv(Trans trans, double alpha, const Matrix& a,
+          std::span<const double> x, double beta, std::span<double> y);
+
+/// Raw-pointer GEMV on a column-major block: y = beta*y + alpha*A*x with
+/// A m-by-n, leading dimension lda. Used by the kernel-summation tiles.
+void gemv_raw(index_t m, index_t n, double alpha, const double* a,
+              index_t lda, const double* x, double beta, double* y);
+
+/// C = beta*C + alpha * op(A) * op(B). Shapes are validated.
+void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
+          double beta, Matrix& c);
+
+/// Convenience: C = op(A)*op(B).
+Matrix matmul(Trans ta, Trans tb, const Matrix& a, const Matrix& b);
+
+/// Convenience: C = A*B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Triple-loop reference GEMM for correctness tests; same semantics as
+/// gemm() but with no blocking or parallelism.
+void gemm_ref(Trans ta, Trans tb, double alpha, const Matrix& a,
+              const Matrix& b, double beta, Matrix& c);
+
+/// Raw-pointer GEMM on column-major blocks (no transposes):
+/// C(m,n) = beta*C + alpha*A(m,k)*B(k,n). Used inside tiled kernels.
+void gemm_raw(index_t m, index_t n, index_t k, double alpha, const double* a,
+              index_t lda, const double* b, index_t ldb, double beta,
+              double* c, index_t ldc);
+
+}  // namespace fdks::la

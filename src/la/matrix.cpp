@@ -1,0 +1,127 @@
+#include "la/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdks::la {
+
+Matrix::Matrix(index_t m, index_t n)
+    : rows_(m), cols_(n), data_(static_cast<size_t>(m * n), 0.0) {
+  assert(m >= 0 && n >= 0);
+}
+
+Matrix::Matrix(index_t m, index_t n, double fill_value)
+    : rows_(m), cols_(n), data_(static_cast<size_t>(m * n), fill_value) {
+  assert(m >= 0 && n >= 0);
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Matrix::resize(index_t m, index_t n) {
+  rows_ = m;
+  cols_ = n;
+  data_.assign(static_cast<size_t>(m * n), 0.0);
+}
+
+Matrix Matrix::block(index_t r0, index_t c0, index_t mr, index_t nc) const {
+  assert(r0 >= 0 && c0 >= 0 && r0 + mr <= rows_ && c0 + nc <= cols_);
+  Matrix out(mr, nc);
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < mr; ++i) out(i, j) = (*this)(r0 + i, c0 + j);
+  return out;
+}
+
+void Matrix::set_block(index_t r0, index_t c0, const Matrix& src) {
+  assert(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i)
+      (*this)(r0 + i, c0 + j) = src(i, j);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::select_cols(std::span<const index_t> idx) const {
+  Matrix out(rows_, static_cast<index_t>(idx.size()));
+  for (index_t j = 0; j < out.cols(); ++j) {
+    assert(idx[j] >= 0 && idx[j] < cols_);
+    for (index_t i = 0; i < rows_; ++i) out(i, j) = (*this)(i, idx[j]);
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const index_t> idx) const {
+  Matrix out(static_cast<index_t>(idx.size()), cols_);
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t i = 0; i < out.rows(); ++i) {
+      assert(idx[i] >= 0 && idx[i] < rows_);
+      out(i, j) = (*this)(idx[i], j);
+    }
+  return out;
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix out(n, n);
+  for (index_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::random_uniform(index_t m, index_t n, std::mt19937_64& rng,
+                              double lo, double hi) {
+  Matrix out(m, n);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) out(i, j) = dist(rng);
+  return out;
+}
+
+Matrix Matrix::random_gaussian(index_t m, index_t n, std::mt19937_64& rng) {
+  Matrix out(m, n);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) out(i, j) = dist(rng);
+  return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << rows_ << "x" << cols_ << " [\n";
+  for (index_t i = 0; i < rows_; ++i) {
+    os << "  ";
+    for (index_t j = 0; j < cols_; ++j) os << (*this)(i, j) << " ";
+    os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+Matrix add_scaled(const Matrix& a, double alpha, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("add_scaled: shape mismatch");
+  Matrix out(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      out(i, j) = a(i, j) + alpha * b(i, j);
+  return out;
+}
+
+}  // namespace fdks::la

@@ -1,0 +1,103 @@
+// Dense column-major matrix container and lightweight views.
+//
+// This is the storage substrate for the whole library. The layout is
+// LAPACK-convention column-major: element (i,j) of an m-by-n matrix with
+// leading dimension ld lives at data[i + j*ld]. All factorization and
+// kernel-summation routines in fdks::la operate on this type or on raw
+// (pointer, ld) views of it.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fdks::la {
+
+using index_t = std::ptrdiff_t;
+
+/// Dense column-major matrix of doubles.
+///
+/// Invariants: rows() >= 0, cols() >= 0, ld() >= max(1, rows()),
+/// data owns rows()*cols() contiguous doubles (ld == rows for owned
+/// storage; strided views are expressed with raw pointers instead).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Uninitialized m-by-n matrix (values are zero-initialized; dense
+  /// numerical code is too easy to get wrong with garbage init).
+  Matrix(index_t m, index_t n);
+
+  /// m-by-n matrix filled with a constant.
+  Matrix(index_t m, index_t n, double fill);
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return rows_; }
+  index_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  double& operator()(index_t i, index_t j) noexcept {
+    return data_[static_cast<size_t>(i + j * rows_)];
+  }
+  double operator()(index_t i, index_t j) const noexcept {
+    return data_[static_cast<size_t>(i + j * rows_)];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  /// Pointer to the top of column j.
+  double* col(index_t j) noexcept { return data() + j * rows_; }
+  const double* col(index_t j) const noexcept { return data() + j * rows_; }
+
+  /// Set every entry to a constant.
+  void fill(double v);
+
+  /// Reshape to m-by-n, discarding contents (zero-filled).
+  void resize(index_t m, index_t n);
+
+  /// Copy of the [r0, r0+mr) x [c0, c0+nc) submatrix.
+  Matrix block(index_t r0, index_t c0, index_t mr, index_t nc) const;
+
+  /// Write a matrix into the [r0, ...) x [c0, ...) submatrix.
+  void set_block(index_t r0, index_t c0, const Matrix& src);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Copy of selected columns, in the given order.
+  Matrix select_cols(std::span<const index_t> idx) const;
+
+  /// Copy of selected rows, in the given order.
+  Matrix select_rows(std::span<const index_t> idx) const;
+
+  // Named constructors -------------------------------------------------
+
+  static Matrix identity(index_t n);
+
+  /// Entries i.i.d. uniform on [lo, hi) from the given engine.
+  static Matrix random_uniform(index_t m, index_t n, std::mt19937_64& rng,
+                               double lo = -1.0, double hi = 1.0);
+
+  /// Entries i.i.d. standard normal from the given engine.
+  static Matrix random_gaussian(index_t m, index_t n, std::mt19937_64& rng);
+
+  /// Human-readable dump, for debugging and test failure messages.
+  std::string to_string(int precision = 4) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max |a(i,j) - b(i,j)|; matrices must have identical shape.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Elementwise a + alpha*b, shapes must match.
+Matrix add_scaled(const Matrix& a, double alpha, const Matrix& b);
+
+}  // namespace fdks::la

@@ -1,0 +1,68 @@
+#include "la/norms.hpp"
+
+#include <cmath>
+
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+
+namespace fdks::la {
+
+double norm_fro(const Matrix& a) {
+  double s = 0.0;
+  const double* d = a.data();
+  for (index_t i = 0; i < a.size(); ++i) s += d[i] * d[i];
+  return std::sqrt(s);
+}
+
+double norm_inf(const Matrix& a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double norm2_estimate(const Matrix& a, int iters, uint64_t seed) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(static_cast<size_t>(a.cols()));
+  for (auto& v : x) v = dist(rng);
+  std::vector<double> y(static_cast<size_t>(a.rows()));
+  double sigma = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const double xn = nrm2(x);
+    if (xn == 0.0) return 0.0;
+    scal(1.0 / xn, x);
+    gemv(Trans::No, 1.0, a, x, 0.0, y);
+    gemv(Trans::Yes, 1.0, a, y, 0.0, x);
+    sigma = std::sqrt(nrm2(x));
+  }
+  return sigma;
+}
+
+double norm2_estimate_op(index_t n,
+                         const std::function<void(std::span<const double>,
+                                                  std::span<double>)>& apply,
+                         int iters, uint64_t seed) {
+  if (n == 0) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (auto& v : x) v = dist(rng);
+  std::vector<double> y(static_cast<size_t>(n));
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const double xn = nrm2(x);
+    if (xn == 0.0) return 0.0;
+    scal(1.0 / xn, x);
+    apply(x, y);
+    lambda = dot(x, y);
+    std::swap(x, y);
+  }
+  return std::abs(lambda);
+}
+
+}  // namespace fdks::la

@@ -1,0 +1,31 @@
+// Matrix norms and spectral estimates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace fdks::la {
+
+/// Frobenius norm.
+double norm_fro(const Matrix& a);
+
+/// Max absolute row sum (infinity norm).
+double norm_inf(const Matrix& a);
+
+/// Largest singular value estimate by power iteration on A^T A.
+/// Deterministic given the seed; `iters` steps of normalized iteration.
+double norm2_estimate(const Matrix& a, int iters = 30, uint64_t seed = 7);
+
+/// Largest singular value estimate for an implicitly defined operator
+/// y = A x with A n-by-n symmetric positive (semi-)definite, via power
+/// iteration. Used to scale lambda = c * sigma_1(K~) as in Figure 5.
+double norm2_estimate_op(index_t n,
+                         const std::function<void(std::span<const double>,
+                                                  std::span<double>)>& apply,
+                         int iters = 30, uint64_t seed = 7);
+
+}  // namespace fdks::la

@@ -1,0 +1,118 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "la/gemm.hpp"
+
+namespace fdks::la {
+
+SvdResult svd_jacobi(const Matrix& a, bool want_vectors, int max_sweeps,
+                     double tol) {
+  // Work on W = A when m >= n, else on A^T, so columns are the "short"
+  // side; one-sided Jacobi orthogonalizes the columns of W.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.transposed() : a;
+  const index_t m = w.rows();
+  const index_t n = w.cols();
+
+  Matrix v;  // Accumulates right rotations when vectors are wanted.
+  if (want_vectors) v = Matrix::identity(n);
+
+  SvdResult out;
+  if (n == 0) return out;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = w.col(p);
+        const double* cq = w.col(q);
+        for (index_t i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq)) continue;
+        converged = false;
+        // Jacobi rotation zeroing the (p,q) entry of W^T W.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        double* wp = w.col(p);
+        double* wq = w.col(q);
+        for (index_t i = 0; i < m; ++i) {
+          const double vp = wp[i];
+          const double vq = wq[i];
+          wp[i] = c * vp - s * vq;
+          wq[i] = s * vp + c * vq;
+        }
+        if (want_vectors) {
+          double* vp2 = v.col(p);
+          double* vq2 = v.col(q);
+          for (index_t i = 0; i < n; ++i) {
+            const double t1 = vp2[i];
+            const double t2 = vq2[i];
+            vp2[i] = c * t1 - s * t2;
+            vq2[i] = s * t1 + c * t2;
+          }
+        }
+      }
+    }
+    out.sweeps = sweep + 1;
+    if (converged) break;
+  }
+
+  // Column norms of W are the singular values; sort descending.
+  std::vector<double> sig(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    double s2 = 0.0;
+    const double* col = w.col(j);
+    for (index_t i = 0; i < m; ++i) s2 += col[i] * col[i];
+    sig[static_cast<size_t>(j)] = std::sqrt(s2);
+  }
+  std::vector<index_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return sig[static_cast<size_t>(x)] > sig[static_cast<size_t>(y)];
+  });
+
+  out.sigma.resize(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    out.sigma[static_cast<size_t>(j)] = sig[static_cast<size_t>(order[j])];
+
+  if (want_vectors) {
+    Matrix uu(m, n), vv(n, n);
+    for (index_t j = 0; j < n; ++j) {
+      const index_t src = order[static_cast<size_t>(j)];
+      const double sj = sig[static_cast<size_t>(src)];
+      for (index_t i = 0; i < m; ++i)
+        uu(i, j) = (sj > 0.0) ? w(i, src) / sj : 0.0;
+      for (index_t i = 0; i < n; ++i) vv(i, j) = v(i, src);
+    }
+    if (!transposed) {
+      out.u = std::move(uu);
+      out.v = std::move(vv);
+    } else {
+      // A = (W)^T = V S U^T, so roles swap.
+      out.u = std::move(vv);
+      out.v = std::move(uu);
+    }
+  }
+  return out;
+}
+
+double cond2(const Matrix& a) {
+  const SvdResult s = svd_jacobi(a);
+  if (s.sigma.empty()) return 0.0;
+  const double smin = s.sigma.back();
+  if (smin == 0.0) return std::numeric_limits<double>::infinity();
+  return s.sigma.front() / smin;
+}
+
+}  // namespace fdks::la

@@ -1,0 +1,29 @@
+// One-sided Jacobi SVD.
+//
+// Small and robust rather than fast: the library uses it for condition
+// numbers (stability study of §III), spectral-decay diagnostics in tests,
+// and validating the rank-revealing behaviour of the pivoted QR.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fdks::la {
+
+struct SvdResult {
+  std::vector<double> sigma;  ///< Singular values, descending.
+  Matrix u;                   ///< m-by-k left vectors (if requested).
+  Matrix v;                   ///< n-by-k right vectors (if requested).
+  int sweeps = 0;             ///< Jacobi sweeps used.
+};
+
+/// Compute the SVD of A (any shape). When want_vectors is false, u/v are
+/// left empty and only singular values are returned.
+SvdResult svd_jacobi(const Matrix& a, bool want_vectors = false,
+                     int max_sweeps = 60, double tol = 1e-13);
+
+/// 2-norm condition number sigma_max / sigma_min (inf when singular).
+double cond2(const Matrix& a);
+
+}  // namespace fdks::la

@@ -1,0 +1,77 @@
+// Collectives built on the point-to-point layer. Linear (through-root)
+// algorithms: the rank counts here are small, and determinism of the
+// reduction order (ascending rank) matters more than log-depth fan-in
+// for reproducible numerics.
+#include <stdexcept>
+
+#include "mpisim/runtime.hpp"
+
+namespace fdks::mpisim {
+
+namespace {
+constexpr int kTagBcast = -201;
+constexpr int kTagReduce = -202;
+constexpr int kTagGather = -203;
+constexpr int kTagBarrier = -204;
+}  // namespace
+
+void Comm::bcast(std::vector<double>& data, int root) const {
+  if (size() == 1) return;
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kTagBcast, data);
+  } else {
+    data = recv(root, kTagBcast);
+  }
+}
+
+void Comm::reduce_sum(std::vector<double>& data, int root) const {
+  if (size() == 1) return;
+  if (rank() == root) {
+    // Deterministic order: accumulate contributions by ascending rank.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      auto part = recv(r, kTagReduce);
+      if (part.size() != data.size())
+        throw std::invalid_argument("reduce_sum: length mismatch");
+      for (size_t i = 0; i < data.size(); ++i) data[i] += part[i];
+    }
+  } else {
+    send(root, kTagReduce, data);
+  }
+}
+
+void Comm::allreduce_sum(std::vector<double>& data) const {
+  reduce_sum(data, 0);
+  bcast(data, 0);
+}
+
+std::vector<double> Comm::allgatherv(std::span<const double> mine) const {
+  if (size() == 1) return std::vector<double>(mine.begin(), mine.end());
+  std::vector<double> all;
+  if (rank() == 0) {
+    all.assign(mine.begin(), mine.end());
+    for (int r = 1; r < size(); ++r) {
+      auto part = recv(r, kTagGather);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+  } else {
+    send(0, kTagGather, mine);
+  }
+  bcast(all, 0);
+  return all;
+}
+
+void Comm::barrier() const {
+  std::vector<double> token(1, 0.0);
+  if (size() == 1) return;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv(r, kTagBarrier);
+    for (int r = 1; r < size(); ++r) send(r, kTagBarrier, token);
+  } else {
+    send(0, kTagBarrier, token);
+    (void)recv(0, kTagBarrier);
+  }
+}
+
+}  // namespace fdks::mpisim

@@ -1,0 +1,157 @@
+#include "mpisim/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace fdks::mpisim {
+
+World::World(int size) : size_(size) {
+  if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  boxes_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+std::uint64_t World::next_context() {
+  return context_counter_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void World::post(int dst_world, Message msg) {
+  Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> World::wait(int dst_world, std::uint64_t context,
+                                int src_world, int tag) {
+  Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.context == context &&
+                                    m.src_world == src_world && m.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      std::vector<double> data = std::move(it->data);
+      box.queue.erase(it);
+      return data;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+Comm::Comm(World* world, std::uint64_t context, std::vector<int> members,
+           int my_index)
+    : world_(world), context_(context), members_(std::move(members)),
+      my_index_(my_index) {}
+
+void Comm::send(int dest, int tag, std::span<const double> data) const {
+  Message m;
+  m.src_world = members_[static_cast<size_t>(my_index_)];
+  m.context = context_;
+  m.tag = tag;
+  m.data.assign(data.begin(), data.end());
+  world_->post(members_[static_cast<size_t>(dest)], std::move(m));
+}
+
+std::vector<double> Comm::recv(int src, int tag) const {
+  return world_->wait(members_[static_cast<size_t>(my_index_)], context_,
+                      members_[static_cast<size_t>(src)], tag);
+}
+
+std::vector<double> Comm::sendrecv(int partner, int tag,
+                                   std::span<const double> data) const {
+  // Posting is non-blocking, so send-then-recv cannot deadlock here.
+  send(partner, tag, data);
+  return recv(partner, tag);
+}
+
+Comm Comm::split(int color) const {
+  // Exchange (color) values through rank 0 of the current communicator:
+  // everyone sends its color to 0; 0 computes the partition and new
+  // context ids and scatters them back. Deterministic and collective.
+  constexpr int kTagColor = -101;
+  constexpr int kTagPlan = -102;
+
+  std::vector<int> colors(static_cast<size_t>(size()), 0);
+  if (rank() == 0) {
+    colors[0] = color;
+    for (int r = 1; r < size(); ++r) {
+      auto msg = recv(r, kTagColor);
+      colors[static_cast<size_t>(r)] = static_cast<int>(msg.at(0));
+    }
+    // Assign one fresh context per distinct color, in first-seen order.
+    std::map<int, std::uint64_t> ctx_of_color;
+    for (int r = 0; r < size(); ++r) {
+      const int c = colors[static_cast<size_t>(r)];
+      if (!ctx_of_color.count(c)) ctx_of_color[c] = world_->next_context();
+    }
+    // Plan sent to each rank: [context, nmembers, world ranks...].
+    for (int r = size() - 1; r >= 0; --r) {
+      const int c = colors[static_cast<size_t>(r)];
+      std::vector<double> plan;
+      plan.push_back(static_cast<double>(ctx_of_color[c]));
+      std::vector<int> group;
+      for (int q = 0; q < size(); ++q)
+        if (colors[static_cast<size_t>(q)] == c)
+          group.push_back(members_[static_cast<size_t>(q)]);
+      plan.push_back(static_cast<double>(group.size()));
+      for (int w : group) plan.push_back(static_cast<double>(w));
+      if (r == 0) {
+        // Construct own comm directly below.
+        const int me = members_[static_cast<size_t>(my_index_)];
+        int idx = static_cast<int>(std::find(group.begin(), group.end(), me) -
+                                   group.begin());
+        return Comm(world_, ctx_of_color[c], group, idx);
+      }
+      send(r, kTagPlan, plan);
+    }
+    throw std::logic_error("Comm::split: unreachable");
+  }
+
+  send(0, kTagColor, std::vector<double>{static_cast<double>(color)});
+  auto plan = recv(0, kTagPlan);
+  const auto ctx = static_cast<std::uint64_t>(plan.at(0));
+  const int nmem = static_cast<int>(plan.at(1));
+  std::vector<int> group(static_cast<size_t>(nmem));
+  for (int i = 0; i < nmem; ++i)
+    group[static_cast<size_t>(i)] = static_cast<int>(plan.at(2 + i));
+  const int me = members_[static_cast<size_t>(my_index_)];
+  int idx = static_cast<int>(std::find(group.begin(), group.end(), me) -
+                             group.begin());
+  return Comm(world_, ctx, group, idx);
+}
+
+void run(int p, const std::function<void(Comm&)>& fn) {
+  World world(p);
+  const std::uint64_t ctx = world.next_context();
+  std::vector<int> members(static_cast<size_t>(p));
+  std::iota(members.begin(), members.end(), 0);
+
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error = nullptr;
+  std::mutex err_mu;
+  threads.reserve(static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        Comm comm(&world, ctx, members, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fdks::mpisim

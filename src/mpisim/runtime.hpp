@@ -1,0 +1,101 @@
+// In-process message-passing runtime (MPI substitute).
+//
+// The paper's distributed algorithms (II.4/II.5) are written against the
+// message-passing interface: point-to-point Send/Recv plus Bcast/Reduce
+// collectives over split communicators. This runtime provides exactly
+// that surface with ranks backed by std::thread and mailboxes backed by
+// mutex/condition-variable queues, so the distributed factorization and
+// solve run — with their real communication pattern and data ownership —
+// inside one process. Swapping in real MPI is a transport change only.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace fdks::mpisim {
+
+/// Payload of one message: a tagged vector of doubles. Structured data
+/// (index lists, matrices with header dims) is serialized by the caller.
+struct Message {
+  int src_world = -1;
+  std::uint64_t context = 0;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+class Comm;
+
+/// Shared world state: one mailbox per world rank.
+class World {
+ public:
+  explicit World(int size);
+  int size() const { return size_; }
+
+  void post(int dst_world, Message msg);
+  std::vector<double> wait(int dst_world, std::uint64_t context,
+                           int src_world, int tag);
+  std::uint64_t next_context();
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Message> queue;
+  };
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<std::uint64_t> context_counter_{1};
+};
+
+/// A communicator: an ordered group of world ranks plus a context id
+/// that isolates its traffic (the analogue of an MPI communicator).
+class Comm {
+ public:
+  Comm(World* world, std::uint64_t context, std::vector<int> members,
+       int my_index);
+
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  World& world() const { return *world_; }
+
+  /// Blocking point-to-point send/recv by communicator rank.
+  void send(int dest, int tag, std::span<const double> data) const;
+  std::vector<double> recv(int src, int tag) const;
+
+  /// Simultaneous exchange with a partner (deadlock-free SendRecv).
+  std::vector<double> sendrecv(int partner, int tag,
+                               std::span<const double> data) const;
+
+  /// Split into sub-communicators by color; ranks with the same color
+  /// form a new communicator ordered by current rank. Collective: every
+  /// member must call with its own color.
+  Comm split(int color) const;
+
+  // Collectives (implemented in collectives.cpp); all are blocking and
+  // must be entered by every member.
+  void bcast(std::vector<double>& data, int root) const;
+  void reduce_sum(std::vector<double>& data, int root) const;
+  void allreduce_sum(std::vector<double>& data) const;
+  /// Concatenate each rank's chunk in rank order on every member.
+  std::vector<double> allgatherv(std::span<const double> mine) const;
+  void barrier() const;
+
+ private:
+  World* world_;
+  std::uint64_t context_;
+  std::vector<int> members_;  ///< members_[comm rank] = world rank.
+  int my_index_;
+};
+
+/// Launch fn on p ranks (threads) over a fresh world; joins all threads.
+/// Exceptions thrown by any rank are rethrown (first one wins).
+void run(int p, const std::function<void(Comm&)>& fn);
+
+}  // namespace fdks::mpisim

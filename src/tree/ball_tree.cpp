@@ -1,0 +1,180 @@
+#include "tree/ball_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace fdks::tree {
+
+namespace {
+
+double sq_dist(const Matrix& x, index_t a, index_t b) {
+  const index_t d = x.rows();
+  const double* xa = x.col(a);
+  const double* xb = x.col(b);
+  double s = 0.0;
+  for (index_t k = 0; k < d; ++k) {
+    const double t = xa[k] - xb[k];
+    s += t * t;
+  }
+  return s;
+}
+
+// Farthest point in idx[lo, hi) from the point with original index from.
+index_t farthest_from(const Matrix& x, const std::vector<index_t>& idx,
+                      index_t lo, index_t hi, index_t from) {
+  index_t best = idx[static_cast<size_t>(lo)];
+  double bestd = -1.0;
+  for (index_t p = lo; p < hi; ++p) {
+    const double dd = sq_dist(x, idx[static_cast<size_t>(p)], from);
+    if (dd > bestd) {
+      bestd = dd;
+      best = idx[static_cast<size_t>(p)];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BallTree::BallTree(const Matrix& points, BallTreeConfig cfg) : cfg_(cfg) {
+  if (cfg_.leaf_size < 1)
+    throw std::invalid_argument("BallTree: leaf_size must be >= 1");
+  if (points.cols() == 0)
+    throw std::invalid_argument("BallTree: empty point set");
+  build(points);
+}
+
+BallTree::BallTree(BallTreeConfig cfg, std::vector<Node> nodes,
+                   std::vector<index_t> perm)
+    : cfg_(cfg), nodes_(std::move(nodes)), perm_(std::move(perm)) {
+  if (nodes_.empty() || perm_.empty())
+    throw std::invalid_argument("BallTree: empty serialized parts");
+  const index_t n = static_cast<index_t>(perm_.size());
+  if (nodes_.front().begin != 0 || nodes_.front().end != n)
+    throw std::invalid_argument("BallTree: root range mismatch");
+  iperm_.resize(static_cast<size_t>(n));
+  for (index_t p = 0; p < n; ++p)
+    iperm_[static_cast<size_t>(perm_[static_cast<size_t>(p)])] = p;
+  depth_ = 0;
+  for (const Node& nd : nodes_) depth_ = std::max(depth_, nd.level);
+  levels_.assign(static_cast<size_t>(depth_ + 1), {});
+  for (index_t id = 0; id < static_cast<index_t>(nodes_.size()); ++id)
+    levels_[static_cast<size_t>(nodes_[static_cast<size_t>(id)].level)]
+        .push_back(id);
+}
+
+void BallTree::build(const Matrix& x) {
+  const index_t n = x.cols();
+  const index_t d = x.rows();
+  perm_.resize(static_cast<size_t>(n));
+  std::iota(perm_.begin(), perm_.end(), index_t{0});
+
+  std::mt19937_64 rng(cfg_.seed);
+
+  // Iterative splitting with an explicit work stack; nodes are appended
+  // in creation order so children always have larger ids than parents.
+  nodes_.clear();
+  nodes_.push_back(Node{0, n, -1, -1, -1, 0});
+  std::vector<index_t> stack = {0};
+  std::vector<double> proj(static_cast<size_t>(n));
+
+  while (!stack.empty()) {
+    const index_t id = stack.back();
+    stack.pop_back();
+    Node nd = nodes_[static_cast<size_t>(id)];
+    if (nd.size() <= cfg_.leaf_size) continue;
+
+    // Approximate farthest pair: random anchor -> farthest p1 -> farthest
+    // p2 from p1. The splitting hyperplane is normal to x(p2) - x(p1).
+    std::uniform_int_distribution<index_t> pick(nd.begin, nd.end - 1);
+    const index_t anchor = perm_[static_cast<size_t>(pick(rng))];
+    const index_t p1 = farthest_from(x, perm_, nd.begin, nd.end, anchor);
+    const index_t p2 = farthest_from(x, perm_, nd.begin, nd.end, p1);
+
+    std::vector<double> w(static_cast<size_t>(d));
+    double wnorm = 0.0;
+    for (index_t k = 0; k < d; ++k) {
+      w[static_cast<size_t>(k)] = x(k, p2) - x(k, p1);
+      wnorm += w[static_cast<size_t>(k)] * w[static_cast<size_t>(k)];
+    }
+    if (wnorm == 0.0) {
+      // All points coincide along the found pair (e.g. duplicates):
+      // fall back to an arbitrary but deterministic direction.
+      std::normal_distribution<double> g(0.0, 1.0);
+      for (auto& v : w) v = g(rng);
+    }
+
+    for (index_t p = nd.begin; p < nd.end; ++p) {
+      const double* xp = x.col(perm_[static_cast<size_t>(p)]);
+      double s = 0.0;
+      for (index_t k = 0; k < d; ++k) s += w[static_cast<size_t>(k)] * xp[k];
+      proj[static_cast<size_t>(p)] = s;
+    }
+
+    // Median split into equal halves (paper: children hold an equal
+    // number of points). nth_element on the projection values, permuting
+    // perm_ in lockstep via an index sort of the subrange.
+    const index_t mid = nd.begin + nd.size() / 2;
+    std::vector<index_t> order(static_cast<size_t>(nd.size()));
+    std::iota(order.begin(), order.end(), nd.begin);
+    std::nth_element(order.begin(), order.begin() + (mid - nd.begin),
+                     order.end(), [&](index_t a, index_t b) {
+                       return proj[static_cast<size_t>(a)] <
+                              proj[static_cast<size_t>(b)];
+                     });
+    std::vector<index_t> newperm(static_cast<size_t>(nd.size()));
+    for (index_t p = 0; p < nd.size(); ++p)
+      newperm[static_cast<size_t>(p)] =
+          perm_[static_cast<size_t>(order[static_cast<size_t>(p)])];
+    std::copy(newperm.begin(), newperm.end(),
+              perm_.begin() + nd.begin);
+
+    const index_t lid = static_cast<index_t>(nodes_.size());
+    nodes_.push_back(Node{nd.begin, mid, -1, -1, id, nd.level + 1});
+    const index_t rid = static_cast<index_t>(nodes_.size());
+    nodes_.push_back(Node{mid, nd.end, -1, -1, id, nd.level + 1});
+    nodes_[static_cast<size_t>(id)].left = lid;
+    nodes_[static_cast<size_t>(id)].right = rid;
+    stack.push_back(lid);
+    stack.push_back(rid);
+  }
+
+  // Inverse permutation and level index.
+  iperm_.resize(static_cast<size_t>(n));
+  for (index_t p = 0; p < n; ++p)
+    iperm_[static_cast<size_t>(perm_[static_cast<size_t>(p)])] = p;
+
+  depth_ = 0;
+  for (const Node& nd : nodes_) depth_ = std::max(depth_, nd.level);
+  levels_.assign(static_cast<size_t>(depth_ + 1), {});
+  for (index_t id = 0; id < static_cast<index_t>(nodes_.size()); ++id)
+    levels_[static_cast<size_t>(nodes_[static_cast<size_t>(id)].level)]
+        .push_back(id);
+}
+
+Matrix BallTree::permuted_points(const Matrix& x) const {
+  if (x.cols() != n())
+    throw std::invalid_argument("permuted_points: point count mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (index_t p = 0; p < n(); ++p) {
+    const double* src = x.col(perm_[static_cast<size_t>(p)]);
+    double* dst = out.col(p);
+    for (index_t k = 0; k < x.rows(); ++k) dst[k] = src[k];
+  }
+  return out;
+}
+
+index_t BallTree::leaf_of(index_t p) const {
+  index_t id = root();
+  while (!nodes_[static_cast<size_t>(id)].is_leaf()) {
+    const Node& nd = nodes_[static_cast<size_t>(id)];
+    const Node& l = nodes_[static_cast<size_t>(nd.left)];
+    id = (p < l.end) ? nd.left : nd.right;
+  }
+  return id;
+}
+
+}  // namespace fdks::tree

@@ -1,0 +1,84 @@
+// Ball tree over a point set (Omohundro-style), the geometric partitioner
+// behind the hierarchical matrix ordering (§II-A).
+//
+// The tree recursively splits each node's points into two equal halves by
+// the median of their projections onto the axis through an approximate
+// farthest pair. The induced permutation makes every tree node a
+// contiguous index range, so diagonal blocks of the (permuted) kernel
+// matrix correspond exactly to nodes — the property the factorization
+// relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fdks::tree {
+
+using la::Matrix;
+using la::index_t;
+
+struct Node {
+  index_t begin = 0;   ///< First position (in permuted order).
+  index_t end = 0;     ///< One past the last position.
+  index_t left = -1;   ///< Child node id, -1 for leaves.
+  index_t right = -1;
+  index_t parent = -1;
+  int level = 0;       ///< Root is level 0.
+
+  bool is_leaf() const { return left < 0; }
+  index_t size() const { return end - begin; }
+};
+
+struct BallTreeConfig {
+  index_t leaf_size = 64;  ///< m: split while size() > leaf_size.
+  uint64_t seed = 1234;    ///< Seed for the farthest-pair start point.
+};
+
+class BallTree {
+ public:
+  /// Build from points (d-by-N, one point per column, original order).
+  BallTree(const Matrix& points, BallTreeConfig cfg);
+
+  /// Reconstruct a tree from its serialized parts (nodes + permutation);
+  /// derived indexes (inverse permutation, level lists, depth) are
+  /// rebuilt. Used by the HMatrix load path.
+  BallTree(BallTreeConfig cfg, std::vector<Node> nodes,
+           std::vector<index_t> perm);
+
+  index_t n() const { return static_cast<index_t>(perm_.size()); }
+  index_t root() const { return 0; }
+  int depth() const { return depth_; }
+  const BallTreeConfig& config() const { return cfg_; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(index_t id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  /// perm()[p] = original index of the point at permuted position p.
+  const std::vector<index_t>& perm() const { return perm_; }
+  /// inverse_perm()[orig] = permuted position of original point orig.
+  const std::vector<index_t>& inverse_perm() const { return iperm_; }
+
+  /// Node ids grouped by level (levels()[l] lists every node at level l);
+  /// the level-by-level parallel traversals iterate these.
+  const std::vector<std::vector<index_t>>& levels() const { return levels_; }
+
+  /// Gather the points into permuted order (d-by-N).
+  Matrix permuted_points(const Matrix& points_original) const;
+
+  /// Id of the leaf containing permuted position p.
+  index_t leaf_of(index_t p) const;
+
+ private:
+  void build(const Matrix& points);
+
+  BallTreeConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<index_t> perm_;
+  std::vector<index_t> iperm_;
+  std::vector<std::vector<index_t>> levels_;
+  int depth_ = 0;
+};
+
+}  // namespace fdks::tree

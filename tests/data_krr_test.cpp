@@ -1,0 +1,189 @@
+// Tests for the synthetic dataset generators, preprocessing, and kernel
+// ridge regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/generators.hpp"
+#include "data/preprocess.hpp"
+#include "krr/krr.hpp"
+
+namespace fdks::data {
+namespace {
+
+TEST(Generators, AllKindsProduceRequestedShape) {
+  for (SyntheticKind k :
+       {SyntheticKind::CovtypeLike, SyntheticKind::SusyLike,
+        SyntheticKind::MnistLike, SyntheticKind::HiggsLike,
+        SyntheticKind::MriLike, SyntheticKind::Normal}) {
+    Dataset ds = make_synthetic(k, 100, 1);
+    EXPECT_EQ(ds.n(), 100) << kind_name(k);
+    EXPECT_EQ(ds.dim(), ambient_dim(k)) << kind_name(k);
+    EXPECT_GT(ds.intrinsic_dim, 0);
+    EXPECT_LT(ds.intrinsic_dim, ds.dim());
+  }
+}
+
+TEST(Generators, AmbientDimsMatchPaper) {
+  EXPECT_EQ(ambient_dim(SyntheticKind::CovtypeLike), 54);
+  EXPECT_EQ(ambient_dim(SyntheticKind::SusyLike), 8);
+  EXPECT_EQ(ambient_dim(SyntheticKind::MnistLike), 784);
+  EXPECT_EQ(ambient_dim(SyntheticKind::HiggsLike), 28);
+  EXPECT_EQ(ambient_dim(SyntheticKind::MriLike), 128);
+  EXPECT_EQ(ambient_dim(SyntheticKind::Normal), 64);
+}
+
+TEST(Generators, ZScoredCoordinates) {
+  Dataset ds = make_synthetic(SyntheticKind::CovtypeLike, 2000, 2);
+  for (index_t i = 0; i < ds.dim(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (index_t j = 0; j < ds.n(); ++j) mean += ds.points(i, j);
+    mean /= double(ds.n());
+    for (index_t j = 0; j < ds.n(); ++j) {
+      const double t = ds.points(i, j) - mean;
+      var += t * t;
+    }
+    var /= double(ds.n());
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-8);
+  }
+}
+
+TEST(Generators, LabelsAreBinaryAndBothClassesPresent) {
+  for (SyntheticKind k : {SyntheticKind::CovtypeLike, SyntheticKind::SusyLike,
+                          SyntheticKind::MnistLike, SyntheticKind::HiggsLike}) {
+    Dataset ds = make_synthetic(k, 500, 3);
+    ASSERT_TRUE(ds.labeled()) << kind_name(k);
+    std::set<double> values(ds.labels.begin(), ds.labels.end());
+    EXPECT_EQ(values.size(), 2u) << kind_name(k);
+    EXPECT_TRUE(values.count(1.0));
+    EXPECT_TRUE(values.count(-1.0));
+  }
+}
+
+TEST(Generators, UnlabeledKinds) {
+  EXPECT_FALSE(make_synthetic(SyntheticKind::MriLike, 50, 4).labeled());
+  EXPECT_FALSE(make_synthetic(SyntheticKind::Normal, 50, 4).labeled());
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Dataset a = make_synthetic(SyntheticKind::SusyLike, 100, 7);
+  Dataset b = make_synthetic(SyntheticKind::SusyLike, 100, 7);
+  EXPECT_EQ(la::max_abs_diff(a.points, b.points), 0.0);
+  EXPECT_EQ(a.labels, b.labels);
+  Dataset c = make_synthetic(SyntheticKind::SusyLike, 100, 8);
+  EXPECT_GT(la::max_abs_diff(a.points, c.points), 0.0);
+}
+
+TEST(Preprocess, TrainTestSplitPartitions) {
+  Dataset ds = make_synthetic(SyntheticKind::SusyLike, 200, 5);
+  auto [train, test] = train_test_split(ds, 0.25, 11);
+  EXPECT_EQ(train.n() + test.n(), 200);
+  EXPECT_EQ(test.n(), 50);
+  EXPECT_EQ(train.dim(), ds.dim());
+  EXPECT_TRUE(train.labeled());
+  EXPECT_TRUE(test.labeled());
+}
+
+TEST(Preprocess, SplitRejectsBadFraction) {
+  Dataset ds = make_synthetic(SyntheticKind::SusyLike, 50, 6);
+  EXPECT_THROW(train_test_split(ds, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(train_test_split(ds, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Preprocess, AccuracyCountsSignAgreement) {
+  std::vector<double> pred = {0.5, -0.2, 0.1, -0.9};
+  std::vector<double> lab = {1.0, 1.0, 1.0, -1.0};
+  EXPECT_DOUBLE_EQ(accuracy(pred, lab), 0.75);
+}
+
+}  // namespace
+}  // namespace fdks::data
+
+namespace fdks::krr {
+namespace {
+
+using data::Dataset;
+using data::SyntheticKind;
+
+KrrConfig fast_config() {
+  KrrConfig cfg;
+  cfg.askit.leaf_size = 64;
+  cfg.askit.max_rank = 64;
+  cfg.askit.tol = 1e-6;
+  cfg.askit.num_neighbors = 0;  // Uniform sampling: faster to build.
+  cfg.askit.seed = 13;
+  return cfg;
+}
+
+TEST(KernelRidge, LearnsSeparableClusters) {
+  // covtype-like clusters are well separated: KRR should beat 90%.
+  Dataset ds = data::make_synthetic(SyntheticKind::CovtypeLike, 1200, 21);
+  auto [train, test] = data::train_test_split(ds, 0.2, 22);
+  KrrConfig cfg = fast_config();
+  cfg.bandwidth = 3.0;
+  cfg.lambda = 0.1;
+  KernelRidge model(train, cfg);
+  EXPECT_GT(model.accuracy(test), 0.9);
+  EXPECT_LT(model.train_residual(), 1e-6);
+}
+
+TEST(KernelRidge, BeatsChanceOnOverlappingClasses) {
+  Dataset ds = data::make_synthetic(SyntheticKind::SusyLike, 1500, 23);
+  auto [train, test] = data::train_test_split(ds, 0.2, 24);
+  KrrConfig cfg = fast_config();
+  cfg.bandwidth = 1.0;
+  cfg.lambda = 1.0;
+  KernelRidge model(train, cfg);
+  const double acc = model.accuracy(test);
+  EXPECT_GT(acc, 0.65);  // Task has irreducible overlap, like real SUSY.
+}
+
+TEST(KernelRidge, HybridAndDirectAgree) {
+  Dataset ds = data::make_synthetic(SyntheticKind::CovtypeLike, 800, 25);
+  auto [train, test] = data::train_test_split(ds, 0.2, 26);
+  KrrConfig direct = fast_config();
+  direct.bandwidth = 3.0;
+  direct.lambda = 0.5;
+  KrrConfig hybrid = direct;
+  hybrid.use_hybrid = true;
+  hybrid.askit.level_restriction = 2;
+  direct.askit.level_restriction = 2;
+  hybrid.gmres.rtol = 1e-10;
+  KernelRidge m1(train, direct);
+  KernelRidge m2(train, hybrid);
+  // Same compressed system, so weights agree closely.
+  double wdiff = 0.0, wnorm = 0.0;
+  for (size_t i = 0; i < m1.weights().size(); ++i) {
+    wdiff += std::pow(m1.weights()[i] - m2.weights()[i], 2);
+    wnorm += std::pow(m1.weights()[i], 2);
+  }
+  EXPECT_LT(std::sqrt(wdiff / wnorm), 1e-6);
+  EXPECT_NEAR(m1.accuracy(test), m2.accuracy(test), 0.02);
+}
+
+TEST(KernelRidge, RejectsUnlabeledData) {
+  Dataset ds = data::make_synthetic(SyntheticKind::Normal, 100, 27);
+  EXPECT_THROW(KernelRidge(ds, fast_config()), std::invalid_argument);
+}
+
+TEST(KernelRidge, DecisionDimensionMismatchThrows) {
+  Dataset ds = data::make_synthetic(SyntheticKind::SusyLike, 200, 28);
+  KernelRidge model(ds, fast_config());
+  la::Matrix wrong(3, 5);
+  EXPECT_THROW(model.decision(wrong), std::invalid_argument);
+}
+
+TEST(CrossValidate, FindsReasonableCellAndTracksGrid) {
+  Dataset ds = data::make_synthetic(SyntheticKind::CovtypeLike, 900, 29);
+  std::vector<double> hs = {1.0, 3.0};
+  std::vector<double> lams = {0.1, 10.0};
+  CvResult cv = cross_validate(ds, hs, lams, fast_config(), 0.25, 30);
+  EXPECT_EQ(cv.cells.size(), 4u);
+  EXPECT_GE(cv.best.accuracy, 0.8);
+  for (const CvCell& c : cv.cells) EXPECT_LE(c.accuracy, cv.best.accuracy);
+}
+
+}  // namespace
+}  // namespace fdks::krr

@@ -1,0 +1,135 @@
+// Tests for the distributed hybrid solver (Algorithms II.6-II.8 over the
+// message-passing runtime): must match the sequential HybridSolver.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <random>
+
+#include "core/dist_hybrid.hpp"
+#include "la/blas1.hpp"
+
+namespace fdks::core {
+namespace {
+
+using askit::AskitConfig;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+AskitConfig restricted(index_t level) {
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 40;
+  cfg.tol = 1e-8;
+  cfg.num_neighbors = 0;
+  cfg.seed = 9;
+  cfg.level_restriction = level;
+  return cfg;
+}
+
+std::vector<double> random_vec(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+HybridOptions hopts(double lambda) {
+  HybridOptions o;
+  o.direct.lambda = lambda;
+  o.gmres.rtol = 1e-12;
+  o.gmres.max_iters = 300;
+  return o;
+}
+
+class DistHybridRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistHybridRanks, MatchesSequentialHybrid) {
+  const int p = GetParam();
+  const index_t n = 512;
+  Matrix pts = clustered_points(3, n, 1);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), restricted(3));
+  auto u = random_vec(n, 2);
+
+  HybridSolver seq(h, hopts(0.8));
+  auto x_seq = seq.solve(u);
+
+  std::vector<double> x_dist;
+  std::mutex mu;
+  mpisim::run(p, [&](mpisim::Comm& comm) {
+    DistributedHybridSolver ds(h, hopts(0.8), comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      x_dist = std::move(x);
+    }
+  });
+  ASSERT_EQ(x_dist.size(), x_seq.size());
+  EXPECT_LT(la::nrm2(la::vsub(x_dist, x_seq)) / la::nrm2(x_seq), 1e-9)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistHybridRanks, ::testing::Values(1, 2, 4));
+
+TEST(DistHybrid, ResidualAgainstCompressedOperator) {
+  const index_t n = 512;
+  Matrix pts = clustered_points(3, n, 3);
+  askit::HMatrix h(pts, Kernel::gaussian(0.9), restricted(3));
+  auto u = random_vec(n, 4);
+  double residual = 1.0;
+  int iters = 0;
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    DistributedHybridSolver ds(h, hopts(0.5), comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) {
+      residual = h.relative_residual(x, u, 0.5);
+      iters = ds.last_gmres().iterations;
+    }
+  });
+  EXPECT_LT(residual, 1e-9);
+  EXPECT_GT(iters, 0);
+}
+
+TEST(DistHybrid, RejectsFrontierAboveRankLevel) {
+  // L = 1 frontier with p = 4 ranks: frontier nodes span ranks.
+  const index_t n = 256;
+  Matrix pts = clustered_points(2, n, 5);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), restricted(1));
+  EXPECT_THROW(
+      mpisim::run(4,
+                  [&](mpisim::Comm& comm) {
+                    DistributedHybridSolver ds(h, hopts(1.0), comm);
+                  }),
+      std::invalid_argument);
+}
+
+TEST(DistHybrid, AllRanksShareIdenticalReducedTrace) {
+  const index_t n = 384;
+  Matrix pts = clustered_points(3, n, 6);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), restricted(2));
+  auto u = random_vec(n, 7);
+  std::vector<int> iters(4, -1);
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    DistributedHybridSolver ds(h, hopts(1.0), comm);
+    (void)ds.solve(u);
+    iters[static_cast<size_t>(comm.rank())] = ds.last_gmres().iterations;
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(iters[0], iters[static_cast<size_t>(r)]);
+}
+
+}  // namespace
+}  // namespace fdks::core

@@ -1,0 +1,175 @@
+// Tests for the distributed factorization/solve (Algorithms II.4/II.5):
+// the distributed solver must reproduce the sequential solver's solution
+// bit-for-bit up to reduction roundoff, for several rank counts.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/dist_solver.hpp"
+#include "core/solver.hpp"
+#include "la/blas1.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace fdks::core {
+namespace {
+
+using askit::AskitConfig;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+AskitConfig dist_config() {
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 40;
+  cfg.tol = 1e-8;
+  cfg.num_neighbors = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<double> random_vec(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, MatchesSequentialSolver) {
+  const int p = GetParam();
+  const index_t n = 512;
+  Matrix pts = clustered_points(3, n, 1);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 0.7;
+
+  FastDirectSolver seq(h, opts);
+  auto u = random_vec(n, 2);
+  auto x_seq = seq.solve(u);
+
+  std::vector<double> x_dist;
+  std::mutex mu;
+  mpisim::run(p, [&](mpisim::Comm& comm) {
+    DistributedSolver ds(h, opts, comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      x_dist = std::move(x);
+    }
+  });
+
+  ASSERT_EQ(x_dist.size(), x_seq.size());
+  const double diff = la::nrm2(la::vsub(x_dist, x_seq)) / la::nrm2(x_seq);
+  EXPECT_LT(diff, 1e-10) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST(DistributedSolver, AllRanksGetIdenticalSolution) {
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 3);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 1.0;
+  auto u = random_vec(n, 4);
+
+  std::vector<std::vector<double>> per_rank(4);
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    DistributedSolver ds(h, opts, comm);
+    per_rank[static_cast<size_t>(comm.rank())] = ds.solve(u);
+  });
+  for (int r = 1; r < 4; ++r) {
+    ASSERT_EQ(per_rank[0].size(), per_rank[static_cast<size_t>(r)].size());
+    for (size_t i = 0; i < per_rank[0].size(); ++i)
+      EXPECT_EQ(per_rank[0][i], per_rank[static_cast<size_t>(r)][i]);
+  }
+}
+
+TEST(DistributedSolver, ResidualAgainstCompressedOperator) {
+  const index_t n = 512;
+  Matrix pts = clustered_points(3, n, 5);
+  askit::HMatrix h(pts, Kernel::gaussian(0.9), dist_config());
+  SolverOptions opts;
+  opts.lambda = 0.5;
+  auto u = random_vec(n, 6);
+  double residual = 1.0;
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    DistributedSolver ds(h, opts, comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) residual = h.relative_residual(x, u, 0.5);
+  });
+  EXPECT_LT(residual, 1e-10);
+}
+
+TEST(DistributedSolver, RejectsNonPowerOfTwo) {
+  const index_t n = 128;
+  Matrix pts = clustered_points(2, n, 7);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  EXPECT_THROW(
+      mpisim::run(3,
+                  [&](mpisim::Comm& comm) {
+                    DistributedSolver ds(h, opts, comm);
+                  }),
+      std::invalid_argument);
+}
+
+TEST(DistributedSolver, RejectsTooManyRanksForTree) {
+  // leaf_size 64 on 128 points: depth 1, no complete level 3.
+  const index_t n = 128;
+  Matrix pts = clustered_points(2, n, 8);
+  AskitConfig cfg = dist_config();
+  cfg.leaf_size = 64;
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), cfg);
+  SolverOptions opts;
+  EXPECT_THROW(
+      mpisim::run(8,
+                  [&](mpisim::Comm& comm) {
+                    DistributedSolver ds(h, opts, comm);
+                  }),
+      std::invalid_argument);
+}
+
+TEST(DistributedSolver, MultipleSolvesReuseFactorization) {
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 9);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 1.0;
+  FastDirectSolver seq(h, opts);
+  auto u1 = random_vec(n, 10);
+  auto u2 = random_vec(n, 11);
+  auto x1_seq = seq.solve(u1);
+  auto x2_seq = seq.solve(u2);
+  double d1 = 1.0, d2 = 1.0;
+  mpisim::run(2, [&](mpisim::Comm& comm) {
+    DistributedSolver ds(h, opts, comm);
+    auto x1 = ds.solve(u1);
+    auto x2 = ds.solve(u2);
+    if (comm.rank() == 0) {
+      d1 = la::nrm2(la::vsub(x1, x1_seq)) / la::nrm2(x1_seq);
+      d2 = la::nrm2(la::vsub(x2, x2_seq)) / la::nrm2(x2_seq);
+    }
+  });
+  EXPECT_LT(d1, 1e-10);
+  EXPECT_LT(d2, 1e-10);
+}
+
+}  // namespace
+}  // namespace fdks::core

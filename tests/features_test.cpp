@@ -1,0 +1,297 @@
+// Tests for the extended solver features: compact-W storage (§III
+// memory reduction), lambda re-factorization (cross-validation fast
+// path), task-parallel factorization, and the exact-system
+// preconditioned solve.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hybrid.hpp"
+#include "core/preconditioned.hpp"
+#include "core/solver.hpp"
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+#include "la/lu.hpp"
+
+namespace fdks::core {
+namespace {
+
+using askit::AskitConfig;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+AskitConfig cfg() {
+  AskitConfig c;
+  c.leaf_size = 32;
+  c.max_rank = 48;
+  c.tol = 1e-8;
+  c.num_neighbors = 8;
+  c.seed = 7;
+  return c;
+}
+
+std::vector<double> random_vec(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+// ---------------------------------------------------------- compact W --
+
+TEST(CompactW, SolutionMatchesDenseStorage) {
+  const index_t n = 300;
+  Matrix p = clustered_points(3, n, 1);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions dense_opts, compact_opts;
+  dense_opts.lambda = compact_opts.lambda = 0.5;
+  compact_opts.compact_w = true;
+  FastDirectSolver dense(h, dense_opts);
+  FastDirectSolver compact(h, compact_opts);
+  auto u = random_vec(n, 2);
+  auto xd = dense.solve(u);
+  auto xc = compact.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(xd, xc)) / la::nrm2(xd), 1e-12);
+}
+
+TEST(CompactW, UsesLessMemory) {
+  const index_t n = 1024;
+  Matrix p = clustered_points(3, n, 3);
+  AskitConfig c = cfg();
+  c.leaf_size = 64;
+  askit::HMatrix h(p, Kernel::gaussian(1.0), c);
+  SolverOptions dense_opts, compact_opts;
+  dense_opts.lambda = compact_opts.lambda = 1.0;
+  compact_opts.compact_w = true;
+  // Matrix-free V in both, so the comparison isolates the P^ storage.
+  dense_opts.scheme = compact_opts.scheme = kernel::Scheme::Gsks;
+  FastDirectSolver dense(h, dense_opts);
+  FastDirectSolver compact(h, compact_opts);
+  EXPECT_LT(compact.factor_bytes(), dense.factor_bytes());
+}
+
+TEST(CompactW, DensePhatReconstructionMatches) {
+  const index_t n = 256;
+  Matrix p = clustered_points(2, n, 4);
+  askit::HMatrix h(p, Kernel::gaussian(1.2), cfg());
+  SolverOptions dense_opts, compact_opts;
+  dense_opts.lambda = compact_opts.lambda = 0.3;
+  compact_opts.compact_w = true;
+  FastDirectSolver dense(h, dense_opts);
+  FastDirectSolver compact(h, compact_opts);
+  for (index_t id = 1; id < static_cast<index_t>(h.tree().nodes().size());
+       ++id) {
+    Matrix a = dense.factor_tree().dense_phat(id);
+    Matrix b = compact.factor_tree().dense_phat(id);
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    if (a.size() > 0) EXPECT_LT(la::max_abs_diff(a, b), 1e-11);
+  }
+}
+
+TEST(CompactW, RejectsSubtreeBaseline) {
+  const index_t n = 128;
+  Matrix p = clustered_points(2, n, 5);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions opts;
+  opts.compact_w = true;
+  opts.algo = FactorizationAlgo::Subtree;
+  EXPECT_THROW(FastDirectSolver(h, opts), std::invalid_argument);
+}
+
+TEST(CompactW, HybridSolverWorksInCompactMode) {
+  const index_t n = 384;
+  Matrix p = clustered_points(3, n, 6);
+  AskitConfig c = cfg();
+  c.level_restriction = 2;
+  askit::HMatrix h(p, Kernel::gaussian(1.0), c);
+  HybridOptions ho;
+  ho.direct.lambda = 0.8;
+  ho.direct.compact_w = true;
+  ho.gmres.rtol = 1e-11;
+  HybridSolver hy(h, ho);
+  auto u = random_vec(n, 7);
+  auto x = hy.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 0.8), 1e-9);
+}
+
+// ------------------------------------------------------- refactorize --
+
+TEST(Refactorize, MatchesFreshFactorization) {
+  const index_t n = 300;
+  Matrix p = clustered_points(3, n, 8);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions opts;
+  opts.lambda = 1.0;
+  FastDirectSolver solver(h, opts);
+  auto u = random_vec(n, 9);
+
+  for (double lambda : {0.01, 0.5, 10.0}) {
+    solver.refactorize(lambda);
+    auto x1 = solver.solve(u);
+    SolverOptions fresh;
+    fresh.lambda = lambda;
+    FastDirectSolver ref(h, fresh);
+    auto x2 = ref.solve(u);
+    EXPECT_LT(la::nrm2(la::vsub(x1, x2)) / la::nrm2(x2), 1e-12)
+        << "lambda=" << lambda;
+    // Small lambda amplifies the relative residual (conditioning), so
+    // the bound is looser than the x1 == x2 check above.
+    EXPECT_LT(h.relative_residual(x1, u, lambda), 1e-7);
+  }
+}
+
+TEST(Refactorize, ReusesStoredKernelBlocks) {
+  // With the stored-GEMV scheme the V blocks dominate setup cost at
+  // high d; a re-factorization that reuses them must not be slower than
+  // 2x... we assert correctness plus that bytes don't grow.
+  const index_t n = 512;
+  Matrix p = clustered_points(8, n, 10);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions opts;
+  opts.lambda = 1.0;
+  FastDirectSolver solver(h, opts);
+  const size_t bytes_before = solver.factor_bytes();
+  solver.refactorize(2.0);
+  EXPECT_EQ(solver.factor_bytes(), bytes_before);
+  auto u = random_vec(n, 11);
+  auto x = solver.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 2.0), 1e-10);
+}
+
+// ----------------------------------------------------- parallel tasks --
+
+TEST(ParallelTree, SameFactorizationAsSerial) {
+  const index_t n = 512;
+  Matrix p = clustered_points(3, n, 12);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions serial_opts, par_opts;
+  serial_opts.lambda = par_opts.lambda = 0.7;
+  par_opts.parallel_tree = true;
+  FastDirectSolver serial(h, serial_opts);
+  FastDirectSolver parallel(h, par_opts);
+  auto u = random_vec(n, 13);
+  auto xs = serial.solve(u);
+  auto xp = parallel.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(xs, xp)) / la::nrm2(xs), 1e-13);
+  EXPECT_EQ(serial.stability().flagged_nodes,
+            parallel.stability().flagged_nodes);
+}
+
+// ------------------------------------------- preconditioned exact solve
+
+TEST(ExactApply, MatchesDenseMatrix) {
+  const index_t n = 150;
+  Matrix p = clustered_points(3, n, 14);
+  const Kernel k = Kernel::gaussian(1.0);
+  askit::HMatrix h(p, k, cfg());
+  kernel::KernelMatrix dense(p, k);
+  Matrix kf = dense.full();
+  auto w = random_vec(n, 15);
+  std::vector<double> y1(static_cast<size_t>(n)), y2(static_cast<size_t>(n));
+  exact_apply(h, 0.7, w, y1);
+  la::gemv(la::Trans::No, 1.0, kf, w, 0.0, y2);
+  la::axpy(0.7, w, y2);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y1[static_cast<size_t>(i)], y2[static_cast<size_t>(i)],
+                1e-11);
+}
+
+TEST(Preconditioned, ReachesDenseAccuracyInFewIterations) {
+  const index_t n = 400;
+  Matrix p = clustered_points(3, n, 16);
+  AskitConfig c = cfg();
+  c.tol = 1e-4;  // Coarse compression: direct solve alone is only ~1e-3.
+  askit::HMatrix h(p, Kernel::gaussian(0.8), c);
+  SolverOptions so;
+  so.lambda = 0.5;
+  FastDirectSolver m(h, so);
+  auto u = random_vec(n, 17);
+
+  iter::GmresOptions go;
+  go.rtol = 1e-12;
+  go.max_iters = 40;
+  ExactSolveResult r = solve_exact_preconditioned(h, m, u, go);
+  EXPECT_TRUE(r.gmres.converged);
+  EXPECT_LT(r.gmres.iterations, 30);
+  EXPECT_LT(r.exact_residual, 1e-10);
+
+  // Verify against a dense LU of the true system.
+  kernel::KernelMatrix dense(p, Kernel::gaussian(0.8));
+  Matrix a = dense.full();
+  for (index_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  la::LuFactor f = la::lu_factor(a);
+  std::vector<double> xd = u;
+  la::lu_solve(f, xd);
+  EXPECT_LT(la::nrm2(la::vsub(r.x, xd)) / la::nrm2(xd), 1e-8);
+}
+
+// ------------------------------------------------------- SPD leaves ----
+
+TEST(SpdLeaves, MatchesLuPath) {
+  const index_t n = 300;
+  Matrix p = clustered_points(3, n, 30);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions lu_opts, ch_opts;
+  lu_opts.lambda = ch_opts.lambda = 0.8;
+  ch_opts.spd_leaves = true;
+  FastDirectSolver lu(h, lu_opts);
+  FastDirectSolver ch(h, ch_opts);
+  EXPECT_TRUE(ch.stability().stable());
+  auto u = random_vec(n, 31);
+  auto x1 = lu.solve(u);
+  auto x2 = ch.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(x1, x2)) / la::nrm2(x1), 1e-11);
+}
+
+TEST(SpdLeaves, FallsBackToLuWhenNotSpd) {
+  // A large negative lambda makes lambda I + K_aa indefinite: the
+  // Cholesky attempt must fall back to LU and still solve correctly.
+  const index_t n = 128;
+  Matrix p = clustered_points(2, n, 32);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg());
+  SolverOptions opts;
+  opts.lambda = -5.0;
+  opts.spd_leaves = true;
+  FastDirectSolver solver(h, opts);
+  auto u = random_vec(n, 33);
+  auto x = solver.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, -5.0), 1e-8);
+}
+
+TEST(Preconditioned, BeatsUnpreconditionedIterations) {
+  const index_t n = 400;
+  Matrix p = clustered_points(3, n, 18);
+  AskitConfig c = cfg();
+  c.tol = 1e-5;
+  askit::HMatrix h(p, Kernel::gaussian(0.6), c);
+  SolverOptions so;
+  so.lambda = 0.05;  // Mildly ill-conditioned exact system.
+  FastDirectSolver m(h, so);
+  auto u = random_vec(n, 19);
+  iter::GmresOptions go;
+  go.rtol = 1e-10;
+  go.max_iters = 200;
+  ExactSolveResult pre = solve_exact_preconditioned(h, m, u, go);
+  ExactSolveResult unpre = solve_exact_unpreconditioned(h, 0.05, u, go);
+  EXPECT_TRUE(pre.gmres.converged);
+  EXPECT_LT(pre.gmres.iterations, unpre.gmres.iterations);
+}
+
+}  // namespace
+}  // namespace fdks::core

@@ -1,0 +1,128 @@
+// Randomized configuration sweep ("fuzz") over the full pipeline: for
+// each seeded draw of (N, d, bandwidth, leaf size, rank cap, tolerance,
+// level restriction, summation scheme, algorithm, storage mode), the
+// solver must invert its own compressed operator to near machine
+// precision whenever the factorization reports stability — the single
+// invariant that every configuration shares.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <random>
+
+#include "core/solver.hpp"
+#include "la/blas1.hpp"
+
+namespace fdks::core {
+namespace {
+
+using askit::AskitConfig;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+struct FuzzDraw {
+  index_t n, d, leaf, rank;
+  double h, tol, lambda;
+  index_t restriction;
+  kernel::Scheme scheme;
+  FactorizationAlgo algo;
+  bool compact, spd, levelwise;
+};
+
+FuzzDraw draw(uint64_t seed) {
+  std::mt19937_64 rng(seed * 2654435761ull + 17);
+  auto pick = [&](auto... opts) {
+    const std::array arr{opts...};
+    return arr[std::uniform_int_distribution<size_t>(0, arr.size() - 1)(rng)];
+  };
+  FuzzDraw f;
+  f.n = pick(index_t{96}, index_t{180}, index_t{256}, index_t{333},
+             index_t{512});
+  f.d = pick(index_t{2}, index_t{3}, index_t{5}, index_t{8}, index_t{16});
+  f.leaf = pick(index_t{16}, index_t{32}, index_t{48});
+  f.rank = pick(index_t{16}, index_t{32}, index_t{64});
+  f.h = pick(0.5, 1.0, 2.0, 4.0);
+  f.tol = pick(1e-4, 1e-6, 1e-8, 0.0);
+  f.lambda = pick(0.1, 1.0, 10.0);
+  f.restriction = pick(index_t{0}, index_t{1}, index_t{2});
+  f.scheme = pick(kernel::Scheme::StoredGemv, kernel::Scheme::ReevalGemm,
+                  kernel::Scheme::Gsks);
+  f.algo = pick(FactorizationAlgo::Telescoped, FactorizationAlgo::Subtree);
+  f.compact = pick(false, true) && f.algo == FactorizationAlgo::Telescoped;
+  f.spd = pick(false, true);
+  f.levelwise = pick(false, true);
+  return f;
+}
+
+Matrix fuzz_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Mixture of a cluster, a manifold strand, and background noise:
+  // deliberately messy geometry.
+  Matrix p(d, n);
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (index_t j = 0; j < n; ++j) {
+    const int mode = static_cast<int>(j % 3);
+    for (index_t i = 0; i < d; ++i) {
+      if (mode == 0)
+        p(i, j) = 0.2 * g(rng) + 1.5;
+      else if (mode == 1)
+        p(i, j) = std::sin(0.1 * double(j) + double(i)) + 0.05 * g(rng);
+      else
+        p(i, j) = g(rng);
+    }
+  }
+  return p;
+}
+
+class FuzzConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzConfig, SolverInvertsItsOwnOperator) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const FuzzDraw f = draw(seed);
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << seed << " n=" << f.n << " d=" << f.d
+               << " leaf=" << f.leaf << " rank=" << f.rank << " h=" << f.h
+               << " tol=" << f.tol << " lambda=" << f.lambda << " L="
+               << f.restriction << " scheme=" << static_cast<int>(f.scheme)
+               << " algo=" << static_cast<int>(f.algo)
+               << " compact=" << f.compact << " spd=" << f.spd
+               << " levelwise=" << f.levelwise);
+
+  AskitConfig acfg;
+  acfg.leaf_size = f.leaf;
+  acfg.max_rank = f.rank;
+  acfg.tol = f.tol;
+  acfg.num_neighbors = 0;
+  acfg.level_restriction = f.restriction;
+  acfg.seed = seed + 1;
+  askit::HMatrix h(fuzz_points(f.d, f.n, seed + 2), Kernel::gaussian(f.h),
+                   acfg);
+
+  SolverOptions so;
+  so.lambda = f.lambda;
+  so.scheme = f.scheme;
+  so.algo = f.algo;
+  so.compact_w = f.compact;
+  so.spd_leaves = f.spd;
+  so.levelwise = f.levelwise;
+  FastDirectSolver solver(h, so);
+
+  std::mt19937_64 rng(seed + 3);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> u(static_cast<size_t>(f.n));
+  for (auto& v : u) v = g(rng);
+  auto x = solver.solve(u);
+
+  if (solver.stability().stable()) {
+    EXPECT_LT(h.relative_residual(x, u, f.lambda), 1e-8);
+  } else {
+    // Unstable configurations must still return finite values.
+    for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfig, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace fdks::core

@@ -1,0 +1,141 @@
+// Tests for the restarted GMRES solver.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "iterative/gmres.hpp"
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+#include "la/lu.hpp"
+
+namespace fdks::iter {
+namespace {
+
+using la::Matrix;
+using la::index_t;
+
+LinOp dense_op(const Matrix& a) {
+  return [&a](std::span<const double> x, std::span<double> y) {
+    la::gemv(la::Trans::No, 1.0, a, x, 0.0, y);
+  };
+}
+
+TEST(Gmres, IdentitySolvesInOneIteration) {
+  Matrix a = Matrix::identity(10);
+  std::vector<double> b(10, 3.0);
+  GmresResult r = gmres(10, dense_op(a), b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  for (double v : r.x) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(Gmres, ZeroRhsReturnsZero) {
+  Matrix a = Matrix::identity(5);
+  std::vector<double> b(5, 0.0);
+  GmresResult r = gmres(5, dense_op(a), b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (double v : r.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Gmres, SolvesDiagonallyDominantSystem) {
+  const index_t n = 40;
+  std::mt19937_64 rng(3);
+  Matrix a = Matrix::random_gaussian(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 2.0 * n;
+  Matrix xexact = Matrix::random_gaussian(n, 1, rng);
+  Matrix bmat = la::matmul(a, xexact);
+  std::vector<double> b(bmat.data(), bmat.data() + n);
+  GmresOptions opts;
+  opts.rtol = 1e-12;
+  GmresResult r = gmres(n, dense_op(a), b, opts);
+  EXPECT_TRUE(r.converged);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(r.x[static_cast<size_t>(i)], xexact(i, 0), 1e-9);
+}
+
+TEST(Gmres, ResidualHistoryIsMonotoneNonincreasing) {
+  const index_t n = 30;
+  std::mt19937_64 rng(4);
+  Matrix g = Matrix::random_gaussian(n, n, rng);
+  Matrix a = la::matmul(la::Trans::Yes, la::Trans::No, g, g);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  std::vector<double> b(static_cast<size_t>(n), 1.0);
+  GmresResult r = gmres(n, dense_op(a), b);
+  ASSERT_GT(r.residual_history.size(), 1u);
+  for (size_t k = 1; k < r.residual_history.size(); ++k)
+    EXPECT_LE(r.residual_history[k], r.residual_history[k - 1] + 1e-15);
+  EXPECT_EQ(r.residual_history.size(), r.time_history.size());
+}
+
+TEST(Gmres, RestartStillConverges) {
+  const index_t n = 50;
+  std::mt19937_64 rng(5);
+  Matrix g = Matrix::random_gaussian(n, n, rng);
+  Matrix a = la::matmul(la::Trans::Yes, la::Trans::No, g, g);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 5.0;
+  std::vector<double> b(static_cast<size_t>(n), 1.0);
+  GmresOptions opts;
+  opts.restart = 7;  // Force many restart cycles.
+  opts.max_iters = 400;
+  opts.rtol = 1e-10;
+  GmresResult r = gmres(n, dense_op(a), b, opts);
+  EXPECT_TRUE(r.converged);
+  // Verify the returned x against a direct solve.
+  la::LuFactor f = la::lu_factor(a);
+  std::vector<double> xd = b;
+  la::lu_solve(f, xd);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(r.x[static_cast<size_t>(i)], xd[static_cast<size_t>(i)],
+                1e-6);
+}
+
+TEST(Gmres, StallsOnIllConditionedWithFewIterations) {
+  // A tiny iteration budget on an ill-conditioned system must report
+  // non-convergence (the behaviour Figure 5 shows at kappa = 1e5).
+  const index_t n = 60;
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i)
+    a(i, i) = std::pow(10.0, -5.0 * double(i) / double(n - 1));
+  std::vector<double> b(static_cast<size_t>(n), 1.0);
+  GmresOptions opts;
+  opts.max_iters = 5;
+  opts.restart = 5;
+  opts.rtol = 1e-12;
+  GmresResult r = gmres(n, dense_op(a), b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.relative_residual, 1e-8);
+}
+
+TEST(Gmres, CgsRefinementImprovesOrthogonality) {
+  // On a difficult system, the refined variant must do at least as well
+  // for the same budget.
+  const index_t n = 80;
+  std::mt19937_64 rng(6);
+  Matrix g = Matrix::random_gaussian(n, n, rng);
+  Matrix a = la::matmul(la::Trans::Yes, la::Trans::No, g, g);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 0.01;
+  std::vector<double> b(static_cast<size_t>(n), 1.0);
+  GmresOptions with, without;
+  with.cgs_refine = true;
+  without.cgs_refine = false;
+  with.max_iters = without.max_iters = 60;
+  with.restart = without.restart = 60;
+  with.rtol = without.rtol = 1e-14;
+  GmresResult r1 = gmres(n, dense_op(a), b, with);
+  GmresResult r2 = gmres(n, dense_op(a), b, without);
+  EXPECT_LE(r1.relative_residual, r2.relative_residual * 10.0);
+}
+
+TEST(Gmres, AtolStopsEarly) {
+  Matrix a = Matrix::identity(8);
+  std::vector<double> b(8, 1e-14);
+  GmresOptions opts;
+  opts.atol = 1e-10;
+  GmresResult r = gmres(8, dense_op(a), b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace fdks::iter

@@ -1,0 +1,209 @@
+// Tests for the hybrid direct/iterative solver (Algorithms II.6-II.8).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/hybrid.hpp"
+#include "core/solver.hpp"
+#include "la/blas1.hpp"
+#include "la/gemm.hpp"
+
+namespace fdks::core {
+namespace {
+
+using askit::AskitConfig;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+AskitConfig restricted_config(index_t level) {
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 48;
+  cfg.tol = 1e-8;
+  cfg.num_neighbors = 8;
+  cfg.seed = 77;
+  cfg.level_restriction = level;
+  return cfg;
+}
+
+std::vector<double> random_vec(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+HybridOptions default_hybrid(double lambda) {
+  HybridOptions o;
+  o.direct.lambda = lambda;
+  o.gmres.rtol = 1e-12;
+  o.gmres.max_iters = 300;
+  return o;
+}
+
+TEST(HybridSolver, ReducedSizeIsSumOfFrontierRanks) {
+  const index_t n = 512;
+  Matrix p = clustered_points(3, n, 1);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(2));
+  HybridSolver hy(h, default_hybrid(0.5));
+  index_t expect = 0;
+  for (index_t a : h.frontier())
+    expect += static_cast<index_t>(h.skeleton(a).skel.size());
+  EXPECT_EQ(hy.reduced_size(), expect);
+  EXPECT_GT(expect, 0);
+  EXPECT_LT(expect, n);
+}
+
+TEST(HybridSolver, MatvecVMatchesDenseDefinition) {
+  // V row block a = K(a~, X \ a): check against explicit kernel blocks.
+  const index_t n = 256;
+  Matrix p = clustered_points(3, n, 2);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(2));
+  HybridSolver hy(h, default_hybrid(1.0));
+
+  auto q = random_vec(n, 3);
+  std::vector<double> z(static_cast<size_t>(hy.reduced_size()), 0.0);
+  hy.matvec_v(q, z);
+
+  index_t off = 0;
+  for (index_t a : h.frontier()) {
+    const auto& nd = h.tree().node(a);
+    const auto& skel = h.skeleton(a).skel;
+    // Dense reference: sum over all columns outside [begin, end).
+    for (size_t si = 0; si < skel.size(); ++si) {
+      double expect = 0.0;
+      for (index_t j = 0; j < n; ++j) {
+        if (j >= nd.begin && j < nd.end) continue;
+        expect += h.km().entry(skel[si], j) * q[static_cast<size_t>(j)];
+      }
+      EXPECT_NEAR(z[static_cast<size_t>(off) + si], expect, 1e-9);
+    }
+    off += static_cast<index_t>(skel.size());
+  }
+}
+
+TEST(HybridSolver, MatvecWIsBlockDiagonalPhat) {
+  const index_t n = 256;
+  Matrix p = clustered_points(3, n, 4);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(2));
+  HybridSolver hy(h, default_hybrid(1.0));
+  auto z = random_vec(hy.reduced_size(), 5);
+  std::vector<double> q(static_cast<size_t>(n), 0.0);
+  hy.matvec_w(z, q);
+  // Every frontier block range must be touched; the support of q is the
+  // union of frontier ranges = everything.
+  EXPECT_GT(la::nrm2(q), 0.0);
+}
+
+TEST(HybridSolver, SolvesCompressedOperatorExactly) {
+  const index_t n = 400;
+  Matrix p = clustered_points(3, n, 6);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(2));
+  HybridSolver hy(h, default_hybrid(0.5));
+  auto u = random_vec(n, 7);
+  auto x = hy.solve(u);
+  EXPECT_TRUE(hy.last_gmres().converged);
+  EXPECT_LT(h.relative_residual(x, u, 0.5), 1e-9);
+}
+
+TEST(HybridSolver, AgreesWithLevelRestrictedDirectSolver) {
+  // Table V's comparison: hybrid and direct on the same level-restricted
+  // HMatrix must produce the same solution (both invert the same K~).
+  const index_t n = 384;
+  Matrix p = clustered_points(3, n, 8);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(2));
+
+  SolverOptions direct_opts;
+  direct_opts.lambda = 1.0;
+  FastDirectSolver direct(h, direct_opts);
+  HybridSolver hybrid(h, default_hybrid(1.0));
+
+  auto u = random_vec(n, 9);
+  auto xd = direct.solve(u);
+  auto xh = hybrid.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(xd, xh)) / la::nrm2(xd), 1e-8);
+}
+
+class RestrictionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RestrictionSweep, ConvergesForAllFrontierDepths) {
+  const index_t level = GetParam();
+  const index_t n = 512;
+  Matrix p = clustered_points(3, n, 10);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(level));
+  HybridSolver hy(h, default_hybrid(1.0));
+  auto u = random_vec(n, 11);
+  auto x = hy.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 1.0), 1e-8) << "L=" << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RestrictionSweep,
+                         ::testing::Values(1, 2, 3));
+
+TEST(HybridSolver, NoRestrictionStillWorks) {
+  // Without level restriction the frontier is the root's children: the
+  // reduced system is a single off-diagonal coupling.
+  const index_t n = 256;
+  Matrix p = clustered_points(3, n, 12);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(0));
+  HybridSolver hy(h, default_hybrid(0.8));
+  auto u = random_vec(n, 13);
+  auto x = hy.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 0.8), 1e-9);
+}
+
+TEST(HybridSolver, SingleLeafDegenerateCase) {
+  const index_t n = 16;
+  Matrix p = clustered_points(2, n, 14);
+  AskitConfig cfg = restricted_config(0);
+  cfg.leaf_size = 64;  // Single leaf.
+  askit::HMatrix h(p, Kernel::gaussian(1.0), cfg);
+  HybridSolver hy(h, default_hybrid(0.2));
+  EXPECT_EQ(hy.reduced_size(), 0);
+  auto u = random_vec(n, 15);
+  auto x = hy.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 0.2), 1e-11);
+}
+
+TEST(HybridSolver, GmresIterationCountRecorded) {
+  const index_t n = 384;
+  Matrix p = clustered_points(3, n, 16);
+  askit::HMatrix h(p, Kernel::gaussian(0.8), restricted_config(2));
+  HybridSolver hy(h, default_hybrid(1.0));
+  auto u = random_vec(n, 17);
+  (void)hy.solve(u);
+  EXPECT_GT(hy.last_gmres().iterations, 0);
+  EXPECT_FALSE(hy.last_gmres().residual_history.empty());
+}
+
+TEST(HybridSolver, FactorBytesSmallerThanFullDirect) {
+  // The whole point of the hybrid method: factor storage is bounded by
+  // the frontier subtrees (Table V storage column).
+  const index_t n = 512;
+  Matrix p = clustered_points(3, n, 18);
+  askit::HMatrix h(p, Kernel::gaussian(1.0), restricted_config(3));
+  SolverOptions direct_opts;
+  direct_opts.lambda = 1.0;
+  FastDirectSolver direct(h, direct_opts);
+  HybridSolver hybrid(h, default_hybrid(1.0));
+  EXPECT_LT(hybrid.factor_bytes(), direct.factor_bytes());
+}
+
+}  // namespace
+}  // namespace fdks::core

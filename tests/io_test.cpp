@@ -1,0 +1,134 @@
+// Tests for dataset I/O: LIBSVM, CSV, and binary round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.hpp"
+#include "data/io.hpp"
+
+namespace fdks::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdks_io_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, LibsvmBasicParse) {
+  {
+    std::ofstream f(path("a.svm"));
+    f << "+1 1:0.5 3:2.0\n";
+    f << "-1 2:1.5\n";
+    f << "# comment line\n";
+    f << "+1 1:1.0 2:1.0 3:1.0\n";
+  }
+  Dataset ds = read_libsvm(path("a.svm"));
+  EXPECT_EQ(ds.n(), 3);
+  EXPECT_EQ(ds.dim(), 3);
+  EXPECT_EQ(ds.points(0, 0), 0.5);
+  EXPECT_EQ(ds.points(2, 0), 2.0);
+  EXPECT_EQ(ds.points(1, 0), 0.0);  // Missing features are zero.
+  EXPECT_EQ(ds.points(1, 1), 1.5);
+  ASSERT_TRUE(ds.labeled());
+  EXPECT_EQ(ds.labels[0], 1.0);
+  EXPECT_EQ(ds.labels[1], -1.0);
+}
+
+TEST_F(IoTest, LibsvmRemapsZeroOneLabels) {
+  {
+    std::ofstream f(path("b.svm"));
+    f << "0 1:1.0\n1 1:2.0\n0 1:3.0\n";
+  }
+  Dataset ds = read_libsvm(path("b.svm"));
+  EXPECT_EQ(ds.labels[0], -1.0);
+  EXPECT_EQ(ds.labels[1], 1.0);
+  // Original labels preserved as targets.
+  EXPECT_EQ(ds.targets[1], 1.0);
+}
+
+TEST_F(IoTest, LibsvmErrors) {
+  EXPECT_THROW(read_libsvm(path("missing.svm")), std::runtime_error);
+  {
+    std::ofstream f(path("bad.svm"));
+    f << "+1 nocolon\n";
+  }
+  EXPECT_THROW(read_libsvm(path("bad.svm")), std::runtime_error);
+  {
+    std::ofstream f(path("zeroidx.svm"));
+    f << "+1 0:1.0\n";
+  }
+  EXPECT_THROW(read_libsvm(path("zeroidx.svm")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  Dataset ds = make_synthetic(SyntheticKind::SusyLike, 40, 1);
+  write_csv(path("c.csv"), ds);
+  Dataset back = read_csv(path("c.csv"), /*labeled=*/true);
+  EXPECT_EQ(back.n(), ds.n());
+  EXPECT_EQ(back.dim(), ds.dim());
+  EXPECT_LT(la::max_abs_diff(back.points, ds.points), 1e-14);
+  EXPECT_EQ(back.labels, ds.labels);
+}
+
+TEST_F(IoTest, CsvUnlabeled) {
+  Dataset ds = make_synthetic(SyntheticKind::Normal, 20, 2);
+  write_csv(path("d.csv"), ds);
+  Dataset back = read_csv(path("d.csv"), /*labeled=*/false);
+  EXPECT_EQ(back.dim(), ds.dim());
+  EXPECT_FALSE(back.labeled());
+}
+
+TEST_F(IoTest, CsvRaggedRowsRejected) {
+  {
+    std::ofstream f(path("ragged.csv"));
+    f << "1,2,3\n1,2\n";
+  }
+  EXPECT_THROW(read_csv(path("ragged.csv"), false), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripLossless) {
+  Dataset ds = make_synthetic(SyntheticKind::MnistLike, 30, 3);
+  ASSERT_TRUE(ds.multiclass());
+  write_binary(path("e.bin"), ds);
+  Dataset back = read_binary(path("e.bin"));
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.intrinsic_dim, ds.intrinsic_dim);
+  EXPECT_EQ(la::max_abs_diff(back.points, ds.points), 0.0);
+  EXPECT_EQ(back.labels, ds.labels);
+  EXPECT_EQ(back.classes, ds.classes);
+  EXPECT_EQ(back.targets, ds.targets);
+}
+
+TEST_F(IoTest, LibsvmWriteReadRoundTrip) {
+  Dataset ds = make_synthetic(SyntheticKind::HiggsLike, 25, 8);
+  write_libsvm(path("rt.svm"), ds);
+  Dataset back = read_libsvm(path("rt.svm"));
+  EXPECT_EQ(back.n(), ds.n());
+  EXPECT_EQ(back.dim(), ds.dim());
+  EXPECT_LT(la::max_abs_diff(back.points, ds.points), 1e-14);
+  EXPECT_EQ(back.labels, ds.labels);
+}
+
+TEST_F(IoTest, BinaryBadMagicRejected) {
+  {
+    std::ofstream f(path("junk.bin"), std::ios::binary);
+    f << "not a dataset";
+  }
+  EXPECT_THROW(read_binary(path("junk.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdks::data

@@ -1,0 +1,264 @@
+// Tests for kernel functions, the lazy kernel-matrix view, and the three
+// summation schemes (including GSKS == stored-GEMV parity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "kernel/gsks.hpp"
+#include "kernel/kernel_matrix.hpp"
+#include "kernel/kernels.hpp"
+#include "kernel/summation.hpp"
+#include "la/gemm.hpp"
+#include "la/svd.hpp"
+
+namespace fdks::kernel {
+namespace {
+
+using la::Matrix;
+using la::index_t;
+
+Matrix random_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return Matrix::random_gaussian(d, n, rng);
+}
+
+std::vector<index_t> iota_idx(index_t n, index_t start = 0) {
+  std::vector<index_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+// ------------------------------------------------------------ Kernels --
+
+TEST(Kernels, GaussianAtZeroDistanceIsOne) {
+  Kernel k = Kernel::gaussian(0.5);
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_NEAR(k.eval(x.data(), x.data(), 2), 1.0, 1e-15);
+}
+
+TEST(Kernels, GaussianMatchesFormula) {
+  Kernel k = Kernel::gaussian(2.0);
+  std::vector<double> x = {0.0, 0.0};
+  std::vector<double> y = {3.0, 4.0};  // Distance 5.
+  EXPECT_NEAR(k.eval(x.data(), y.data(), 2), std::exp(-0.5 * 25.0 / 4.0),
+              1e-15);
+}
+
+TEST(Kernels, LaplacianMatchesFormula) {
+  Kernel k = Kernel::laplacian(2.0);
+  std::vector<double> x = {0.0};
+  std::vector<double> y = {3.0};
+  EXPECT_NEAR(k.eval(x.data(), y.data(), 1), std::exp(-1.5), 1e-15);
+}
+
+TEST(Kernels, Matern32MatchesFormula) {
+  Kernel k = Kernel::matern32(1.0);
+  std::vector<double> x = {0.0};
+  std::vector<double> y = {2.0};
+  const double r = std::sqrt(3.0) * 2.0;
+  EXPECT_NEAR(k.eval(x.data(), y.data(), 1), (1.0 + r) * std::exp(-r), 1e-15);
+}
+
+TEST(Kernels, PolynomialMatchesFormula) {
+  Kernel k = Kernel::polynomial(1.0, 1.0, 3);
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {3.0, -1.0};  // x.y = 1.
+  EXPECT_NEAR(k.eval(x.data(), y.data(), 2), 8.0, 1e-12);  // (1+1)^3.
+}
+
+TEST(Kernels, SymmetryHoldsForAllTypes) {
+  std::mt19937_64 rng(7);
+  Matrix pts = Matrix::random_gaussian(5, 2, rng);
+  for (Kernel k : {Kernel::gaussian(0.7), Kernel::laplacian(1.3),
+                   Kernel::matern32(0.9), Kernel::polynomial(1.0, 0.5, 2)}) {
+    const double kxy = k.eval(pts.col(0), pts.col(1), 5);
+    const double kyx = k.eval(pts.col(1), pts.col(0), 5);
+    EXPECT_DOUBLE_EQ(kxy, kyx) << k.name();
+  }
+}
+
+TEST(Kernels, GaussianBandwidthLimits) {
+  // Small h: K -> I. Large h: K -> all-ones (paper §I).
+  std::vector<double> x = {0.0}, y = {1.0};
+  EXPECT_LT(Kernel::gaussian(1e-3).eval(x.data(), y.data(), 1), 1e-300);
+  EXPECT_NEAR(Kernel::gaussian(1e3).eval(x.data(), y.data(), 1), 1.0, 1e-6);
+}
+
+// ------------------------------------------------------- KernelMatrix --
+
+TEST(KernelMatrix, EntryMatchesDirectEval) {
+  Matrix pts = random_points(4, 10, 11);
+  Kernel k = Kernel::gaussian(1.0);
+  KernelMatrix km(pts, k);
+  for (index_t i : {0, 3, 9})
+    for (index_t j : {1, 5, 9})
+      EXPECT_NEAR(km.entry(i, j), k.eval(pts.col(i), pts.col(j), 4), 1e-14);
+}
+
+TEST(KernelMatrix, DiagonalIsOneForRadialKernels) {
+  Matrix pts = random_points(8, 6, 12);
+  KernelMatrix km(pts, Kernel::gaussian(0.4));
+  for (index_t i = 0; i < 6; ++i) EXPECT_NEAR(km.entry(i, i), 1.0, 1e-14);
+}
+
+TEST(KernelMatrix, BlockMatchesEntries) {
+  Matrix pts = random_points(3, 12, 13);
+  KernelMatrix km(pts, Kernel::laplacian(0.8));
+  std::vector<index_t> rows = {2, 7, 4};
+  std::vector<index_t> cols = {0, 11};
+  Matrix b = km.block(rows, cols);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 3; ++i)
+      EXPECT_NEAR(b(i, j), km.entry(rows[i], cols[j]), 1e-14);
+}
+
+TEST(KernelMatrix, FullIsSymmetric) {
+  Matrix pts = random_points(6, 20, 14);
+  KernelMatrix km(pts, Kernel::gaussian(1.2));
+  Matrix k = km.full();
+  EXPECT_LT(la::max_abs_diff(k, k.transposed()), 1e-14);
+}
+
+TEST(KernelMatrix, GaussianIsPositiveSemiDefinite) {
+  Matrix pts = random_points(4, 15, 15);
+  KernelMatrix km(pts, Kernel::gaussian(0.9));
+  auto svd = la::svd_jacobi(km.full());
+  // PSD symmetric: singular values == eigenvalues >= 0; check smallest
+  // is non-negative within roundoff (it equals |lambda_min|, so instead
+  // check via x^T K x >= 0 for a few random x).
+  std::mt19937_64 rng(16);
+  Matrix k = km.full();
+  for (int t = 0; t < 5; ++t) {
+    Matrix x = Matrix::random_gaussian(15, 1, rng);
+    Matrix kx = la::matmul(k, x);
+    double q = 0.0;
+    for (index_t i = 0; i < 15; ++i) q += x(i, 0) * kx(i, 0);
+    EXPECT_GE(q, -1e-10);
+  }
+  (void)svd;
+}
+
+// ----------------------------------------------------------- GSKS -----
+
+class GsksParity : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GsksParity, MatchesMaterializedGemv) {
+  const auto [d, m, n] = GetParam();
+  Matrix pts = random_points(d, m + n, static_cast<uint64_t>(d * m + n));
+  KernelMatrix km(pts, Kernel::gaussian(1.1));
+  auto rows = iota_idx(m);
+  auto cols = iota_idx(n, m);
+  std::mt19937_64 rng(21);
+  std::vector<double> u(static_cast<size_t>(n));
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (auto& v : u) v = dist(rng);
+
+  std::vector<double> y_ref(static_cast<size_t>(m), 0.25);
+  Matrix block = km.block(rows, cols);
+  la::gemv(la::Trans::No, 1.0, block, u, 1.0, y_ref);
+
+  std::vector<double> y_gsks(static_cast<size_t>(m), 0.25);
+  gsks_apply(km, rows, cols, u, y_gsks);
+
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(y_gsks[static_cast<size_t>(i)], y_ref[static_cast<size_t>(i)],
+                1e-11 * n)
+        << "d=" << d << " m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GsksParity,
+    ::testing::Values(std::make_tuple(1, 5, 7), std::make_tuple(4, 64, 64),
+                      std::make_tuple(8, 65, 63), std::make_tuple(20, 200, 150),
+                      std::make_tuple(54, 130, 70), std::make_tuple(3, 1, 1),
+                      std::make_tuple(16, 128, 129)));
+
+TEST(Gsks, TransposeMatchesSymmetry) {
+  Matrix pts = random_points(5, 30, 22);
+  KernelMatrix km(pts, Kernel::matern32(0.8));
+  auto rows = iota_idx(12);
+  auto cols = iota_idx(18, 12);
+  std::vector<double> u(12, 0.0);
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (auto& v : u) v = dist(rng);
+
+  std::vector<double> y1(18, 0.0), y2(18, 0.0);
+  gsks_apply_trans(km, rows, cols, u, y1);
+  Matrix block = km.block(rows, cols);
+  la::gemv(la::Trans::Yes, 1.0, block, u, 1.0, y2);
+  for (int i = 0; i < 18; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Gsks, BlockApplyMatchesColumnwise) {
+  Matrix pts = random_points(6, 40, 24);
+  KernelMatrix km(pts, Kernel::gaussian(0.7));
+  auto rows = iota_idx(25);
+  auto cols = iota_idx(15, 25);
+  std::mt19937_64 rng(25);
+  Matrix u = Matrix::random_gaussian(15, 3, rng);
+  Matrix y(25, 3);
+  gsks_apply_block(km, rows, cols, u, y);
+  Matrix exact = la::matmul(km.block(rows, cols), u);
+  EXPECT_LT(la::max_abs_diff(y, exact), 1e-11);
+}
+
+// ------------------------------------------------------ KernelBlockOp --
+
+class SchemeParity : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeParity, AllSchemesAgree) {
+  const Scheme scheme = GetParam();
+  Matrix pts = random_points(7, 50, 31);
+  KernelMatrix km(pts, Kernel::gaussian(1.4));
+  auto rows = iota_idx(20);
+  auto cols = iota_idx(30, 20);
+  KernelBlockOp op(&km, rows, cols, scheme);
+  KernelBlockOp ref(&km, rows, cols, Scheme::StoredGemv);
+
+  std::mt19937_64 rng(32);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> u(30);
+  for (auto& v : u) v = dist(rng);
+  std::vector<double> y1(20, 1.0), y2(20, 1.0);
+  op.apply(u, y1, 2.0, 0.5);
+  ref.apply(u, y2, 2.0, 0.5);
+  for (int i = 0; i < 20; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-11);
+
+  std::vector<double> ut(20);
+  for (auto& v : ut) v = dist(rng);
+  std::vector<double> z1(30, -1.0), z2(30, -1.0);
+  op.apply_trans(ut, z1, 1.5, 1.0);
+  ref.apply_trans(ut, z2, 1.5, 1.0);
+  for (int i = 0; i < 30; ++i) EXPECT_NEAR(z1[i], z2[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeParity,
+                         ::testing::Values(Scheme::StoredGemv,
+                                           Scheme::ReevalGemm, Scheme::Gsks));
+
+TEST(KernelBlockOp, StorageAccounting) {
+  Matrix pts = random_points(3, 30, 41);
+  KernelMatrix km(pts, Kernel::gaussian(1.0));
+  auto rows = iota_idx(10);
+  auto cols = iota_idx(20, 10);
+  EXPECT_EQ(KernelBlockOp(&km, rows, cols, Scheme::StoredGemv).stored_bytes(),
+            10u * 20u * sizeof(double));
+  EXPECT_EQ(KernelBlockOp(&km, rows, cols, Scheme::Gsks).stored_bytes(), 0u);
+  EXPECT_EQ(KernelBlockOp(&km, rows, cols, Scheme::ReevalGemm).stored_bytes(),
+            0u);
+}
+
+TEST(KernelBlockOp, ApplyShapeMismatchThrows) {
+  Matrix pts = random_points(2, 10, 42);
+  KernelMatrix km(pts, Kernel::gaussian(1.0));
+  KernelBlockOp op(&km, iota_idx(4), iota_idx(6, 4), Scheme::StoredGemv);
+  std::vector<double> bad(5), y(4);
+  EXPECT_THROW(op.apply(bad, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdks::kernel

@@ -1,0 +1,90 @@
+// Tests for the exact kNN substrate against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "knn/knn.hpp"
+
+namespace fdks::knn {
+namespace {
+
+Matrix random_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return Matrix::random_gaussian(d, n, rng);
+}
+
+double sq_dist(const Matrix& x, index_t a, index_t b) {
+  double s = 0.0;
+  for (index_t k = 0; k < x.rows(); ++k) {
+    const double t = x(k, a) - x(k, b);
+    s += t * t;
+  }
+  return s;
+}
+
+TEST(Knn, OneDimensionalLineNeighbors) {
+  // Points at 0, 1, 2, ..., 9 on a line: neighbours of i are i-1, i+1.
+  Matrix p(1, 10);
+  for (index_t j = 0; j < 10; ++j) p(0, j) = static_cast<double>(j);
+  KnnResult r = exact_knn(p, 2);
+  EXPECT_EQ(r.id(0, 0), 1);
+  EXPECT_EQ(r.id(0, 1), 2);
+  EXPECT_EQ(r.id(5, 0) + r.id(5, 1), 4 + 6);
+  EXPECT_DOUBLE_EQ(r.d2(5, 0), 1.0);
+}
+
+TEST(Knn, ExcludesSelf) {
+  Matrix p = random_points(3, 30, 5);
+  KnnResult r = exact_knn(p, 4);
+  for (index_t i = 0; i < 30; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_NE(r.id(i, j), i);
+}
+
+TEST(Knn, DistancesAreSortedAscending) {
+  Matrix p = random_points(4, 50, 6);
+  KnnResult r = exact_knn(p, 8);
+  for (index_t i = 0; i < 50; ++i)
+    for (index_t j = 1; j < 8; ++j) EXPECT_LE(r.d2(i, j - 1), r.d2(i, j));
+}
+
+TEST(Knn, MatchesBruteForceOracle) {
+  Matrix p = random_points(5, 60, 7);
+  const index_t k = 5;
+  KnnResult r = exact_knn(p, k);
+  for (index_t i = 0; i < 60; ++i) {
+    // Oracle: sort all distances.
+    std::vector<std::pair<double, index_t>> all;
+    for (index_t j = 0; j < 60; ++j)
+      if (j != i) all.emplace_back(sq_dist(p, i, j), j);
+    std::sort(all.begin(), all.end());
+    for (index_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(r.d2(i, j), all[static_cast<size_t>(j)].first, 1e-10);
+    }
+  }
+}
+
+TEST(Knn, KClampedToNMinusOne) {
+  Matrix p = random_points(2, 4, 8);
+  KnnResult r = exact_knn(p, 100);
+  EXPECT_EQ(r.k, 3);
+}
+
+TEST(Knn, SubsetQueriesOnly) {
+  Matrix p = random_points(3, 40, 9);
+  std::vector<index_t> queries = {5, 17, 33};
+  KnnResult r = exact_knn_subset(p, queries, 3);
+  EXPECT_EQ(r.n, 3);
+  KnnResult full = exact_knn(p, 3);
+  for (index_t qi = 0; qi < 3; ++qi)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_EQ(r.id(qi, j), full.id(queries[static_cast<size_t>(qi)], j));
+}
+
+TEST(Knn, ThrowsOnTooFewPoints) {
+  Matrix p = random_points(2, 1, 10);
+  EXPECT_THROW(exact_knn(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdks::knn

@@ -1,0 +1,170 @@
+// Tests for multi-class KRR, kernel ridge regression, compression
+// diagnostics, and the solver's kernel-type generality.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "askit/diagnostics.hpp"
+#include "core/solver.hpp"
+#include "data/preprocess.hpp"
+#include "krr/krr.hpp"
+#include "la/blas1.hpp"
+
+namespace fdks {
+namespace {
+
+using data::Dataset;
+using data::SyntheticKind;
+using la::Matrix;
+using la::index_t;
+
+krr::KrrConfig fast_config() {
+  krr::KrrConfig cfg;
+  cfg.askit.leaf_size = 64;
+  cfg.askit.max_rank = 64;
+  cfg.askit.tol = 1e-6;
+  cfg.askit.num_neighbors = 0;
+  cfg.askit.seed = 13;
+  return cfg;
+}
+
+TEST(Multiclass, LearnsTenDigitClusters) {
+  Dataset ds = data::make_synthetic(SyntheticKind::MnistLike, 1200, 1);
+  auto [train, test] = data::train_test_split(ds, 0.2, 2);
+  krr::KrrConfig cfg = fast_config();
+  cfg.bandwidth = 8.0;
+  cfg.lambda = 0.5;
+  krr::KernelRidgeMulticlass model(train, 10, cfg);
+  EXPECT_EQ(model.num_classes(), 10);
+  EXPECT_GT(model.accuracy(test), 0.9);
+}
+
+TEST(Multiclass, BeatsBinaryOneVsAllBaselineOnSameData) {
+  // The multi-class argmax must at least recover the '3'-vs-rest task
+  // as well as the dedicated binary model.
+  Dataset ds = data::make_synthetic(SyntheticKind::MnistLike, 800, 3);
+  auto [train, test] = data::train_test_split(ds, 0.25, 4);
+  krr::KrrConfig cfg = fast_config();
+  cfg.bandwidth = 8.0;
+  cfg.lambda = 0.5;
+  krr::KernelRidgeMulticlass mc(train, 10, cfg);
+  auto pred = mc.predict(test.points);
+  size_t agree = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const bool is3 = pred[i] == 3;
+    const bool truth3 = test.classes[i] == 3;
+    if (is3 == truth3) ++agree;
+  }
+  EXPECT_GT(double(agree) / double(pred.size()), 0.9);
+}
+
+TEST(Multiclass, RejectsBadInputs) {
+  Dataset ds = data::make_synthetic(SyntheticKind::SusyLike, 100, 5);
+  EXPECT_THROW(krr::KernelRidgeMulticlass(ds, 2, fast_config()),
+               std::invalid_argument);
+  Dataset m = data::make_synthetic(SyntheticKind::MnistLike, 100, 6);
+  EXPECT_THROW(krr::KernelRidgeMulticlass(m, 3, fast_config()),
+               std::invalid_argument);  // Classes up to 9 out of range.
+}
+
+TEST(Regression, RecoversSmoothFunction) {
+  Dataset ds = data::make_synthetic(SyntheticKind::Normal, 1500, 7);
+  ASSERT_TRUE(ds.has_targets());
+  auto [train, test] = data::train_test_split(ds, 0.2, 8);
+  krr::KrrConfig cfg = fast_config();
+  cfg.bandwidth = 8.0;
+  cfg.lambda = 0.1;
+  krr::KernelRidgeRegressor model(train, cfg);
+  // Targets have unit-order scale (std ~0.8); a real fit means RMSE
+  // well below that.
+  EXPECT_LT(model.rmse(test), 0.3);
+  EXPECT_LT(model.train_residual(), 1e-6);
+}
+
+TEST(Regression, RejectsDatasetWithoutTargets) {
+  Dataset ds = data::make_synthetic(SyntheticKind::SusyLike, 100, 9);
+  ds.targets.clear();
+  EXPECT_THROW(krr::KernelRidgeRegressor(ds, fast_config()),
+               std::invalid_argument);
+}
+
+TEST(Diagnostics, ErrorTracksTau) {
+  Dataset ds = data::make_synthetic(SyntheticKind::Normal, 600, 10);
+  double prev = 1.0;
+  for (double tau : {1e-2, 1e-5}) {
+    askit::AskitConfig cfg;
+    cfg.leaf_size = 64;
+    cfg.max_rank = 128;  // Never caps (candidates <= 2 * leaf_size).
+    cfg.tol = tau;
+    cfg.num_neighbors = 8;
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(1.0), cfg);
+    auto rep = askit::compression_report(h);
+    EXPECT_GT(rep.sigma1, 0.0);
+    // The 2-norm error is a worst-direction measure over sampled IDs:
+    // allow generous slack over tau, but require the tau ordering.
+    EXPECT_LT(rep.rel_error_2norm, std::max(1e-3, 500.0 * tau));
+    EXPECT_LE(rep.rel_error_2norm, prev * 1.5);
+    EXPECT_GT(rep.total_skeleton_size, 0);
+    EXPECT_LT(rep.compression_ratio, 1.0);
+    prev = rep.rel_error_2norm;
+  }
+}
+
+// Kernel-type generality: the solver is kernel independent; every
+// supported kernel must factor and solve its own compressed operator to
+// near machine precision.
+class KernelTypeSweep : public ::testing::TestWithParam<kernel::Kernel> {};
+
+TEST_P(KernelTypeSweep, SolvesCompressedOperator) {
+  const kernel::Kernel k = GetParam();
+  const index_t n = 400;
+  Dataset ds = data::make_synthetic(SyntheticKind::Normal, n, 11);
+  askit::AskitConfig cfg;
+  cfg.leaf_size = 64;
+  cfg.max_rank = 80;
+  cfg.tol = 1e-7;
+  cfg.num_neighbors = 0;
+  askit::HMatrix h(ds.points, k, cfg);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FastDirectSolver solver(h, so);
+  std::mt19937_64 rng(12);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> u(static_cast<size_t>(n));
+  for (auto& v : u) v = g(rng);
+  auto x = solver.solve(u);
+  EXPECT_LT(h.relative_residual(x, u, 1.0), 1e-9) << k.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelTypeSweep,
+    ::testing::Values(kernel::Kernel::gaussian(1.0),
+                      kernel::Kernel::gaussian(3.0),
+                      kernel::Kernel::laplacian(2.0),
+                      kernel::Kernel::matern32(1.5),
+                      kernel::Kernel::polynomial(2.0, 1.0, 2)));
+
+TEST(Levelwise, MatchesRecursiveFactorization) {
+  Dataset ds = data::make_synthetic(SyntheticKind::Normal, 500, 13);
+  askit::AskitConfig cfg;
+  cfg.leaf_size = 64;
+  cfg.max_rank = 64;
+  cfg.tol = 1e-7;
+  cfg.num_neighbors = 0;
+  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(1.0), cfg);
+  core::SolverOptions rec, lvl;
+  rec.lambda = lvl.lambda = 0.6;
+  lvl.levelwise = true;
+  core::FastDirectSolver a(h, rec);
+  core::FastDirectSolver b(h, lvl);
+  std::mt19937_64 rng(14);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> u(500);
+  for (auto& v : u) v = g(rng);
+  auto xa = a.solve(u);
+  auto xb = b.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(xa, xb)) / la::nrm2(xa), 1e-13);
+}
+
+}  // namespace
+}  // namespace fdks

@@ -1,0 +1,116 @@
+// Additional coverage for the dense substrate and tree internals that
+// the factorization exercises only indirectly: Q application, serialized
+// tree reconstruction, uneven communicator splits, and utility paths.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+#include "mpisim/runtime.hpp"
+#include "tree/ball_tree.hpp"
+
+namespace fdks {
+namespace {
+
+using la::Matrix;
+using la::index_t;
+
+TEST(QrApply, QtThenQIsIdentity) {
+  std::mt19937_64 rng(1);
+  Matrix a = Matrix::random_gaussian(12, 8, rng);
+  la::QrFactor f = la::qr_factor(a);
+  Matrix b = Matrix::random_gaussian(12, 3, rng);
+  Matrix b0 = b;
+  la::qr_apply_qt(f, b);
+  la::qr_apply_q(f, b);
+  EXPECT_LT(la::max_abs_diff(b, b0), 1e-12);
+}
+
+TEST(QrApply, QtMatchesExplicitQ) {
+  std::mt19937_64 rng(2);
+  Matrix a = Matrix::random_gaussian(10, 6, rng);
+  la::QrFactor f = la::qr_factor(a);
+  Matrix q = la::qr_form_q(f);
+  Matrix b = Matrix::random_gaussian(10, 2, rng);
+  Matrix viaq = la::matmul(la::Trans::Yes, la::Trans::No, q, b);
+  la::qr_apply_qt(f, b);
+  // Only the leading rank rows are meaningful for the thin comparison.
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < f.rank; ++i)
+      EXPECT_NEAR(b(i, j), viaq(i, j), 1e-12);
+}
+
+TEST(QrApply, RowMismatchThrows) {
+  std::mt19937_64 rng(3);
+  Matrix a = Matrix::random_gaussian(8, 4, rng);
+  la::QrFactor f = la::qr_factor(a);
+  Matrix bad(7, 1);
+  EXPECT_THROW(la::qr_apply_qt(f, bad), std::invalid_argument);
+  EXPECT_THROW(la::qr_apply_q(f, bad), std::invalid_argument);
+}
+
+TEST(MatrixUtil, ToStringContainsShape) {
+  Matrix m(2, 3);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("2x3"), std::string::npos);
+}
+
+TEST(MatrixUtil, ResizeZeroFills) {
+  Matrix m(2, 2, 5.0);
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(TreeRestore, FromPartsMatchesOriginal) {
+  std::mt19937_64 rng(4);
+  Matrix p = Matrix::random_gaussian(4, 200, rng);
+  tree::BallTree t(p, {16, 9});
+  tree::BallTree back({16, 9}, t.nodes(), t.perm());
+  EXPECT_EQ(back.depth(), t.depth());
+  EXPECT_EQ(back.inverse_perm(), t.inverse_perm());
+  EXPECT_EQ(back.levels().size(), t.levels().size());
+  for (size_t l = 0; l < t.levels().size(); ++l)
+    EXPECT_EQ(back.levels()[l], t.levels()[l]);
+  for (index_t pos = 0; pos < 200; ++pos)
+    EXPECT_EQ(back.leaf_of(pos), t.leaf_of(pos));
+}
+
+TEST(TreeRestore, RejectsCorruptParts) {
+  std::mt19937_64 rng(5);
+  Matrix p = Matrix::random_gaussian(2, 50, rng);
+  tree::BallTree t(p, {8, 10});
+  EXPECT_THROW(tree::BallTree({8, 10}, {}, t.perm()), std::invalid_argument);
+  auto nodes = t.nodes();
+  nodes.front().end = 49;  // Root range no longer covers all points.
+  EXPECT_THROW(tree::BallTree({8, 10}, nodes, t.perm()),
+               std::invalid_argument);
+}
+
+TEST(MpisimSplit, UnevenColorsFormCorrectGroups) {
+  mpisim::run(5, [](mpisim::Comm& c) {
+    // Colors: {0,0,1,1,1} -> groups of size 2 and 3.
+    mpisim::Comm sub = c.split(c.rank() < 2 ? 0 : 1);
+    EXPECT_EQ(sub.size(), c.rank() < 2 ? 2 : 3);
+    std::vector<double> v{1.0};
+    sub.allreduce_sum(v);
+    EXPECT_EQ(v[0], static_cast<double>(sub.size()));
+  });
+}
+
+TEST(MpisimSplit, SingletonGroups) {
+  mpisim::run(3, [](mpisim::Comm& c) {
+    mpisim::Comm solo = c.split(c.rank());  // Every rank its own color.
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    std::vector<double> v{42.0};
+    solo.allreduce_sum(v);  // Degenerate collectives must still work.
+    EXPECT_EQ(v[0], 42.0);
+  });
+}
+
+}  // namespace
+}  // namespace fdks

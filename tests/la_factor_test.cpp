@@ -1,0 +1,380 @@
+// Tests for LU, Cholesky, QR, ID, SVD, and norm estimates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "la/blas1.hpp"
+#include "la/chol.hpp"
+#include "la/gemm.hpp"
+#include "la/id.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace fdks::la {
+namespace {
+
+Matrix diag_dominant(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Matrix a = Matrix::random_gaussian(n, n, rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n) + 1.0;
+  return a;
+}
+
+Matrix spd_matrix(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Matrix g = Matrix::random_gaussian(n, n, rng);
+  Matrix a = matmul(Trans::Yes, Trans::No, g, g);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+// ---------------------------------------------------------------- LU --
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  LuFactor f = lu_factor(a);
+  std::vector<double> b = {3.0, 4.0};  // Solution x = (1, 1).
+  lu_solve(f, b);
+  EXPECT_NEAR(b[0], 1.0, 1e-14);
+  EXPECT_NEAR(b[1], 1.0, 1e-14);
+}
+
+TEST(Lu, RequiresSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(lu_factor(a), std::invalid_argument);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+  LuFactor f = lu_factor(a);
+  EXPECT_TRUE(f.singular || f.min_pivot < 1e-14);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;
+  LuFactor f = lu_factor(a);
+  EXPECT_FALSE(f.singular);
+  std::vector<double> b = {2.0, 5.0};
+  lu_solve(f, b);
+  EXPECT_NEAR(b[0], 5.0, 1e-14);
+  EXPECT_NEAR(b[1], 2.0, 1e-14);
+}
+
+class LuResidual : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuResidual, SmallRelativeResidual) {
+  const index_t n = GetParam();
+  Matrix a = diag_dominant(n, static_cast<uint64_t>(n));
+  LuFactor f = lu_factor(a);
+  EXPECT_FALSE(f.singular);
+  std::mt19937_64 rng(99);
+  Matrix xexact = Matrix::random_gaussian(n, 1, rng);
+  Matrix b = matmul(a, xexact);
+  std::vector<double> x(b.data(), b.data() + n);
+  lu_solve(f, x);
+  double err = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(x[static_cast<size_t>(i)] - xexact(i, 0)));
+  EXPECT_LT(err, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidual,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 127, 128, 129,
+                                           192, 300, 517));
+
+TEST(Lu, BlockedFactorReconstructsMatrix) {
+  // n > 2*block forces the blocked path; P*L*U must reproduce A.
+  const index_t n = 200;
+  Matrix a = diag_dominant(n, 77);
+  LuFactor f = lu_factor(a);
+  // Form L and U explicitly.
+  Matrix l = Matrix::identity(n);
+  Matrix u(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      if (i > j)
+        l(i, j) = f.lu(i, j);
+      else
+        u(i, j) = f.lu(i, j);
+    }
+  Matrix lu = matmul(l, u);
+  // Undo pivoting: apply swaps to a copy of A.
+  Matrix pa = a;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = f.piv[static_cast<size_t>(k)];
+    if (p != k)
+      for (index_t j = 0; j < n; ++j) std::swap(pa(k, j), pa(p, j));
+  }
+  EXPECT_LT(max_abs_diff(pa, lu), 1e-9 * norm_fro(a));
+}
+
+TEST(Lu, BlockSolveMatchesVectorSolves) {
+  Matrix a = diag_dominant(12, 5);
+  LuFactor f = lu_factor(a);
+  std::mt19937_64 rng(6);
+  Matrix b = Matrix::random_gaussian(12, 4, rng);
+  Matrix b2 = b;
+  lu_solve(f, b2);
+  for (index_t j = 0; j < 4; ++j) {
+    std::vector<double> col(b.col(j), b.col(j) + 12);
+    lu_solve(f, col);
+    for (index_t i = 0; i < 12; ++i)
+      EXPECT_NEAR(b2(i, j), col[static_cast<size_t>(i)], 1e-13);
+  }
+}
+
+TEST(Lu, RcondTracksConditioning) {
+  Matrix good = Matrix::identity(10);
+  LuFactor fg = lu_factor(good);
+  EXPECT_GT(lu_rcond(fg, norm1(good)), 0.5);
+
+  // Graded diagonal: condition 1e8.
+  Matrix bad = Matrix::identity(10);
+  bad(9, 9) = 1e-8;
+  LuFactor fb = lu_factor(bad);
+  const double rc = lu_rcond(fb, norm1(bad));
+  EXPECT_LT(rc, 1e-6);
+  EXPECT_GT(rc, 0.0);
+}
+
+// ----------------------------------------------------------- Cholesky --
+
+TEST(Chol, FactorsAndSolvesSpd) {
+  Matrix a = spd_matrix(20, 11);
+  CholFactor f = chol_factor(a);
+  EXPECT_TRUE(f.spd);
+  std::mt19937_64 rng(12);
+  Matrix xexact = Matrix::random_gaussian(20, 1, rng);
+  Matrix b = matmul(a, xexact);
+  std::vector<double> x(b.data(), b.data() + 20);
+  chol_solve(f, x);
+  for (index_t i = 0; i < 20; ++i)
+    EXPECT_NEAR(x[static_cast<size_t>(i)], xexact(i, 0), 1e-9);
+}
+
+TEST(Chol, FlagsIndefinite) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1.0;
+  CholFactor f = chol_factor(a);
+  EXPECT_FALSE(f.spd);
+}
+
+TEST(Chol, ReconstructsMatrix) {
+  Matrix a = spd_matrix(8, 21);
+  CholFactor f = chol_factor(a);
+  Matrix llt = matmul(Trans::No, Trans::Yes, f.l, f.l);
+  EXPECT_LT(max_abs_diff(a, llt), 1e-10 * norm_fro(a));
+}
+
+// ----------------------------------------------------------------- QR --
+
+TEST(Qr, ReconstructsMatrix) {
+  std::mt19937_64 rng(31);
+  Matrix a = Matrix::random_gaussian(12, 7, rng);
+  QrFactor f = qr_factor(a);
+  Matrix q = qr_form_q(f);
+  Matrix r = qr_form_r(f);
+  Matrix qr = matmul(q, r);
+  EXPECT_LT(max_abs_diff(a, qr), 1e-12);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  std::mt19937_64 rng(32);
+  Matrix a = Matrix::random_gaussian(15, 6, rng);
+  Matrix q = qr_form_q(qr_factor(a));
+  Matrix qtq = matmul(Trans::Yes, Trans::No, q, q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(6)), 1e-13);
+}
+
+TEST(Qr, LeastSquaresRecoversCoefficients) {
+  std::mt19937_64 rng(33);
+  Matrix a = Matrix::random_gaussian(30, 4, rng);
+  std::vector<double> coef = {1.0, -2.0, 0.5, 4.0};
+  std::vector<double> b(30, 0.0);
+  gemv(Trans::No, 1.0, a, coef, 0.0, b);
+  auto x = qr_least_squares(a, b);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x[i], coef[i], 1e-10);
+}
+
+TEST(QrPivoted, ReconstructsWithPermutation) {
+  std::mt19937_64 rng(34);
+  Matrix a = Matrix::random_gaussian(10, 8, rng);
+  QrFactor f = qr_factor_pivoted(a);
+  Matrix q = qr_form_q(f);
+  Matrix r = qr_form_r(f);
+  Matrix qr = matmul(q, r);  // Equals A(:, jpvt).
+  Matrix aperm = a.select_cols(f.jpvt);
+  EXPECT_LT(max_abs_diff(aperm, qr), 1e-12);
+}
+
+TEST(QrPivoted, RdiagIsNonIncreasing) {
+  std::mt19937_64 rng(35);
+  Matrix a = Matrix::random_gaussian(20, 12, rng);
+  QrFactor f = qr_factor_pivoted(a);
+  auto d = f.rdiag();
+  for (size_t k = 1; k < d.size(); ++k)
+    EXPECT_LE(d[k], d[k - 1] * (1.0 + 1e-12));
+}
+
+TEST(QrPivoted, RevealsNumericalRank) {
+  // Build an exactly rank-3 matrix; pivoted QR must truncate there.
+  std::mt19937_64 rng(36);
+  Matrix u = Matrix::random_gaussian(20, 3, rng);
+  Matrix v = Matrix::random_gaussian(3, 15, rng);
+  Matrix a = matmul(u, v);
+  QrFactor f = qr_factor_pivoted(a, 1e-10);
+  EXPECT_EQ(f.rank, 3);
+}
+
+TEST(QrPivoted, MaxRankCaps) {
+  std::mt19937_64 rng(37);
+  Matrix a = Matrix::random_gaussian(16, 16, rng);
+  QrFactor f = qr_factor_pivoted(a, 0.0, 5);
+  EXPECT_EQ(f.rank, 5);
+}
+
+// ----------------------------------------------------------------- ID --
+
+TEST(Id, ExactOnLowRank) {
+  std::mt19937_64 rng(41);
+  Matrix u = Matrix::random_gaussian(30, 4, rng);
+  Matrix v = Matrix::random_gaussian(4, 25, rng);
+  Matrix a = matmul(u, v);
+  IdResult id = interpolative_decomposition(a, 1e-10);
+  EXPECT_EQ(id.rank, 4);
+  EXPECT_TRUE(id.compressed);
+  EXPECT_LT(id_relative_error(a, id), 1e-9);
+}
+
+TEST(Id, IdentityOnSkeletonColumns) {
+  std::mt19937_64 rng(42);
+  Matrix a = Matrix::random_gaussian(10, 6, rng);
+  IdResult id = interpolative_decomposition(a, 0.0, 6);
+  // P restricted to the skeleton columns must be the identity.
+  for (index_t k = 0; k < id.rank; ++k) {
+    for (index_t i = 0; i < id.rank; ++i) {
+      const double expect = (i == k) ? 1.0 : 0.0;
+      EXPECT_NEAR(id.p(i, id.skeleton[static_cast<size_t>(k)]), expect, 1e-12);
+    }
+  }
+}
+
+class IdTolerance : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdTolerance, ErrorTracksTolerance) {
+  const double tol = GetParam();
+  // Matrix with geometric singular-value decay: sigma_k ~ 2^{-k}.
+  const index_t m = 40, n = 30;
+  std::mt19937_64 rng(43);
+  Matrix g1 = Matrix::random_gaussian(m, n, rng);
+  Matrix g2 = Matrix::random_gaussian(n, n, rng);
+  QrFactor q1 = qr_factor(g1);
+  QrFactor q2 = qr_factor(g2);
+  Matrix uu = qr_form_q(q1);
+  Matrix vv = qr_form_q(q2);
+  Matrix s(n, n);
+  for (index_t k = 0; k < n; ++k) s(k, k) = std::pow(2.0, -double(k));
+  Matrix a = matmul(matmul(uu, s), vv.transposed());
+  IdResult id = interpolative_decomposition(a, tol);
+  EXPECT_LT(id.rank, n);
+  // ID error can exceed the QR-diag estimate by a modest factor.
+  EXPECT_LT(id_relative_error(a, id), 50.0 * tol);
+  EXPECT_GT(id.rank, static_cast<index_t>(std::log2(1.0 / tol)) - 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, IdTolerance,
+                         ::testing::Values(1e-1, 1e-3, 1e-5, 1e-8));
+
+TEST(Id, EmptyMatrix) {
+  Matrix a(5, 0);
+  IdResult id = interpolative_decomposition(a, 1e-3);
+  EXPECT_EQ(id.rank, 0);
+  EXPECT_TRUE(id.skeleton.empty());
+}
+
+// ---------------------------------------------------------------- SVD --
+
+TEST(Svd, KnownSingularValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(1, 1) = 4;  // Diagonal: singular values {4, 3}.
+  SvdResult s = svd_jacobi(a);
+  ASSERT_EQ(s.sigma.size(), 2u);
+  EXPECT_NEAR(s.sigma[0], 4.0, 1e-12);
+  EXPECT_NEAR(s.sigma[1], 3.0, 1e-12);
+}
+
+TEST(Svd, ReconstructsMatrix) {
+  std::mt19937_64 rng(51);
+  Matrix a = Matrix::random_gaussian(9, 6, rng);
+  SvdResult s = svd_jacobi(a, /*want_vectors=*/true);
+  Matrix us(9, 6);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 9; ++i)
+      us(i, j) = s.u(i, j) * s.sigma[static_cast<size_t>(j)];
+  Matrix rec = matmul(Trans::No, Trans::Yes, us, s.v);
+  EXPECT_LT(max_abs_diff(a, rec), 1e-10);
+}
+
+TEST(Svd, WideMatrixHandledByTranspose) {
+  std::mt19937_64 rng(52);
+  Matrix a = Matrix::random_gaussian(4, 9, rng);
+  SvdResult s = svd_jacobi(a, true);
+  Matrix us(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i)
+      us(i, j) = s.u(i, j) * s.sigma[static_cast<size_t>(j)];
+  Matrix rec = matmul(Trans::No, Trans::Yes, us, s.v);
+  EXPECT_LT(max_abs_diff(a, rec), 1e-10);
+}
+
+TEST(Svd, MatchesFrobeniusNorm) {
+  std::mt19937_64 rng(53);
+  Matrix a = Matrix::random_gaussian(12, 12, rng);
+  SvdResult s = svd_jacobi(a);
+  double sum2 = 0.0;
+  for (double v : s.sigma) sum2 += v * v;
+  EXPECT_NEAR(std::sqrt(sum2), norm_fro(a), 1e-10);
+}
+
+TEST(Svd, Cond2OfIdentityIsOne) {
+  EXPECT_NEAR(cond2(Matrix::identity(6)), 1.0, 1e-12);
+}
+
+// -------------------------------------------------------------- Norms --
+
+TEST(Norms, Norm1AndInf) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = -2; a(1, 0) = 3; a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(norm1(a), 6.0);     // Column 1: |-2|+|4| = 6.
+  EXPECT_DOUBLE_EQ(norm_inf(a), 7.0);  // Row 1: |3|+|4| = 7.
+}
+
+TEST(Norms, Norm2EstimateMatchesSvd) {
+  std::mt19937_64 rng(61);
+  Matrix a = Matrix::random_gaussian(15, 15, rng);
+  const double est = norm2_estimate(a, 60);
+  const double exact = svd_jacobi(a).sigma[0];
+  EXPECT_NEAR(est / exact, 1.0, 1e-3);
+}
+
+TEST(Norms, OperatorEstimateMatchesDense) {
+  Matrix a = spd_matrix(10, 62);
+  const double exact = svd_jacobi(a).sigma[0];
+  const double est = norm2_estimate_op(
+      10,
+      [&](std::span<const double> x, std::span<double> y) {
+        gemv(Trans::No, 1.0, a, x, 0.0, y);
+      },
+      80);
+  EXPECT_NEAR(est / exact, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fdks::la

@@ -1,0 +1,178 @@
+// Unit tests for the dense matrix container and level-1 kernels.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/blas1.hpp"
+#include "la/matrix.hpp"
+
+namespace fdks::la {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 3.5);
+  EXPECT_EQ(m(0, 0), 3.5);
+  EXPECT_EQ(m(1, 1), 3.5);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  const double* d = m.data();
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[3], 4);
+  EXPECT_EQ(m.col(1), d + 3);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  Matrix i = Matrix::identity(4);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c)
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, BlockExtractsSubmatrix) {
+  Matrix m(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  Matrix b = m.block(1, 2, 2, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), 12);
+  EXPECT_EQ(b(1, 1), 23);
+}
+
+TEST(Matrix, SetBlockWritesBack) {
+  Matrix m(3, 3);
+  Matrix b(2, 2, 7.0);
+  m.set_block(1, 1, b);
+  EXPECT_EQ(m(1, 1), 7.0);
+  EXPECT_EQ(m(2, 2), 7.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = -2.0;
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(1, 0), 5.0);
+  EXPECT_EQ(t(2, 1), -2.0);
+}
+
+TEST(Matrix, SelectColsGathersInOrder) {
+  Matrix m(2, 4);
+  for (index_t j = 0; j < 4; ++j) m(0, j) = static_cast<double>(j);
+  std::vector<index_t> idx = {3, 1};
+  Matrix s = m.select_cols(idx);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s(0, 0), 3.0);
+  EXPECT_EQ(s(0, 1), 1.0);
+}
+
+TEST(Matrix, SelectRowsGathersInOrder) {
+  Matrix m(4, 2);
+  for (index_t i = 0; i < 4; ++i) m(i, 1) = static_cast<double>(i);
+  std::vector<index_t> idx = {2, 0, 0};
+  Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s(0, 1), 2.0);
+  EXPECT_EQ(s(1, 1), 0.0);
+  EXPECT_EQ(s(2, 1), 0.0);
+}
+
+TEST(Matrix, RandomIsDeterministicGivenSeed) {
+  std::mt19937_64 r1(42), r2(42);
+  Matrix a = Matrix::random_gaussian(5, 5, r1);
+  Matrix b = Matrix::random_gaussian(5, 5, r2);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiffThrowsOnShapeMismatch) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  Matrix c = add_scaled(a, -0.5, b);
+  EXPECT_EQ(c(0, 0), 0.0);
+  EXPECT_EQ(c(1, 1), 0.0);
+}
+
+TEST(Blas1, DotAndNorm) {
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+}
+
+TEST(Blas1, Nrm2AvoidsOverflow) {
+  std::vector<double> x = {1e200, 1e200};
+  EXPECT_NEAR(nrm2(x) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+}
+
+TEST(Blas1, Nrm2EmptyAndZero) {
+  std::vector<double> empty;
+  EXPECT_EQ(nrm2(empty), 0.0);
+  std::vector<double> z = {0.0, 0.0};
+  EXPECT_EQ(nrm2(z), 0.0);
+}
+
+TEST(Blas1, AxpyAccumulates) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[1], 24.0);
+}
+
+TEST(Blas1, ScalScales) {
+  std::vector<double> x = {1.0, -2.0};
+  scal(-3.0, x);
+  EXPECT_EQ(x[0], -3.0);
+  EXPECT_EQ(x[1], 6.0);
+}
+
+TEST(Blas1, IamaxFindsLargestMagnitude) {
+  std::vector<double> x = {1.0, -5.0, 3.0};
+  EXPECT_EQ(iamax(x), 1);
+  std::vector<double> empty;
+  EXPECT_EQ(iamax(empty), -1);
+}
+
+TEST(Blas1, VaddVsub) {
+  std::vector<double> a = {1, 2}, b = {3, 5};
+  auto s = vadd(a, b);
+  auto d = vsub(a, b);
+  EXPECT_EQ(s[0], 4.0);
+  EXPECT_EQ(s[1], 7.0);
+  EXPECT_EQ(d[0], -2.0);
+  EXPECT_EQ(d[1], -3.0);
+  std::vector<double> c = {1};
+  EXPECT_THROW(vadd(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdks::la

@@ -1,0 +1,161 @@
+// Tests for the in-process message-passing runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "mpisim/runtime.hpp"
+
+namespace fdks::mpisim {
+namespace {
+
+TEST(Mpisim, SingleRankRuns) {
+  std::atomic<int> count{0};
+  run(1, [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Mpisim, AllRanksExecute) {
+  std::atomic<int> mask{0};
+  run(4, [&](Comm& c) { mask.fetch_or(1 << c.rank()); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(Mpisim, PointToPointRoundTrip) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, std::vector<double>{1.5, 2.5});
+      auto back = c.recv(1, 8);
+      ASSERT_EQ(back.size(), 2u);
+      EXPECT_EQ(back[0], 3.0);
+      EXPECT_EQ(back[1], 5.0);
+    } else {
+      auto msg = c.recv(0, 7);
+      for (auto& v : msg) v *= 2.0;
+      c.send(0, 8, msg);
+    }
+  });
+}
+
+TEST(Mpisim, TagsAreMatchedNotOrdered) {
+  // A message with a different tag must not satisfy a recv.
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<double>{1.0});
+      c.send(1, 2, std::vector<double>{2.0});
+    } else {
+      auto second = c.recv(0, 2);  // Ask for tag 2 first.
+      auto first = c.recv(0, 1);
+      EXPECT_EQ(second[0], 2.0);
+      EXPECT_EQ(first[0], 1.0);
+    }
+  });
+}
+
+TEST(Mpisim, SendRecvExchanges) {
+  run(2, [](Comm& c) {
+    std::vector<double> mine{static_cast<double>(c.rank() + 10)};
+    auto theirs = c.sendrecv(1 - c.rank(), 3, mine);
+    ASSERT_EQ(theirs.size(), 1u);
+    EXPECT_EQ(theirs[0], static_cast<double>((1 - c.rank()) + 10));
+  });
+}
+
+TEST(Mpisim, BcastDeliversToAll) {
+  run(4, [](Comm& c) {
+    std::vector<double> data;
+    if (c.rank() == 2) data = {4.0, 5.0, 6.0};
+    c.bcast(data, 2);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[0], 4.0);
+    EXPECT_EQ(data[2], 6.0);
+  });
+}
+
+TEST(Mpisim, ReduceSumAccumulates) {
+  run(4, [](Comm& c) {
+    std::vector<double> data{static_cast<double>(c.rank()), 1.0};
+    c.reduce_sum(data, 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(data[0], 0.0 + 1 + 2 + 3);
+      EXPECT_EQ(data[1], 4.0);
+    }
+  });
+}
+
+TEST(Mpisim, AllreduceGivesSameResultEverywhere) {
+  run(4, [](Comm& c) {
+    std::vector<double> data{std::pow(2.0, c.rank())};
+    c.allreduce_sum(data);
+    EXPECT_EQ(data[0], 15.0);
+  });
+}
+
+TEST(Mpisim, AllgathervConcatenatesInRankOrder) {
+  run(3, [](Comm& c) {
+    std::vector<double> mine(static_cast<size_t>(c.rank() + 1),
+                             static_cast<double>(c.rank()));
+    auto all = c.allgatherv(mine);
+    ASSERT_EQ(all.size(), 6u);  // 1 + 2 + 3.
+    EXPECT_EQ(all[0], 0.0);
+    EXPECT_EQ(all[1], 1.0);
+    EXPECT_EQ(all[2], 1.0);
+    EXPECT_EQ(all[3], 2.0);
+    EXPECT_EQ(all[5], 2.0);
+  });
+}
+
+TEST(Mpisim, SplitFormsIndependentGroups) {
+  run(4, [](Comm& c) {
+    // Even ranks one group, odd the other.
+    Comm sub = c.split(c.rank() % 2);
+    EXPECT_EQ(sub.size(), 2);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Traffic in the subgroup must not leak: exchange within sub.
+    std::vector<double> mine{static_cast<double>(c.rank())};
+    auto theirs = sub.sendrecv(1 - sub.rank(), 5, mine);
+    // Groups are {0,2} and {1,3}: my partner's world rank is (r+2) mod 4.
+    EXPECT_EQ(theirs[0], static_cast<double>((c.rank() + 2) % 4));
+  });
+}
+
+TEST(Mpisim, NestedSplitMatchesTreeHalving) {
+  // The pattern the distributed solver uses: halve repeatedly.
+  run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() < 4 ? 0 : 1);
+    EXPECT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() < 2 ? 0 : 1);
+    EXPECT_EQ(quarter.size(), 2);
+    std::vector<double> v{static_cast<double>(c.rank())};
+    quarter.allreduce_sum(v);
+    // Pairs are (0,1), (2,3), (4,5), (6,7).
+    const double expect = static_cast<double>((c.rank() / 2) * 4 + 1);
+    EXPECT_EQ(v[0], expect);
+  });
+}
+
+TEST(Mpisim, BarrierCompletes) {
+  std::atomic<int> after{0};
+  run(4, [&](Comm& c) {
+    c.barrier();
+    ++after;
+    c.barrier();
+    EXPECT_EQ(after.load(), 4);  // Everyone passed the first barrier.
+  });
+}
+
+TEST(Mpisim, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(run(2,
+                   [](Comm& c) {
+                     c.barrier();
+                     if (c.rank() == 1) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdks::mpisim

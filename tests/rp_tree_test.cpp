@@ -1,0 +1,102 @@
+// Tests for the randomized-projection-tree approximate kNN.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "askit/hmatrix.hpp"
+#include "knn/rp_tree.hpp"
+
+namespace fdks::knn {
+namespace {
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.1);
+  std::uniform_int_distribution<int> cl(0, 7);
+  Matrix centers = Matrix::random_uniform(d, 8, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+TEST(RpTree, ExcludesSelfAndSortsDistances) {
+  Matrix p = clustered_points(4, 200, 1);
+  KnnResult r = approx_knn(p, 5);
+  for (index_t i = 0; i < 200; ++i) {
+    for (index_t j = 0; j < 5; ++j) EXPECT_NE(r.id(i, j), i);
+    for (index_t j = 1; j < 5; ++j) EXPECT_LE(r.d2(i, j - 1), r.d2(i, j));
+  }
+}
+
+TEST(RpTree, HighRecallOnClusteredData) {
+  Matrix p = clustered_points(6, 500, 2);
+  const index_t k = 8;
+  KnnResult exact = exact_knn(p, k);
+  RpTreeConfig cfg;
+  cfg.num_trees = 6;
+  cfg.leaf_size = 48;
+  KnnResult approx = approx_knn(p, k, cfg);
+  EXPECT_GT(knn_recall(approx, exact), 0.85);
+}
+
+TEST(RpTree, RecallImprovesWithMoreTrees) {
+  Matrix p = clustered_points(6, 400, 3);
+  const index_t k = 6;
+  KnnResult exact = exact_knn(p, k);
+  RpTreeConfig few, many;
+  few.num_trees = 1;
+  many.num_trees = 8;
+  few.leaf_size = many.leaf_size = 32;
+  const double r_few = knn_recall(approx_knn(p, k, few), exact);
+  const double r_many = knn_recall(approx_knn(p, k, many), exact);
+  EXPECT_GE(r_many, r_few);
+  EXPECT_GT(r_many, 0.7);
+}
+
+TEST(RpTree, DeterministicGivenSeed) {
+  Matrix p = clustered_points(3, 150, 4);
+  KnnResult a = approx_knn(p, 4);
+  KnnResult b = approx_knn(p, 4);
+  EXPECT_EQ(a.ids, b.ids);
+}
+
+TEST(RpTree, KClampedAndTinyInputsRejected) {
+  Matrix p = clustered_points(2, 4, 5);
+  KnnResult r = approx_knn(p, 100);
+  EXPECT_EQ(r.k, 3);
+  Matrix one(2, 1);
+  EXPECT_THROW(approx_knn(one, 1), std::invalid_argument);
+}
+
+TEST(RpTree, RecallHelperValidatesShapes) {
+  Matrix p = clustered_points(2, 50, 6);
+  KnnResult a = approx_knn(p, 3);
+  KnnResult b = exact_knn(p, 4);
+  EXPECT_THROW(knn_recall(a, b), std::invalid_argument);
+  KnnResult c = exact_knn(p, 3);
+  EXPECT_NEAR(knn_recall(c, c), 1.0, 1e-15);
+}
+
+TEST(RpTree, HMatrixBuildsWithApproximateNeighbors) {
+  Matrix p = clustered_points(3, 400, 7);
+  askit::AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 48;
+  cfg.tol = 1e-6;
+  cfg.num_neighbors = 8;
+  cfg.approx_neighbors = true;
+  askit::HMatrix h(p, kernel::Kernel::gaussian(1.0), cfg);
+  EXPECT_GT(h.stats().skeletonized_nodes, 0);
+  // Matvec accuracy should be in the same ballpark as with exact kNN.
+  std::vector<double> w(400, 1.0), y(400, 0.0);
+  h.apply(w, y);
+  double norm = 0.0;
+  for (double v : y) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+}  // namespace
+}  // namespace fdks::knn

@@ -1,0 +1,129 @@
+// Tests for HMatrix binary serialization: the loaded representation must
+// be operationally identical to the saved one (matvecs, frontier,
+// solver results).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <unistd.h>
+
+#include "askit/serialize.hpp"
+#include "core/solver.hpp"
+#include "data/generators.hpp"
+#include "la/blas1.hpp"
+
+namespace fdks::askit {
+namespace {
+
+namespace fs = std::filesystem;
+using la::Matrix;
+using la::index_t;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdks_ser_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const char* name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+HMatrix build_sample(index_t n, index_t level_restriction = 0) {
+  data::Dataset ds =
+      data::make_synthetic(data::SyntheticKind::CovtypeLike, n, 31);
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 48;
+  cfg.tol = 1e-6;
+  cfg.num_neighbors = 4;
+  cfg.level_restriction = level_restriction;
+  cfg.seed = 17;
+  return HMatrix(ds.points, Kernel::gaussian(3.0), cfg);
+}
+
+TEST_F(SerializeTest, RoundTripPreservesStructure) {
+  HMatrix h = build_sample(300);
+  save_hmatrix(path("h.bin"), h);
+  HMatrix back = load_hmatrix(path("h.bin"));
+
+  EXPECT_EQ(back.n(), h.n());
+  EXPECT_EQ(back.dim(), h.dim());
+  EXPECT_EQ(back.tree().perm(), h.tree().perm());
+  EXPECT_EQ(back.tree().nodes().size(), h.tree().nodes().size());
+  EXPECT_EQ(back.frontier(), h.frontier());
+  EXPECT_EQ(back.stats().skeletonized_nodes, h.stats().skeletonized_nodes);
+  for (index_t id = 0; id < static_cast<index_t>(h.tree().nodes().size());
+       ++id) {
+    EXPECT_EQ(back.is_skeletonized(id), h.is_skeletonized(id));
+    EXPECT_EQ(back.skeleton(id).skel, h.skeleton(id).skel);
+    if (h.skeleton(id).proj.size() > 0)
+      EXPECT_EQ(la::max_abs_diff(back.skeleton(id).proj,
+                                 h.skeleton(id).proj),
+                0.0);
+  }
+}
+
+TEST_F(SerializeTest, MatvecsAreBitIdentical) {
+  HMatrix h = build_sample(256);
+  save_hmatrix(path("h.bin"), h);
+  HMatrix back = load_hmatrix(path("h.bin"));
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> w(256);
+  for (auto& v : w) v = g(rng);
+  std::vector<double> y1(256), y2(256);
+  h.apply(w, y1, 0.3);
+  back.apply(w, y2, 0.3);
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST_F(SerializeTest, SolverOnLoadedMatchesOriginal) {
+  HMatrix h = build_sample(320, /*level_restriction=*/2);
+  save_hmatrix(path("h.bin"), h);
+  HMatrix back = load_hmatrix(path("h.bin"));
+
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FastDirectSolver s1(h, so);
+  core::FastDirectSolver s2(back, so);
+  std::mt19937_64 rng(6);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> u(320);
+  for (auto& v : u) v = g(rng);
+  auto x1 = s1.solve(u);
+  auto x2 = s2.solve(u);
+  EXPECT_LT(la::nrm2(la::vsub(x1, x2)) / la::nrm2(x1), 1e-14);
+}
+
+TEST_F(SerializeTest, RejectsCorruptFiles) {
+  EXPECT_THROW(load_hmatrix(path("missing.bin")), std::runtime_error);
+  {
+    std::ofstream junk(path("junk.bin"), std::ios::binary);
+    junk << "garbage";
+  }
+  EXPECT_THROW(load_hmatrix(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, KernelParametersSurvive) {
+  data::Dataset ds = data::make_synthetic(data::SyntheticKind::SusyLike,
+                                          128, 7);
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 32;
+  cfg.tol = 1e-5;
+  cfg.num_neighbors = 0;
+  HMatrix h(ds.points, Kernel::matern32(1.7), cfg);
+  save_hmatrix(path("m.bin"), h);
+  HMatrix back = load_hmatrix(path("m.bin"));
+  EXPECT_EQ(back.kernel().type, kernel::KernelType::Matern32);
+  EXPECT_EQ(back.kernel().bandwidth, 1.7);
+  EXPECT_EQ(back.config().tol, 1e-5);
+  EXPECT_EQ(back.config().leaf_size, 32);
+}
+
+}  // namespace
+}  // namespace fdks::askit

@@ -1,0 +1,162 @@
+// Tests for the ball tree: partition invariants, permutation validity,
+// balance, and level indexing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "tree/ball_tree.hpp"
+
+namespace fdks::tree {
+namespace {
+
+Matrix random_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return Matrix::random_gaussian(d, n, rng);
+}
+
+TEST(BallTree, RejectsEmptyAndBadLeafSize) {
+  Matrix empty(3, 0);
+  EXPECT_THROW(BallTree(empty, {4, 1}), std::invalid_argument);
+  Matrix one = random_points(3, 5, 1);
+  EXPECT_THROW(BallTree(one, {0, 1}), std::invalid_argument);
+}
+
+TEST(BallTree, SinglePointIsRootLeaf) {
+  Matrix p = random_points(2, 1, 2);
+  BallTree t(p, {4, 1});
+  EXPECT_EQ(t.nodes().size(), 1u);
+  EXPECT_TRUE(t.node(0).is_leaf());
+  EXPECT_EQ(t.depth(), 0);
+}
+
+TEST(BallTree, PermutationIsABijection) {
+  Matrix p = random_points(5, 137, 3);
+  BallTree t(p, {8, 7});
+  std::vector<index_t> sorted = t.perm();
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 137; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  // Inverse consistency.
+  for (index_t i = 0; i < 137; ++i)
+    EXPECT_EQ(t.perm()[static_cast<size_t>(t.inverse_perm()[static_cast<size_t>(i)])], i);
+}
+
+TEST(BallTree, NodesCoverDisjointRanges) {
+  Matrix p = random_points(3, 200, 4);
+  BallTree t(p, {16, 5});
+  for (const Node& nd : t.nodes()) {
+    if (nd.is_leaf()) continue;
+    const Node& l = t.node(nd.left);
+    const Node& r = t.node(nd.right);
+    EXPECT_EQ(l.begin, nd.begin);
+    EXPECT_EQ(l.end, r.begin);
+    EXPECT_EQ(r.end, nd.end);
+    EXPECT_EQ(l.parent, static_cast<index_t>(&nd - t.nodes().data()));
+    EXPECT_EQ(l.level, nd.level + 1);
+  }
+}
+
+TEST(BallTree, EqualSplitWithinOne) {
+  Matrix p = random_points(4, 333, 6);
+  BallTree t(p, {10, 8});
+  for (const Node& nd : t.nodes()) {
+    if (nd.is_leaf()) continue;
+    const index_t ls = t.node(nd.left).size();
+    const index_t rs = t.node(nd.right).size();
+    EXPECT_LE(std::abs(ls - rs), 1);
+  }
+}
+
+TEST(BallTree, LeavesRespectLeafSize) {
+  Matrix p = random_points(2, 500, 9);
+  const index_t m = 32;
+  BallTree t(p, {m, 10});
+  index_t covered = 0;
+  for (const Node& nd : t.nodes()) {
+    if (!nd.is_leaf()) continue;
+    EXPECT_LE(nd.size(), m);
+    EXPECT_GE(nd.size(), 1);
+    covered += nd.size();
+  }
+  EXPECT_EQ(covered, 500);
+}
+
+TEST(BallTree, DepthIsLogarithmic) {
+  Matrix p = random_points(3, 1024, 11);
+  BallTree t(p, {16, 12});
+  // 1024/16 = 64 leaves => depth log2(64) = 6 exactly for a perfect split.
+  EXPECT_EQ(t.depth(), 6);
+}
+
+TEST(BallTree, LevelsIndexEveryNode) {
+  Matrix p = random_points(6, 300, 13);
+  BallTree t(p, {20, 14});
+  size_t total = 0;
+  for (size_t l = 0; l < t.levels().size(); ++l) {
+    for (index_t id : t.levels()[l])
+      EXPECT_EQ(t.node(id).level, static_cast<int>(l));
+    total += t.levels()[l].size();
+  }
+  EXPECT_EQ(total, t.nodes().size());
+}
+
+TEST(BallTree, LeafOfFindsContainingLeaf) {
+  Matrix p = random_points(3, 100, 15);
+  BallTree t(p, {8, 16});
+  for (index_t pos = 0; pos < 100; ++pos) {
+    const Node& leaf = t.node(t.leaf_of(pos));
+    EXPECT_TRUE(leaf.is_leaf());
+    EXPECT_GE(pos, leaf.begin);
+    EXPECT_LT(pos, leaf.end);
+  }
+}
+
+TEST(BallTree, PermutedPointsGathersColumns) {
+  Matrix p = random_points(4, 50, 17);
+  BallTree t(p, {8, 18});
+  Matrix pp = t.permuted_points(p);
+  for (index_t pos = 0; pos < 50; ++pos)
+    for (index_t k = 0; k < 4; ++k)
+      EXPECT_EQ(pp(k, pos), p(k, t.perm()[static_cast<size_t>(pos)]));
+}
+
+TEST(BallTree, SplitSeparatesClusters) {
+  // Two well-separated clusters must end up in different level-1 nodes.
+  std::mt19937_64 rng(19);
+  Matrix p(2, 40);
+  for (index_t j = 0; j < 40; ++j) {
+    std::normal_distribution<double> g(0.0, 0.1);
+    p(0, j) = g(rng) + (j < 20 ? -10.0 : 10.0);
+    p(1, j) = g(rng);
+  }
+  BallTree t(p, {20, 20});
+  const Node& l = t.node(t.node(0).left);
+  // All original indices < 20 on one side.
+  bool left_is_negative =
+      t.perm()[static_cast<size_t>(l.begin)] < 20;
+  for (index_t pos = l.begin; pos < l.end; ++pos) {
+    const bool neg = t.perm()[static_cast<size_t>(pos)] < 20;
+    EXPECT_EQ(neg, left_is_negative);
+  }
+}
+
+TEST(BallTree, DuplicatePointsDoNotCrash) {
+  Matrix p(3, 64, 1.0);  // All identical.
+  BallTree t(p, {8, 21});
+  index_t covered = 0;
+  for (const Node& nd : t.nodes())
+    if (nd.is_leaf()) covered += nd.size();
+  EXPECT_EQ(covered, 64);
+}
+
+TEST(BallTree, DeterministicGivenSeed) {
+  Matrix p = random_points(5, 128, 22);
+  BallTree t1(p, {16, 99});
+  BallTree t2(p, {16, 99});
+  EXPECT_EQ(t1.perm(), t2.perm());
+  EXPECT_EQ(t1.nodes().size(), t2.nodes().size());
+}
+
+}  // namespace
+}  // namespace fdks::tree
