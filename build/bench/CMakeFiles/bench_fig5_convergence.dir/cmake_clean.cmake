@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_convergence.dir/bench_fig5_convergence.cpp.o"
+  "CMakeFiles/bench_fig5_convergence.dir/bench_fig5_convergence.cpp.o.d"
+  "bench_fig5_convergence"
+  "bench_fig5_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gsks.dir/bench_table1_gsks.cpp.o"
+  "CMakeFiles/bench_table1_gsks.dir/bench_table1_gsks.cpp.o.d"
+  "bench_table1_gsks"
+  "bench_table1_gsks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gsks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_log2_vs_log.dir/bench_table3_log2_vs_log.cpp.o"
+  "CMakeFiles/bench_table3_log2_vs_log.dir/bench_table3_log2_vs_log.cpp.o.d"
+  "bench_table3_log2_vs_log"
+  "bench_table3_log2_vs_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_log2_vs_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

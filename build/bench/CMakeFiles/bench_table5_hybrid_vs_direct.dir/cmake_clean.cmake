@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hybrid_vs_direct.dir/bench_table5_hybrid_vs_direct.cpp.o"
+  "CMakeFiles/bench_table5_hybrid_vs_direct.dir/bench_table5_hybrid_vs_direct.cpp.o.d"
+  "bench_table5_hybrid_vs_direct"
+  "bench_table5_hybrid_vs_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hybrid_vs_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

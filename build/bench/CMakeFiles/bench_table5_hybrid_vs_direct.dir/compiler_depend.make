@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table5_hybrid_vs_direct.
+# This may be replaced when dependencies are built.

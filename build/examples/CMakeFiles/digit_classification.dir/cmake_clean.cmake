@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_classification.dir/digit_classification.cpp.o"
+  "CMakeFiles/digit_classification.dir/digit_classification.cpp.o.d"
+  "digit_classification"
+  "digit_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

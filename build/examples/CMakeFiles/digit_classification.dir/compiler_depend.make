@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for digit_classification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_solve.dir/distributed_solve.cpp.o"
+  "CMakeFiles/distributed_solve.dir/distributed_solve.cpp.o.d"
+  "distributed_solve"
+  "distributed_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

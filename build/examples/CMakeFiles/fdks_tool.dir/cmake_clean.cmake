@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdks_tool.dir/fdks_tool.cpp.o"
+  "CMakeFiles/fdks_tool.dir/fdks_tool.cpp.o.d"
+  "fdks_tool"
+  "fdks_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdks_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_solver.dir/hybrid_solver.cpp.o"
+  "CMakeFiles/hybrid_solver.dir/hybrid_solver.cpp.o.d"
+  "hybrid_solver"
+  "hybrid_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

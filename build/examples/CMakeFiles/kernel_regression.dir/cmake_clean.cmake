@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_regression.dir/kernel_regression.cpp.o"
+  "CMakeFiles/kernel_regression.dir/kernel_regression.cpp.o.d"
+  "kernel_regression"
+  "kernel_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/askit/diagnostics.cpp" "src/CMakeFiles/fdks.dir/askit/diagnostics.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/askit/diagnostics.cpp.o.d"
+  "/root/repo/src/askit/hmatrix.cpp" "src/CMakeFiles/fdks.dir/askit/hmatrix.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/askit/hmatrix.cpp.o.d"
+  "/root/repo/src/askit/serialize.cpp" "src/CMakeFiles/fdks.dir/askit/serialize.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/askit/serialize.cpp.o.d"
+  "/root/repo/src/askit/skeletonization.cpp" "src/CMakeFiles/fdks.dir/askit/skeletonization.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/askit/skeletonization.cpp.o.d"
+  "/root/repo/src/core/dist_hybrid.cpp" "src/CMakeFiles/fdks.dir/core/dist_hybrid.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/dist_hybrid.cpp.o.d"
+  "/root/repo/src/core/dist_solver.cpp" "src/CMakeFiles/fdks.dir/core/dist_solver.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/dist_solver.cpp.o.d"
+  "/root/repo/src/core/factor_tree.cpp" "src/CMakeFiles/fdks.dir/core/factor_tree.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/factor_tree.cpp.o.d"
+  "/root/repo/src/core/factorize.cpp" "src/CMakeFiles/fdks.dir/core/factorize.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/factorize.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/fdks.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/preconditioned.cpp" "src/CMakeFiles/fdks.dir/core/preconditioned.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/preconditioned.cpp.o.d"
+  "/root/repo/src/core/solve.cpp" "src/CMakeFiles/fdks.dir/core/solve.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/solve.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/fdks.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/core/solver.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/fdks.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/fdks.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/CMakeFiles/fdks.dir/data/preprocess.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/data/preprocess.cpp.o.d"
+  "/root/repo/src/iterative/gmres.cpp" "src/CMakeFiles/fdks.dir/iterative/gmres.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/iterative/gmres.cpp.o.d"
+  "/root/repo/src/kernel/gsks.cpp" "src/CMakeFiles/fdks.dir/kernel/gsks.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/kernel/gsks.cpp.o.d"
+  "/root/repo/src/kernel/kernel_matrix.cpp" "src/CMakeFiles/fdks.dir/kernel/kernel_matrix.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/kernel/kernel_matrix.cpp.o.d"
+  "/root/repo/src/kernel/kernels.cpp" "src/CMakeFiles/fdks.dir/kernel/kernels.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/kernel/kernels.cpp.o.d"
+  "/root/repo/src/kernel/summation.cpp" "src/CMakeFiles/fdks.dir/kernel/summation.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/kernel/summation.cpp.o.d"
+  "/root/repo/src/knn/knn.cpp" "src/CMakeFiles/fdks.dir/knn/knn.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/knn/knn.cpp.o.d"
+  "/root/repo/src/knn/rp_tree.cpp" "src/CMakeFiles/fdks.dir/knn/rp_tree.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/knn/rp_tree.cpp.o.d"
+  "/root/repo/src/krr/krr.cpp" "src/CMakeFiles/fdks.dir/krr/krr.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/krr/krr.cpp.o.d"
+  "/root/repo/src/la/blas1.cpp" "src/CMakeFiles/fdks.dir/la/blas1.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/blas1.cpp.o.d"
+  "/root/repo/src/la/chol.cpp" "src/CMakeFiles/fdks.dir/la/chol.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/chol.cpp.o.d"
+  "/root/repo/src/la/gemm.cpp" "src/CMakeFiles/fdks.dir/la/gemm.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/gemm.cpp.o.d"
+  "/root/repo/src/la/id.cpp" "src/CMakeFiles/fdks.dir/la/id.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/id.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/CMakeFiles/fdks.dir/la/lu.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/lu.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/CMakeFiles/fdks.dir/la/matrix.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/matrix.cpp.o.d"
+  "/root/repo/src/la/norms.cpp" "src/CMakeFiles/fdks.dir/la/norms.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/norms.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/CMakeFiles/fdks.dir/la/qr.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/qr.cpp.o.d"
+  "/root/repo/src/la/svd.cpp" "src/CMakeFiles/fdks.dir/la/svd.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/la/svd.cpp.o.d"
+  "/root/repo/src/mpisim/collectives.cpp" "src/CMakeFiles/fdks.dir/mpisim/collectives.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/mpisim/collectives.cpp.o.d"
+  "/root/repo/src/mpisim/runtime.cpp" "src/CMakeFiles/fdks.dir/mpisim/runtime.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/mpisim/runtime.cpp.o.d"
+  "/root/repo/src/tree/ball_tree.cpp" "src/CMakeFiles/fdks.dir/tree/ball_tree.cpp.o" "gcc" "src/CMakeFiles/fdks.dir/tree/ball_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/askit_test.dir/askit_test.cpp.o"
+  "CMakeFiles/askit_test.dir/askit_test.cpp.o.d"
+  "askit_test"
+  "askit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/askit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

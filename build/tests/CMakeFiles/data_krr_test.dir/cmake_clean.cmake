@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_krr_test.dir/data_krr_test.cpp.o"
+  "CMakeFiles/data_krr_test.dir/data_krr_test.cpp.o.d"
+  "data_krr_test"
+  "data_krr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_krr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_hybrid_test.dir/dist_hybrid_test.cpp.o"
+  "CMakeFiles/dist_hybrid_test.dir/dist_hybrid_test.cpp.o.d"
+  "dist_hybrid_test"
+  "dist_hybrid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

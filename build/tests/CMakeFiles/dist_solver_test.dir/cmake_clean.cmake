@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_solver_test.dir/dist_solver_test.cpp.o"
+  "CMakeFiles/dist_solver_test.dir/dist_solver_test.cpp.o.d"
+  "dist_solver_test"
+  "dist_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmres_test.dir/gmres_test.cpp.o"
+  "CMakeFiles/gmres_test.dir/gmres_test.cpp.o.d"
+  "gmres_test"
+  "gmres_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krr_extended_test.dir/krr_extended_test.cpp.o"
+  "CMakeFiles/krr_extended_test.dir/krr_extended_test.cpp.o.d"
+  "krr_extended_test"
+  "krr_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krr_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_extras_test.dir/la_extras_test.cpp.o"
+  "CMakeFiles/la_extras_test.dir/la_extras_test.cpp.o.d"
+  "la_extras_test"
+  "la_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_factor_test.dir/la_factor_test.cpp.o"
+  "CMakeFiles/la_factor_test.dir/la_factor_test.cpp.o.d"
+  "la_factor_test"
+  "la_factor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

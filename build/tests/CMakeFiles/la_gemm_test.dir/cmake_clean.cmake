@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_gemm_test.dir/la_gemm_test.cpp.o"
+  "CMakeFiles/la_gemm_test.dir/la_gemm_test.cpp.o.d"
+  "la_gemm_test"
+  "la_gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

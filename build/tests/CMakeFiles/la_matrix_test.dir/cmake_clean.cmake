@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_matrix_test.dir/la_matrix_test.cpp.o"
+  "CMakeFiles/la_matrix_test.dir/la_matrix_test.cpp.o.d"
+  "la_matrix_test"
+  "la_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_test.dir/mpisim_test.cpp.o"
+  "CMakeFiles/mpisim_test.dir/mpisim_test.cpp.o.d"
+  "mpisim_test"
+  "mpisim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_tree_test.dir/rp_tree_test.cpp.o"
+  "CMakeFiles/rp_tree_test.dir/rp_tree_test.cpp.o.d"
+  "rp_tree_test"
+  "rp_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
