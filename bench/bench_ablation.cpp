@@ -21,6 +21,7 @@ using la::index_t;
 
 int main(int argc, char** argv) {
   const index_t n = bench::arg_n(argc, argv, 8192);
+  bench::obs_begin();
 
   // ---- A: compact-W storage --------------------------------------------
   bench::print_header("Ablation A: dense P^ storage vs compact-W "
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
     acfg.max_rank = 96;
     acfg.tol = 1e-5;
     acfg.num_neighbors = 0;
-    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    auto h = bench::phase("setup", [&] {
+      return askit::HMatrix(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    });
     auto u = bench::random_rhs(nn, 1);
     for (bool compact : {false, true}) {
       core::SolverOptions so;
@@ -197,5 +200,7 @@ int main(int argc, char** argv) {
                   solver.factor_seconds(), h.relative_residual(x, u, 1.0));
     }
   }
+  bench::write_bench_json("ablation",
+                          {obs::kv("n", static_cast<long long>(n))});
   return 0;
 }

@@ -23,6 +23,7 @@ using la::index_t;
 
 int main(int argc, char** argv) {
   const index_t nmax = bench::arg_n(argc, argv, 32768);
+  bench::obs_begin();
   bench::print_header(
       "Figure 4 (#17): O(N log N) verification, NORMAL 64-D, fixed rank "
       "s=64,\nm=256, L=1 equivalent. Ideal columns are normalized to the "
@@ -40,7 +41,9 @@ int main(int argc, char** argv) {
     acfg.tol = 0.0;  // Fixed rank as #17.
     acfg.num_neighbors = 0;
     acfg.seed = 19;
-    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    auto h = bench::phase("setup", [&] {
+      return askit::HMatrix(ds.points, kernel::Kernel::gaussian(0.8), acfg);
+    });
     core::SolverOptions so;
     so.lambda = 1.0;
     core::FastDirectSolver solver(h, so);
@@ -107,5 +110,7 @@ int main(int argc, char** argv) {
     // physical core equals t1/tf when ranks time-share the core.
     std::printf("%6d %10.3f %12.1f\n", p, tf, 100.0 * t1 / tf);
   }
+  bench::write_bench_json("fig4_scaling",
+                          {obs::kv("nmax", static_cast<long long>(nmax))});
   return 0;
 }

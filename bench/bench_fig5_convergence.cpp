@@ -57,6 +57,7 @@ void print_trace(const char* label, const std::vector<double>& res,
 
 int main(int argc, char** argv) {
   const index_t n = bench::arg_n(argc, argv, 4096);
+  bench::obs_begin();
   bench::print_header(
       "Figure 5 (#28-#39): GMRES on lambda I + K~ — (a) unpreconditioned "
       "treecode\nmatvec vs (b) hybrid solver. lambda = c * sigma1(K~), "
@@ -91,7 +92,9 @@ int main(int argc, char** argv) {
     acfg.num_neighbors = 0;
     acfg.level_restriction = c.level;
     acfg.seed = 29;
-    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(c.h), acfg);
+    auto h = bench::phase("setup", [&] {
+      return askit::HMatrix(ds.points, kernel::Kernel::gaussian(c.h), acfg);
+    });
     const double t_setup = setup_timer.seconds();
 
     // sigma_1(K~) via power iteration on the treecode matvec.
@@ -197,5 +200,7 @@ int main(int argc, char** argv) {
               "all\nwell-conditioned cells; unpreconditioned GMRES stalls "
               "at kappa~1e5;\n10-1000x speedup on the solve phase; the #30 "
               "probe trips the detector\nonly at tiny lambda.\n");
+  bench::write_bench_json("fig5_convergence",
+                          {obs::kv("n", static_cast<long long>(n))});
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <random>
 
+#include "bench_util.hpp"
 #include "kernel/gsks.hpp"
 #include "kernel/kernel_matrix.hpp"
 #include "la/gemm.hpp"
@@ -87,4 +88,15 @@ BENCHMARK(BM_GsksApply)
     ->Args({2048, 8})
     ->Args({2048, 64});
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the obs counters accumulated across all
+// benchmark iterations (gemm calls/flops, gsks evals) land in a
+// machine-readable BENCH_micro_la.json next to the console table.
+int main(int argc, char** argv) {
+  bench::obs_begin();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::write_bench_json("micro_la");
+  return 0;
+}

@@ -29,6 +29,7 @@ double run_reference(const kernel::KernelMatrix& km,
                      std::span<const index_t> rows,
                      std::span<const index_t> cols,
                      std::span<const double> u, std::span<double> y) {
+  obs::ScopedTimer scope("reference");
   bench::Timer t;
   la::Matrix block = km.block(rows, cols);
   la::gemv(la::Trans::No, 1.0, block, u, 0.0, y);
@@ -38,6 +39,7 @@ double run_reference(const kernel::KernelMatrix& km,
 double run_gsks(const kernel::KernelMatrix& km, std::span<const index_t> rows,
                 std::span<const index_t> cols, std::span<const double> u,
                 std::span<double> y) {
+  obs::ScopedTimer scope("gsks");
   bench::Timer t;
   std::fill(y.begin(), y.end(), 0.0);
   kernel::gsks_apply(km, rows, cols, u, y);
@@ -48,6 +50,7 @@ double run_gsks(const kernel::KernelMatrix& km, std::span<const index_t> rows,
 
 int main(int argc, char** argv) {
   const index_t base = bench::arg_n(argc, argv, 4096);
+  bench::obs_begin();
   bench::print_header(
       "Table I: Gaussian kernel summation GFLOPS (reference = materialize"
       "+GEMV,\n         GSKS = fused matrix-free). Paper: Haswell/KNL 16K/8K/"
@@ -93,5 +96,7 @@ int main(int argc, char** argv) {
       "peaks depends on\nthe memory hierarchy: the paper's KNL peaked at "
       "small d (MCDRAM-bound block\nwrites); on cache-resident scaled "
       "blocks the margin grows with d instead.\nSee EXPERIMENTS.md.\n");
+  bench::write_bench_json("table1_gsks",
+                          {obs::kv("base_n", static_cast<long long>(base))});
   return 0;
 }

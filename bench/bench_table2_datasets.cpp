@@ -30,6 +30,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   const index_t scale = bench::arg_n(argc, argv, 3000);
+  bench::obs_begin();
   bench::print_header(
       "Table II: datasets and kernel ridge regression accuracy.\n"
       "Synthetic stand-ins at laptop scale; paper columns quoted for "
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
     cfg.askit.tol = 1e-5;
     cfg.askit.num_neighbors = 0;
     cfg.askit.seed = 7;
-    krr::KernelRidge model(train, cfg);
+    // Library timers (tree/knn/skeletonize, factorize) nest under this.
+    auto model = bench::phase(
+        "train", [&] { return krr::KernelRidge(train, cfg); });
 
     std::printf("%-14s %8td %5td %6.2f %8.3f | %10s %9s | %8.1f%% %9.1e\n",
                 data::kind_name(r.kind), train.n(), ds.dim(), r.h, r.lambda,
@@ -72,5 +75,7 @@ int main(int argc, char** argv) {
                 k == SyntheticKind::MriLike ? "3.2M" : "1-32M", "-", "-",
                 "-");
   }
+  bench::write_bench_json("table2_datasets",
+                          {obs::kv("scale", static_cast<long long>(scale))});
   return 0;
 }

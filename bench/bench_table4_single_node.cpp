@@ -80,6 +80,7 @@ double solve_flops(const askit::HMatrix& h, bool with_kernel_eval) {
 
 int main(int argc, char** argv) {
   const index_t n = bench::arg_n(argc, argv, 4096);
+  bench::obs_begin();
   bench::print_header(
       "Table IV: single-node performance, covtype-like, fixed rank "
       "m=s=128, L=3.\nPaper: COVTYPE100K m=s=2048 on Haswell/KNL nodes; "
@@ -94,7 +95,9 @@ int main(int argc, char** argv) {
   acfg.num_neighbors = 0;
   acfg.level_restriction = 3;
   acfg.seed = 13;
-  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(3.0), acfg);
+  auto h = bench::phase("setup", [&] {
+    return askit::HMatrix(ds.points, kernel::Kernel::gaussian(3.0), acfg);
+  });
   auto u = bench::random_rhs(n, 3);
 
   // ---- Factorization under different rank counts (paper's p) ---------
@@ -158,5 +161,11 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper Table IV): Ts(GEMV) < Ts(GSKS) << "
               "Ts(GEMM);\nGSKS trades a small slowdown (1.2-1.6x there) for "
               "O(mn) less storage.\n");
+  bench::write_bench_json(
+      "table4_single_node",
+      {obs::kv("n", static_cast<long long>(n)), obs::kv("leaf_size", 128),
+       obs::kv("max_rank", 128), obs::kv("level_restriction", 3),
+       obs::kv("lambda", 1.0), obs::kv("dataset", "covtype-like"),
+       obs::kv("factor_flops", ff)});
   return 0;
 }

@@ -1,17 +1,24 @@
 // Shared helpers for the benchmark harnesses: wall-clock timing, random
-// right-hand sides, and dataset shortcuts. Every bench binary reproduces
-// one table or figure of the paper; absolute numbers differ from the
-// paper's cluster hardware, the *shape* (who wins, by what factor, where
-// crossovers happen) is the reproduction target (see EXPERIMENTS.md).
+// right-hand sides, dataset shortcuts, and the machine-readable report.
+// Every bench binary reproduces one table or figure of the paper;
+// absolute numbers differ from the paper's cluster hardware, the *shape*
+// (who wins, by what factor, where crossovers happen) is the
+// reproduction target (see EXPERIMENTS.md). Besides the stdout table,
+// each binary writes BENCH_<name>.json (config + merged obs timer tree +
+// counters) so the timing trajectory is diffable across PRs.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/generators.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::bench {
 
@@ -38,9 +45,21 @@ inline std::vector<double> random_rhs(la::index_t n, uint64_t seed) {
 }
 
 /// Parse an optional size-scale argument: benches default to laptop
-/// sizes; pass a larger N for longer runs.
+/// sizes; pass a larger N for longer runs. Malformed or non-positive
+/// sizes are a hard error (atol would silently yield N=0 and make the
+/// bench report nonsense timings for an empty problem).
 inline la::index_t arg_n(int argc, char** argv, la::index_t fallback) {
-  return argc > 1 ? static_cast<la::index_t>(std::atol(argv[1])) : fallback;
+  if (argc <= 1) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(argv[1], &end, 10);
+  if (errno != 0 || end == argv[1] || *end != '\0' || v <= 0) {
+    std::fprintf(stderr,
+                 "invalid size argument '%s': expected a positive integer\n",
+                 argv[1]);
+    std::exit(2);
+  }
+  return static_cast<la::index_t>(v);
 }
 
 inline void print_header(const char* title) {
@@ -49,6 +68,31 @@ inline void print_header(const char* title) {
               "==============================================================="
               "=========\n",
               title);
+}
+
+/// Turn the obs registry on (cleared) at bench start.
+inline void obs_begin() {
+  obs::set_enabled(true);
+  obs::reset();
+}
+
+/// Run `f` under a named top-level phase scope ("setup", ...). Returns
+/// f()'s result with guaranteed copy elision, so phases can wrap
+/// non-movable constructions: `auto h = phase("setup", [&]{ return
+/// askit::HMatrix(...); });`.
+template <class F>
+decltype(auto) phase(const char* name, F&& f) {
+  obs::ScopedTimer t(name);
+  return std::forward<F>(f)();
+}
+
+/// Write BENCH_<name>.json in the working directory from the current
+/// obs snapshot and announce it on stdout.
+inline void write_bench_json(const char* name,
+                             std::vector<obs::ConfigKV> config = {}) {
+  const std::string path = std::string("BENCH_") + name + ".json";
+  if (obs::write_json(path, name, config, obs::snapshot()))
+    std::printf("\n[obs] wrote %s\n", path.c_str());
 }
 
 }  // namespace fdks::bench

@@ -23,6 +23,7 @@
 #include "data/io.hpp"
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -45,6 +46,7 @@ struct Args {
   kernel::Scheme scheme = kernel::Scheme::StoredGemv;
   uint64_t seed = 42;
   std::string out;
+  bool profile = false;
 };
 
 int usage() {
@@ -55,7 +57,7 @@ int usage() {
                "[--rank S]\n"
                "       [--restrict LVL] [--hybrid] [--compact-w] "
                "[--spd-leaves]\n"
-               "       [--scheme gemv|gemm|gsks] [--seed X]\n");
+               "       [--scheme gemv|gemm|gsks] [--seed X] [--profile]\n");
   return 2;
 }
 
@@ -88,6 +90,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.compact_w = true;
     } else if (flag == "--spd-leaves") {
       a.spd_leaves = true;
+    } else if (flag == "--profile") {
+      a.profile = true;
     } else if (flag == "--data") {
       const char* v = need("--data");
       if (!v || !kinds.count(v)) return false;
@@ -157,8 +161,10 @@ askit::AskitConfig askit_config(const Args& a) {
 int run_solve(const Args& a) {
   data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
   std::printf("dataset %s: N=%td d=%td\n", ds.name.c_str(), ds.n(), ds.dim());
+  obs::ScopedTimer t_setup("setup");
   askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
                    askit_config(a));
+  t_setup.stop();
   std::printf("hmatrix: %td nodes skeletonized, max rank %td, frontier %zu\n",
               h.stats().skeletonized_nodes, h.stats().max_rank_used,
               h.frontier().size());
@@ -212,7 +218,11 @@ int run_krr(const Args& a) {
   cfg.lambda = a.lambda;
   cfg.askit = askit_config(a);
   cfg.use_hybrid = a.hybrid;
+  // "train" rather than "setup": KernelRidge factorizes internally, so
+  // the factorize/solve timers nest under this scope.
+  obs::ScopedTimer t_train("train");
   krr::KernelRidge model(train, cfg);
+  t_train.stop();
   std::printf("%s: train N=%td, test N=%td, h=%.3f lambda=%.4f\n",
               ds.name.c_str(), train.n(), test.n(), a.h, a.lambda);
   std::printf("train residual %.2e, factor %.3fs, %s\n",
@@ -224,8 +234,10 @@ int run_krr(const Args& a) {
 
 int run_info(const Args& a) {
   data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
+  obs::ScopedTimer t_setup("setup");
   askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
                    askit_config(a));
+  t_setup.stop();
   std::printf("dataset %s: N=%td d=%td intrinsic=%td\n", ds.name.c_str(),
               ds.n(), ds.dim(), ds.intrinsic_dim);
   std::printf("tree: depth %d, %zu nodes, leaf size <= %td\n",
@@ -285,8 +297,15 @@ int run_gen(const Args& a) {
 int main(int argc, char** argv) {
   Args a;
   if (!parse(argc, argv, a)) return usage();
-  if (a.cmd == "solve") return run_solve(a);
-  if (a.cmd == "krr") return run_krr(a);
-  if (a.cmd == "gen") return run_gen(a);
-  return run_info(a);
+  if (a.profile) {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  int rc = 0;
+  if (a.cmd == "solve") rc = run_solve(a);
+  else if (a.cmd == "krr") rc = run_krr(a);
+  else if (a.cmd == "gen") rc = run_gen(a);
+  else rc = run_info(a);
+  if (a.profile) obs::print_tree(stdout, obs::snapshot());
+  return rc;
 }

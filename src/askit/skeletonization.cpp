@@ -1,7 +1,6 @@
 // Construction of the hierarchical representation: tree build, neighbour
 // sampling, and the bottom-up skeletonization of Algorithm II.1.
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 #include <random>
 #include <stdexcept>
@@ -10,18 +9,9 @@
 #include "askit/hmatrix.hpp"
 #include "knn/rp_tree.hpp"
 #include "la/id.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::askit {
-
-namespace {
-
-using clock_t_ = std::chrono::steady_clock;
-
-double seconds_since(clock_t_::time_point t0) {
-  return std::chrono::duration<double>(clock_t_::now() - t0).count();
-}
-
-}  // namespace
 
 HMatrix::HMatrix(Matrix points, Kernel k, AskitConfig cfg)
     : cfg_(cfg),
@@ -35,7 +25,10 @@ HMatrix::HMatrix(Matrix points, Kernel k, AskitConfig cfg)
 }
 
 void HMatrix::skeletonize_all() {
-  const auto t0 = clock_t_::now();
+  // Timings feed both BuildStats (per-instance view) and the shared obs
+  // registry; when the caller opens a "setup" scope around construction
+  // these nest under it in the reported trace tree.
+  obs::ScopedTimer t_knn("knn");
 
   // Optional neighbour lists (kappa-NN over the permuted points) used to
   // bias the sampled rows S' toward the near field, as in ASKIT. For
@@ -51,9 +44,9 @@ void HMatrix::skeletonize_all() {
       neighbors = knn::exact_knn(km_.points(), k);
     }
   }
-  stats_.knn_seconds = seconds_since(t0);
+  stats_.knn_seconds = t_knn.stop();
 
-  const auto t1 = clock_t_::now();
+  obs::ScopedTimer t_skel("skeletonize");
   std::mt19937_64 rng(cfg_.seed + 17);
   // Bottom-up: levels() is indexed by level; walk deepest first. Nodes
   // within a level are independent — this is the paper's level-by-level
@@ -65,14 +58,18 @@ void HMatrix::skeletonize_all() {
       skeletonize_node(id, neighbors ? &*neighbors : nullptr, rng);
     }
   }
-  stats_.skeleton_seconds = seconds_since(t1);
+  stats_.skeleton_seconds = t_skel.stop();
 
+  double rank_sum = 0.0;
   for (const NodeSkeleton& s : skeletons_) {
     if (s.skeletonized) {
       ++stats_.skeletonized_nodes;
       stats_.max_rank_used = std::max(stats_.max_rank_used, s.rank());
+      rank_sum += double(s.rank());
     }
   }
+  obs::add("skeleton.nodes", double(stats_.skeletonized_nodes));
+  obs::add("skeleton.rank_sum", rank_sum);
 
   compute_frontier();
   stats_.frontier_size = static_cast<index_t>(frontier_.size());

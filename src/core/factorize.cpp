@@ -1,11 +1,11 @@
 // Telescoped O(N log N) factorization (Algorithm II.2) and the shared
 // per-node factorization kernel.
-#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/factor_tree.hpp"
 #include "la/gemm.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::core {
 
@@ -15,11 +15,6 @@ std::vector<index_t> range_ids(index_t begin, index_t end) {
   std::vector<index_t> v(static_cast<size_t>(end - begin));
   std::iota(v.begin(), v.end(), begin);
   return v;
-}
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
 }
 
 }  // namespace
@@ -87,7 +82,11 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
   NodeFactor& f = nf_[static_cast<size_t>(id)];
 
   if (nd.is_leaf()) {
-    const auto t_leaf = std::chrono::steady_clock::now();
+    // Phase timings flow through the shared obs registry (the bench JSON
+    // and --profile tree) while stop() also feeds this instance's
+    // FactorProfile view, which stays correct when several solvers
+    // coexist in one process.
+    obs::ScopedTimer t_leaf("leaf");
     // lambda I + K_aa: SPD Cholesky when requested (with LU fallback on
     // a non-positive pivot), else GETRF-equivalent partial-pivot LU.
     Matrix a = h_->km().block_range(nd.begin, nd.end, nd.begin, nd.end);
@@ -115,7 +114,7 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
     }
     f.factored = true;
     {
-      const double dt = seconds_since(t_leaf);
+      const double dt = t_leaf.stop();
       std::lock_guard<std::mutex> lock(stab_mu_);
       profile_.leaf_seconds += dt;
       ++profile_.leaves;
@@ -136,7 +135,7 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
   const index_t sl = static_cast<index_t>(leff.size());
   const index_t sr = static_cast<index_t>(reff.size());
 
-  const auto t_v = std::chrono::steady_clock::now();
+  obs::ScopedTimer t_v("v_assembly");
   // V_α blocks (eq. 6): rows are the children's (effective) skeletons,
   // columns the sibling's full point range. Reused across lambda
   // re-factorizations (set_lambda), since they do not depend on lambda.
@@ -156,18 +155,18 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
                                                      : dense_phat(nd.right));
   Matrix b21 = f.v_rl.apply_block(fl.phat.size() > 0 ? fl.phat
                                                      : dense_phat(nd.left));
-  const double dt_v = seconds_since(t_v);
+  const double dt_v = t_v.stop();
 
-  const auto t_z = std::chrono::steady_clock::now();
+  obs::ScopedTimer t_z("z_factor");
   Matrix z(sl + sr, sl + sr);
   for (index_t i = 0; i < sl + sr; ++i) z(i, i) = 1.0;
   z.set_block(0, sl, b12);
   z.set_block(sl, 0, b21);
   f.z_norm1 = la::norm1(z);
   f.z_lu = la::lu_factor(z);
-  const double dt_z = seconds_since(t_z);
+  const double dt_z = t_z.stop();
 
-  const auto t_tel = std::chrono::steady_clock::now();
+  obs::ScopedTimer t_tel("telescope");
   if (compute_phat) {
     // P'_α: skeleton projection for skeletonized nodes, identity above
     // the frontier (the expanded level-restricted factorization).
@@ -206,7 +205,7 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
   }
   f.factored = true;
   {
-    const double dt_tel = seconds_since(t_tel);
+    const double dt_tel = t_tel.stop();
     std::lock_guard<std::mutex> lock(stab_mu_);
     profile_.v_assembly_seconds += dt_v;
     profile_.z_factor_seconds += dt_z;

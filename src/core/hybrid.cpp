@@ -1,18 +1,18 @@
 #include "core/hybrid.hpp"
 
-#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
 #include "kernel/gsks.hpp"
 #include "la/gemm.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::core {
 
 HybridSolver::HybridSolver(const HMatrix& h, HybridOptions opts)
     : h_(&h), opts_(opts), ft_(h, opts.direct) {
   frontier_ = h.frontier();
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer t_factor("factorize");
 
   if (frontier_.empty()) {
     // Degenerate single-leaf tree: the "frontier" is the root itself and
@@ -29,9 +29,8 @@ HybridSolver::HybridSolver(const HMatrix& h, HybridOptions opts)
     }
     reduced_size_ = offsets_.back();
   }
-  factor_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  factor_seconds_ = t_factor.stop();
+  obs::add("hybrid.reduced_size", static_cast<double>(reduced_size_));
 
   all_ids_.resize(static_cast<size_t>(h.n()));
   std::iota(all_ids_.begin(), all_ids_.end(), index_t{0});
@@ -87,6 +86,7 @@ void HybridSolver::reduced_apply(std::span<const double> z,
 std::vector<double> HybridSolver::solve(std::span<const double> u) const {
   if (static_cast<index_t>(u.size()) != h_->n())
     throw std::invalid_argument("HybridSolver::solve: size mismatch");
+  obs::ScopedTimer t_solve("solve");
 
   std::vector<double> ut = h_->to_tree_order(u);
 

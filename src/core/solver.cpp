@@ -1,9 +1,9 @@
 // FastDirectSolver driver: full-tree factorization (telescoped or the
 // [36] subtree baseline, selected by SolverOptions::algo) plus the
 // original-order solve wrappers.
-#include <chrono>
-
 #include "core/solver.hpp"
+
+#include "obs/obs.hpp"
 
 namespace fdks::core {
 
@@ -30,25 +30,22 @@ void run_factorize(FactorTree& ft, index_t root, bool parallel_tree) {
 
 FastDirectSolver::FastDirectSolver(const HMatrix& h, SolverOptions opts)
     : ft_(h, opts) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer t("factorize");
   run_factorize(ft_, h.tree().root(), opts.parallel_tree);
-  factor_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  factor_seconds_ = t.stop();
 }
 
 void FastDirectSolver::refactorize(double lambda) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer t("factorize");
   ft_.set_lambda(lambda);
   run_factorize(ft_, ft_.hmatrix().tree().root(),
                 ft_.options().parallel_tree);
-  factor_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  factor_seconds_ = t.stop();
 }
 
 void FastDirectSolver::solve(std::span<const double> u,
                              std::span<double> x) const {
+  obs::ScopedTimer t("solve");
   const HMatrix& h = ft_.hmatrix();
   std::vector<double> ut = h.to_tree_order(u);
   ft_.solve_subtree(h.tree().root(), ut);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/blas1.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::iter {
 
@@ -24,6 +25,8 @@ double elapsed(std::chrono::steady_clock::time_point t0) {
 GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
                   const GmresOptions& opts) {
   const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer t_gmres("gmres");
+  obs::add("gmres.solves");
   GmresResult out;
   out.x.assign(static_cast<size_t>(n), 0.0);
 
@@ -147,6 +150,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
   out.iterations = total_it;
   out.relative_residual = rnorm / bnorm;
   if (rnorm <= target) out.converged = true;
+  obs::add("gmres.iterations", static_cast<double>(total_it));
   return out;
 }
 

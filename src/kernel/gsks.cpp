@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "la/gemm.hpp"
+#include "obs/obs.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -85,6 +86,10 @@ void gsks_apply(const KernelMatrix& km, std::span<const index_t> rows,
                 std::span<const index_t> cols, std::span<const double> u,
                 std::span<double> y, double alpha) {
   const index_t m = static_cast<index_t>(rows.size());
+  obs::add("gsks.calls");
+  // Gram-tile GEMM flops are counted by gemm_raw; this is the fused
+  // kernel-evaluation volume on top of them.
+  obs::add("gsks.kernel_evals", double(m) * double(cols.size()));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -76,6 +78,8 @@ void gemm_raw(index_t m, index_t n, index_t k, double alpha, const double* a,
         c[i + j * ldc] = (beta == 0.0) ? 0.0 : beta * c[i + j * ldc];
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  obs::add("gemm.calls");
+  obs::add("flops.gemm", 2.0 * double(m) * double(n) * double(k));
 
   // Small problems: skip the packing machinery entirely.
   if (m * n * k <= 32 * 32 * 32) {
@@ -90,8 +94,14 @@ void gemm_raw(index_t m, index_t n, index_t k, double alpha, const double* a,
     return;
   }
 
-  std::vector<double> apack(static_cast<size_t>(kMc * kKc));
-  std::vector<double> bpack(static_cast<size_t>(kKc * kNc));
+  // Pack buffers are fixed-size (kMc*kKc and kKc*kNc) and reused across
+  // calls per thread: with the OpenMP column split in gemm() each thread
+  // issues one gemm_raw per chunk per call, and fresh allocations here
+  // were measurable churn on the factorization hot path.
+  static thread_local std::vector<double> apack(
+      static_cast<size_t>(kMc * kKc));
+  static thread_local std::vector<double> bpack(
+      static_cast<size_t>(kKc * kNc));
 
   for (index_t jc = 0; jc < n; jc += kNc) {
     const index_t nc = std::min(kNc, n - jc);
@@ -120,6 +130,8 @@ void gemv(Trans trans, double alpha, const Matrix& a,
           std::span<const double> x, double beta, std::span<double> y) {
   const index_t m = a.rows();
   const index_t n = a.cols();
+  obs::add("gemv.calls");
+  obs::add("flops.gemv", 2.0 * double(m) * double(n));
   if (trans == Trans::No) {
     if (static_cast<index_t>(x.size()) != n ||
         static_cast<index_t>(y.size()) != m)

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace fdks::mpisim {
 
 World::World(int size) : size_(size) {
@@ -53,6 +55,9 @@ Comm::Comm(World* world, std::uint64_t context, std::vector<int> members,
       my_index_(my_index) {}
 
 void Comm::send(int dest, int tag, std::span<const double> data) const {
+  // Per-rank-thread counters; the snapshot sums them into total traffic.
+  obs::add("mpisim.messages");
+  obs::add("mpisim.bytes", double(data.size()) * double(sizeof(double)));
   Message m;
   m.src_world = members_[static_cast<size_t>(my_index_)];
   m.context = context_;

@@ -1,0 +1,308 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace fdks::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+// Bumped by reset(); threads holding a cached state from an older
+// generation re-register on their next instrumentation call.
+std::atomic<std::uint64_t> g_generation{1};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Raw (unmerged) per-thread timer node. Children are owned vectors in
+// first-open order; per-scope child counts are small, so a linear name
+// scan beats a hash map here.
+struct TimerNode {
+  std::string name;
+  TimerNode* parent = nullptr;
+  std::uint64_t ns = 0;
+  std::uint64_t count = 0;
+  std::vector<std::unique_ptr<TimerNode>> children;
+
+  TimerNode* child(std::string_view child_name) {
+    for (auto& c : children)
+      if (c->name == child_name) return c.get();
+    children.push_back(std::make_unique<TimerNode>());
+    children.back()->name = std::string(child_name);
+    children.back()->parent = this;
+    return children.back().get();
+  }
+};
+
+struct ThreadState {
+  TimerNode root;        ///< name "": synthetic per-thread root.
+  TimerNode* current = &root;
+  std::unordered_map<std::string, double> counters;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadState>> states;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: usable at exit.
+  return *r;
+}
+
+ThreadState& thread_state() {
+  thread_local ThreadState* cached = nullptr;
+  thread_local std::uint64_t cached_gen = 0;
+  const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_gen != gen) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.states.push_back(std::make_unique<ThreadState>());
+    cached = r.states.back().get();
+    cached_gen = gen;
+  }
+  return *cached;
+}
+
+void merge_into(TraceNode& dst, const TimerNode& src) {
+  dst.seconds += static_cast<double>(src.ns) * 1e-9;
+  dst.count += src.count;
+  for (const auto& sc : src.children) {
+    TraceNode* target = nullptr;
+    for (auto& dc : dst.children)
+      if (dc.name == sc->name) {
+        target = &dc;
+        break;
+      }
+    if (target == nullptr) {
+      dst.children.emplace_back();
+      target = &dst.children.back();
+      target->name = sc->name;
+    }
+    merge_into(*target, *sc);
+  }
+}
+
+void append_json_tree(std::string& out, const TraceNode& n) {
+  char buf[64];
+  out += "{\"name\":\"";
+  out += json_escape(n.name);
+  std::snprintf(buf, sizeof(buf), "\",\"seconds\":%.9f,\"count\":%llu",
+                n.seconds, static_cast<unsigned long long>(n.count));
+  out += buf;
+  out += ",\"children\":[";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_json_tree(out, n.children[i]);
+  }
+  out += "]}";
+}
+
+void print_node(std::FILE* out, const TraceNode& n, int depth,
+                double parent_seconds) {
+  const double pct =
+      parent_seconds > 0.0 ? 100.0 * n.seconds / parent_seconds : 100.0;
+  std::fprintf(out, "  %*s%-*s %10.4fs  x%-8llu %5.1f%%\n", 2 * depth, "",
+               std::max(1, 28 - 2 * depth), n.name.c_str(), n.seconds,
+               static_cast<unsigned long long>(n.count), pct);
+  for (const TraceNode& c : n.children)
+    print_node(out, c, depth + 1, n.seconds);
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.states.clear();
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void add(std::string_view counter, double v) {
+  if (!enabled()) return;
+  ThreadState& st = thread_state();
+  auto it = st.counters.find(std::string(counter));
+  if (it == st.counters.end())
+    st.counters.emplace(std::string(counter), v);
+  else
+    it->second += v;
+}
+
+void record(std::string_view name, double seconds) {
+  if (!enabled()) return;
+  ThreadState& st = thread_state();
+  TimerNode* n = st.current->child(name);
+  n->ns += static_cast<std::uint64_t>(seconds * 1e9);
+  ++n->count;
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) : t0_ns_(now_ns()) {
+  if (!enabled()) return;
+  ThreadState& st = thread_state();
+  TimerNode* n = st.current->child(name);
+  st.current = n;
+  node_ = n;
+  state_ = &st;
+}
+
+double ScopedTimer::stop() {
+  if (!open_) return 0.0;
+  open_ = false;
+  const std::uint64_t dns = now_ns() - t0_ns_;
+  if (node_ != nullptr) {
+    TimerNode* n = static_cast<TimerNode*>(node_);
+    n->ns += dns;
+    ++n->count;
+    static_cast<ThreadState*>(state_)->current = n->parent;
+    node_ = nullptr;
+  }
+  return static_cast<double>(dns) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+const TraceNode* TraceNode::child(std::string_view child_name) const {
+  for (const TraceNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Snapshot s;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& st : r.states) {
+    merge_into(s.root, st->root);
+    for (const auto& [name, v] : st->counters) s.counters[name] += v;
+  }
+  // The synthetic per-thread roots carry no timing of their own; expose
+  // the sum of top-level scopes as the root total.
+  s.root.seconds = 0.0;
+  s.root.count = 0;
+  for (const TraceNode& c : s.root.children) s.root.seconds += c.seconds;
+  return s;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+ConfigKV kv(std::string key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return {std::move(key), buf};
+}
+
+ConfigKV kv(std::string key, long long v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+ConfigKV kv(std::string key, int v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+ConfigKV kv(std::string key, bool v) {
+  return {std::move(key), v ? "true" : "false"};
+}
+
+ConfigKV kv(std::string key, std::string_view v) {
+  return {std::move(key), "\"" + json_escape(v) + "\""};
+}
+
+ConfigKV kv(std::string key, const char* v) {
+  return kv(std::move(key), std::string_view(v));
+}
+
+std::string to_json(const Snapshot& s, std::string_view name,
+                    const std::vector<ConfigKV>& config) {
+  std::string out;
+  out += "{\"name\":\"";
+  out += json_escape(name);
+  out += "\",\"schema\":\"fdks-bench-v1\",\"config\":{";
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(config[i].first);
+    out += "\":";
+    out += config[i].second;
+  }
+  out += "},\"timers\":[";
+  for (size_t i = 0; i < s.root.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_json_tree(out, s.root.children[i]);
+  }
+  out += "],\"counters\":{";
+  size_t i = 0;
+  for (const auto& [cname, v] : s.counters) {
+    if (i++ > 0) out += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += '"';
+    out += json_escape(cname);
+    out += "\":";
+    out += buf;
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool write_json(const std::string& path, std::string_view name,
+                const std::vector<ConfigKV>& config, const Snapshot& s) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_json(s, name, config);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+void print_tree(std::FILE* out, const Snapshot& s) {
+  std::fprintf(out, "-- profile (%.4fs total) --\n", s.root.seconds);
+  for (const TraceNode& c : s.root.children)
+    print_node(out, c, 0, s.root.seconds);
+  if (!s.counters.empty()) {
+    std::fprintf(out, "-- counters --\n");
+    for (const auto& [name, v] : s.counters)
+      std::fprintf(out, "  %-28s %.6g\n", name.c_str(), v);
+  }
+}
+
+}  // namespace fdks::obs

@@ -1,0 +1,130 @@
+// Lightweight observability: hierarchical scoped timers, named counters,
+// and a JSON reporter.
+//
+// The paper's headline results are wall-clock breakdowns (Tables I-V,
+// Figs 4-5: setup / factorize / solve per phase and per level), so the
+// library instruments its hot layers with this registry and every bench
+// binary emits a machine-readable BENCH_<name>.json next to its stdout
+// table. Design:
+//
+//   ScopedTimer  — RAII scope. Each thread keeps a stack of open scopes;
+//                  nested timers form a per-thread trace tree keyed by
+//                  name. The clock is always read (two steady_clock
+//                  calls per scope, ~tens of ns) so stop() can feed
+//                  per-instance views like core::FactorProfile, but the
+//                  registry is only touched when enabled().
+//   add()        — named counter accumulation (flops, GEMM calls,
+//                  skeleton ranks, mpisim traffic). Per-thread storage,
+//                  no atomics on the hot path; a disabled check up
+//                  front makes the off path one relaxed load.
+//   snapshot()   — thread-safe merge of every thread's tree and
+//                  counters into one Snapshot (trees merged by name,
+//                  counters summed).
+//
+// Threading contract: timers on one thread must close in LIFO order
+// (automatic with RAII). Scopes opened on different threads (e.g. OpenMP
+// workers inside a parallel factorization, mpisim rank threads) root at
+// that thread's top level and merge into the snapshot at top level.
+// reset() and snapshot() may run concurrently with nothing; call them at
+// quiescent points (no instrumented work in flight on other threads).
+// The registry owns all per-thread state, so threads may exit freely —
+// their measurements survive until the next reset().
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fdks::obs {
+
+/// Global on/off switch (default off). When off, timers still measure
+/// (stop() stays usable) but nothing is recorded in the registry and
+/// counters are a single relaxed load.
+bool enabled();
+void set_enabled(bool on);
+
+/// Drop all recorded trees and counters from every thread. Call only at
+/// a quiescent point; live threads re-register on their next use.
+void reset();
+
+/// Accumulate `v` into the named counter of the calling thread.
+void add(std::string_view counter, double v = 1.0);
+
+/// Add `seconds` to the named child of the calling thread's current
+/// scope without opening one — for durations measured externally.
+void record(std::string_view name, double seconds);
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Close the scope now and return its elapsed seconds. Elapsed time is
+  /// returned even when the registry is disabled. Idempotent.
+  double stop();
+
+ private:
+  void* node_ = nullptr;       ///< TimerNode* when recording, else null.
+  void* state_ = nullptr;      ///< Owning ThreadState* when recording.
+  std::uint64_t t0_ns_ = 0;
+  bool open_ = true;
+};
+
+/// One merged trace-tree node. Children are ordered by first-open order
+/// of the merged threads (deterministic for single-threaded phases).
+struct TraceNode {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<TraceNode> children;
+
+  /// First child with the given name, or nullptr.
+  const TraceNode* child(std::string_view child_name) const;
+};
+
+struct Snapshot {
+  TraceNode root;  ///< Synthetic root (empty name); top phases are its
+                   ///< children. root.seconds is the sum of top scopes.
+  std::map<std::string, double> counters;
+};
+
+/// Merge every thread's trace tree and counters.
+Snapshot snapshot();
+
+// ---- Reporting -------------------------------------------------------
+
+/// JSON string escaping for user-supplied names.
+std::string json_escape(std::string_view s);
+
+/// Config entries are (key, pre-rendered JSON value). Use the kv()
+/// helpers to format values.
+using ConfigKV = std::pair<std::string, std::string>;
+ConfigKV kv(std::string key, double v);
+ConfigKV kv(std::string key, long long v);
+ConfigKV kv(std::string key, int v);
+ConfigKV kv(std::string key, bool v);
+ConfigKV kv(std::string key, std::string_view v);
+/// String literals would otherwise prefer the bool overload.
+ConfigKV kv(std::string key, const char* v);
+
+/// Serialize as {"name":..., "schema":"fdks-bench-v1", "config":{...},
+/// "timers":[...], "counters":{...}}. Timer nodes carry name / seconds /
+/// count / children.
+std::string to_json(const Snapshot& s, std::string_view name,
+                    const std::vector<ConfigKV>& config = {});
+
+/// Write to_json() to `path`. Returns false (and prints to stderr) on
+/// I/O failure.
+bool write_json(const std::string& path, std::string_view name,
+                const std::vector<ConfigKV>& config, const Snapshot& s);
+
+/// Human-readable indented tree plus counter totals.
+void print_tree(std::FILE* out, const Snapshot& s);
+
+}  // namespace fdks::obs

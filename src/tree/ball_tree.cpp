@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace fdks::tree {
 
 namespace {
@@ -44,6 +46,7 @@ BallTree::BallTree(const Matrix& points, BallTreeConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("BallTree: leaf_size must be >= 1");
   if (points.cols() == 0)
     throw std::invalid_argument("BallTree: empty point set");
+  obs::ScopedTimer t("tree");
   build(points);
 }
 

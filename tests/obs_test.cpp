@@ -1,0 +1,245 @@
+// Tests for the observability registry (src/obs): scope nesting and
+// cross-thread merging, counter totals independent of thread count,
+// JSON report shape, and the FactorProfile regression guarantee that
+// the per-phase seconds still sum after the shared-timer rewrite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/solver.hpp"
+#include "obs/obs.hpp"
+
+namespace fdks::obs {
+namespace {
+
+using la::Matrix;
+using la::index_t;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    reset();
+    set_enabled(false);
+  }
+};
+
+void spin_scopes() {
+  ScopedTimer outer("outer");
+  {
+    ScopedTimer inner("inner");
+    add("work.units", 2.0);
+  }
+  {
+    ScopedTimer inner("inner");
+    add("work.units", 3.0);
+  }
+}
+
+TEST_F(ObsTest, NestedScopesFormTree) {
+  spin_scopes();
+  const Snapshot s = snapshot();
+
+  const TraceNode* outer = s.root.child("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const TraceNode* inner = outer->child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  // Inner time is contained in outer time; root sums top-level scopes.
+  EXPECT_LE(inner->seconds, outer->seconds);
+  EXPECT_GE(outer->seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.root.seconds, outer->seconds);
+  EXPECT_DOUBLE_EQ(s.counters.at("work.units"), 5.0);
+}
+
+TEST_F(ObsTest, StopReturnsElapsedAndIsIdempotent) {
+  ScopedTimer t("t");
+  const double first = t.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(t.stop(), 0.0);  // Second stop is a no-op.
+
+  // Elapsed time must be reported even with the registry disabled —
+  // FactorProfile and factor_seconds() depend on it.
+  set_enabled(false);
+  ScopedTimer u("u");
+  EXPECT_GE(u.stop(), 0.0);
+  set_enabled(true);
+  EXPECT_EQ(snapshot().root.child("u"), nullptr);
+}
+
+TEST_F(ObsTest, RecordAddsChildWithoutOpeningScope) {
+  record("external", 0.25);
+  record("external", 0.5);
+  const Snapshot s = snapshot();
+  const TraceNode* n = s.root.child("external");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->count, 2u);
+  EXPECT_DOUBLE_EQ(n->seconds, 0.75);
+}
+
+// The same instrumented work must produce identical counter totals
+// whether it runs on one thread or split across several: counters are
+// per-thread and summed at snapshot time.
+TEST_F(ObsTest, CounterTotalsIndependentOfThreadCount) {
+  const int kIters = 1000;
+
+  for (int i = 0; i < kIters; ++i) add("tc.units");
+  const double serial = snapshot().counters.at("tc.units");
+
+  reset();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 2; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters / 2; ++i) add("tc.units");
+    });
+  }
+  for (auto& t : ts) t.join();
+  const double threaded = snapshot().counters.at("tc.units");
+  EXPECT_DOUBLE_EQ(serial, threaded);
+
+#ifdef _OPENMP
+  reset();
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp for
+    for (int i = 0; i < kIters; ++i) add("tc.units");
+  }
+  EXPECT_DOUBLE_EQ(snapshot().counters.at("tc.units"), serial);
+#endif
+}
+
+TEST_F(ObsTest, ScopesOnWorkerThreadsMergeByName) {
+  spin_scopes();
+  std::thread worker(spin_scopes);
+  worker.join();
+  const Snapshot s = snapshot();
+  // Both threads' trees merge into one "outer" node at top level.
+  const TraceNode* outer = s.root.child("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  ASSERT_NE(outer->child("inner"), nullptr);
+  EXPECT_EQ(outer->child("inner")->count, 4u);
+  EXPECT_DOUBLE_EQ(s.counters.at("work.units"), 10.0);
+}
+
+TEST_F(ObsTest, JsonReportIsWellFormed) {
+  spin_scopes();
+  const std::string j =
+      to_json(snapshot(), "unit \"test\"",
+              {kv("n", 42LL), kv("tol", 1e-5), kv("hybrid", true),
+               kv("dataset", "normal")});  // Literal: must NOT pick bool.
+
+  // Required schema pieces.
+  EXPECT_NE(j.find("\"schema\":\"fdks-bench-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(j.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"hybrid\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"dataset\":\"normal\""), std::string::npos);
+  EXPECT_NE(j.find("\"outer\""), std::string::npos);
+  EXPECT_NE(j.find("\"inner\""), std::string::npos);
+  EXPECT_NE(j.find("\"work.units\":5"), std::string::npos);
+
+  // Balanced braces/brackets and no raw control characters — a cheap
+  // structural proxy for parseability without a JSON dependency.
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : j) {
+    if (escaped) { escaped = false; continue; }
+    if (c == '\\') { escaped = true; continue; }
+    if (c == '"') { in_string = !in_string; continue; }
+    if (in_string) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+      continue;
+    }
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(ObsTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// Regression for the FactorProfile rewrite: the per-instance phase
+// breakdown must still sum, the node counts must match the tree, and
+// the same phases must show up in the shared registry.
+TEST_F(ObsTest, FactorProfileStillSumsAndFeedsRegistry) {
+  const index_t n = 256;
+  std::mt19937_64 rng(11);
+  Matrix p = Matrix::random_gaussian(3, n, rng);
+  askit::AskitConfig acfg;
+  acfg.leaf_size = 32;
+  acfg.max_rank = 32;
+  acfg.tol = 1e-6;
+  acfg.num_neighbors = 0;
+  acfg.seed = 5;
+  askit::HMatrix h(p, kernel::Kernel::gaussian(1.0), acfg);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FastDirectSolver solver(h, so);
+
+  const core::FactorProfile& prof = solver.profile();
+  EXPECT_GT(prof.leaves, 0);
+  EXPECT_GT(prof.internals, 0);
+  EXPECT_GT(prof.total(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.total(),
+                   prof.leaf_seconds + prof.v_assembly_seconds +
+                       prof.z_factor_seconds + prof.telescope_seconds);
+  // The breakdown is contained in the overall factorization wall time.
+  EXPECT_LE(prof.total(), solver.factor_seconds() * 1.5 + 1e-3);
+
+  const Snapshot s = snapshot();
+  const TraceNode* fac = s.root.child("factorize");
+  ASSERT_NE(fac, nullptr);
+  const TraceNode* leaf = fac->child("leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, static_cast<uint64_t>(prof.leaves));
+  ASSERT_NE(fac->child("z_factor"), nullptr);
+  EXPECT_EQ(fac->child("z_factor")->count,
+            static_cast<uint64_t>(prof.internals));
+
+  // The hot-path counters fed by the factorization.
+  EXPECT_GT(s.counters.at("gemm.calls"), 0.0);
+  EXPECT_GT(s.counters.at("flops.gemm"), 0.0);
+}
+
+// Disabling the registry must not break library timing side-channels.
+TEST(ObsDisabled, SolverStillTimesWithRegistryOff) {
+  set_enabled(false);
+  reset();
+  const index_t n = 128;
+  std::mt19937_64 rng(13);
+  Matrix p = Matrix::random_gaussian(3, n, rng);
+  askit::AskitConfig acfg;
+  acfg.leaf_size = 32;
+  acfg.max_rank = 32;
+  acfg.tol = 1e-6;
+  acfg.num_neighbors = 0;
+  askit::HMatrix h(p, kernel::Kernel::gaussian(1.0), acfg);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FastDirectSolver solver(h, so);
+  EXPECT_GT(solver.factor_seconds(), 0.0);
+  EXPECT_GT(solver.profile().total(), 0.0);
+  EXPECT_TRUE(snapshot().root.children.empty());
+}
+
+}  // namespace
+}  // namespace fdks::obs
