@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
               seq.factor_seconds(), h.relative_residual(x_seq, u, 1.0));
 
   std::vector<double> x_dist;
+  std::string dist_status;
   std::mutex mu;
   mpisim::run(p, [&](mpisim::Comm& comm) {
     core::DistributedSolver dsolver(h, scfg, comm);
@@ -55,8 +56,10 @@ int main(int argc, char** argv) {
                   comm.rank(), dsolver.local_root(),
                   dsolver.factor_seconds());
       x_dist = std::move(x);
+      dist_status = dsolver.last_status().message();
     }
   });
+  std::printf("status     : %s\n", dist_status.c_str());
 
   const double diff =
       la::nrm2(la::vsub(x_dist, x_seq)) / la::nrm2(x_seq);

@@ -71,15 +71,18 @@ int main(int argc, char** argv) {
     core::HybridOptions ho;
     ho.direct.lambda = lambda;
     ho.gmres.rtol = 1e-10;
+    ho.escalate_residual_tol = 1e-6;  // Guardrail: auto-escalate if missed.
     core::HybridSolver hy(h, ho);
     const double tf = now_minus(t0);
-    auto x = hy.solve(u);
+    std::vector<double> x(static_cast<size_t>(n));
+    core::SolveStatus st = hy.solve_with_status(u, x);
     std::printf(
         "[hybrid] T=%7.3fs (factor %.3fs) reduced=%td ksp=%d r=%.2e "
         "mem=%.1fMB\n",
-        now_minus(t0), tf, hy.reduced_size(), hy.last_gmres().iterations,
+        now_minus(t0), tf, hy.reduced_size(), st.gmres_iterations,
         h.relative_residual(x, u, lambda),
         double(hy.factor_bytes()) / 1048576.0);
+    std::printf("[hybrid] status: %s\n", st.message().c_str());
   }
 
   // (c) Level-restricted direct factorization (expanded above frontier).

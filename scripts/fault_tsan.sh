@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build the tree under ThreadSanitizer and run the fault-tolerance test
+# suite (everything labeled "fault": the mpisim runtime, the fault
+# injection tests, and both distributed solvers).
+#
+# Equivalent to:
+#   cmake --preset tsan-fault && cmake --build --preset tsan-fault -j
+#   ctest --preset tsan-fault -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan-fault
+cmake --build --preset tsan-fault -j "$(nproc)"
+ctest --preset tsan-fault -j "$(nproc)"

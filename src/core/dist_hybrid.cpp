@@ -58,6 +58,7 @@ DistributedHybridSolver::DistributedHybridSolver(const HMatrix& h,
   factor_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  factor_status_ = allreduce_factor_status(ft_.factor_status(), comm_);
 }
 
 void DistributedHybridSolver::matvec_v_local(std::span<const double> q_local,
@@ -143,7 +144,40 @@ std::vector<double> DistributedHybridSolver::solve(
   }
 
   const std::vector<double> full_tree = comm_.allgatherv(w);
-  return h_->from_tree_order(full_tree);
+  std::vector<double> x = h_->from_tree_order(full_tree);
+
+  // Guardrail summary (no extra collectives: u and the reduced GMRES
+  // are replicated, the solution was just allgathered — every rank
+  // derives the identical status).
+  SolveStatus st;
+  st.lambda_effective = factor_status_.lambda_effective;
+  st.shifted_nodes = factor_status_.shifted_nodes;
+  st.gmres_iterations = last_.iterations;
+  if (!all_finite(u)) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "right-hand side contains NaN/Inf";
+  } else if (!all_finite(std::span<const double>(x.data(), x.size()))) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "solution contains NaN/Inf";
+  } else {
+    st.residual = h_->relative_residual(x, u, opts_.direct.lambda);
+    if (reduced_size_ > 0 && !last_.converged) {
+      if (last_.breakdown) {
+        st.code = SolveCode::Breakdown;
+      } else if (last_.stagnated) {
+        st.code = SolveCode::Stagnated;
+      } else if (last_.nonfinite) {
+        st.code = SolveCode::NonFinite;
+      } else {
+        st.code = SolveCode::NotConverged;
+      }
+      st.detail = "reduced-system GMRES did not converge";
+    } else if (factor_status_.code == FactorCode::ShiftedDiagonal) {
+      st.code = SolveCode::ShiftedDiagonal;
+    }
+  }
+  last_status_ = st;
+  return x;
 }
 
 }  // namespace fdks::core

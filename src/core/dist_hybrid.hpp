@@ -10,6 +10,7 @@
 // replicated, with the collective matvec keeping all ranks in lockstep.
 #pragma once
 
+#include "core/dist_solver.hpp"
 #include "core/hybrid.hpp"
 #include "mpisim/runtime.hpp"
 
@@ -30,6 +31,14 @@ class DistributedHybridSolver {
   index_t reduced_size() const { return reduced_size_; }
   const iter::GmresResult& last_gmres() const { return last_; }
   double factor_seconds() const { return factor_seconds_; }
+
+  /// Globally-agreed factorization outcome (see DistributedSolver).
+  const FactorStatus& factor_status() const { return factor_status_; }
+
+  /// Outcome of the most recent solve(), identical on every rank: the
+  /// replicated GMRES gives every rank the same convergence flags, and
+  /// the solution/residual come from collectively assembled data.
+  const SolveStatus& last_status() const { return last_status_; }
 
  private:
   /// z = V q with q the rank-local slice (permuted order); collective.
@@ -52,6 +61,8 @@ class DistributedHybridSolver {
   index_t reduced_size_ = 0;
   double factor_seconds_ = 0.0;
   iter::GmresResult last_;
+  FactorStatus factor_status_;
+  SolveStatus last_status_;
 };
 
 }  // namespace fdks::core

@@ -53,6 +53,38 @@ bool is_power_of_two(int p) { return p > 0 && (p & (p - 1)) == 0; }
 
 }  // namespace
 
+FactorStatus allreduce_factor_status(const FactorStatus& local,
+                                     const mpisim::Comm& comm) {
+  // Counters are summed; the shift magnitude is maxed (allgather of one
+  // value — no allreduce_max primitive needed).
+  std::vector<double> counts = {
+      static_cast<double>(local.shifted_nodes),
+      static_cast<double>(local.shift_retries),
+      static_cast<double>(local.nonfinite_nodes),
+      static_cast<double>(local.flagged_nodes)};
+  comm.allreduce_sum(counts);
+  const std::vector<double> shifts = comm.allgatherv(
+      std::vector<double>{local.lambda_effective - local.lambda_requested});
+  double max_shift = 0.0;
+  for (double s : shifts) max_shift = std::max(max_shift, s);
+
+  FactorStatus g;
+  g.lambda_requested = local.lambda_requested;
+  g.lambda_effective = local.lambda_requested + max_shift;
+  g.shifted_nodes = static_cast<index_t>(std::llround(counts[0]));
+  g.shift_retries = static_cast<index_t>(std::llround(counts[1]));
+  g.nonfinite_nodes = static_cast<index_t>(std::llround(counts[2]));
+  g.flagged_nodes = static_cast<index_t>(std::llround(counts[3]));
+  if (g.nonfinite_nodes > 0) {
+    g.code = FactorCode::NonFinite;
+  } else if (g.flagged_nodes > g.shifted_nodes) {
+    g.code = FactorCode::NearSingular;
+  } else if (g.shifted_nodes > 0) {
+    g.code = FactorCode::ShiftedDiagonal;
+  }
+  return g;
+}
+
 DistributedSolver::DistributedSolver(const HMatrix& h, SolverOptions opts,
                                      mpisim::Comm comm)
     : h_(&h), ft_(h, opts), comm_(std::move(comm)) {
@@ -191,6 +223,11 @@ void DistributedSolver::factorize() {
   factor_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  // Agree on the guardrail outcome while we are still collectively in
+  // the factorization (a rank whose leaves needed a diagonal shift must
+  // be visible to every rank's factor_status()).
+  factor_status_ = allreduce_factor_status(ft_.factor_status(), comm_);
 }
 
 std::vector<double> DistributedSolver::solve(std::span<const double> u) {
@@ -248,7 +285,30 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
   // Assemble the full solution on every rank: ranks are ordered by
   // point range, so a rank-ordered allgather is the tree-order vector.
   std::vector<double> full_tree = comm_.allgatherv(w);
-  return h_->from_tree_order(full_tree);
+  std::vector<double> x = h_->from_tree_order(full_tree);
+
+  // Guardrail summary. No extra collectives: u is replicated, the full
+  // solution was just allgathered, and factor_status_ was agreed during
+  // factorization — every rank derives the identical status.
+  SolveStatus st;
+  st.lambda_effective = factor_status_.lambda_effective;
+  st.shifted_nodes = factor_status_.shifted_nodes;
+  if (!all_finite(u)) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "right-hand side contains NaN/Inf";
+  } else if (!all_finite(std::span<const double>(x.data(), x.size()))) {
+    st.code = SolveCode::NonFinite;
+    st.detail = factor_status_.code == FactorCode::NonFinite
+                    ? "solution contains NaN/Inf (factorization was "
+                      "already non-finite)"
+                    : "solution contains NaN/Inf";
+  } else {
+    st.residual = h_->relative_residual(x, u, ft_.options().lambda);
+    if (factor_status_.code == FactorCode::ShiftedDiagonal)
+      st.code = SolveCode::ShiftedDiagonal;
+  }
+  last_status_ = st;
+  return x;
 }
 
 }  // namespace fdks::core

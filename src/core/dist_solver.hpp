@@ -40,6 +40,16 @@ class DistributedSolver {
   double factor_seconds() const { return factor_seconds_; }
   const StabilityReport& local_stability() const { return ft_.stability(); }
 
+  /// Globally-agreed factorization outcome: every rank's local guardrail
+  /// counters (shift retries, NaN detections) are combined during the
+  /// collective factorization, so all ranks return the same status.
+  const FactorStatus& factor_status() const { return factor_status_; }
+
+  /// Outcome of the most recent solve() (identical on every rank: the
+  /// degradation summary is exchanged collectively and the residual is
+  /// computed from replicated data).
+  const SolveStatus& last_status() const { return last_status_; }
+
  private:
   struct DistLevel {
     index_t node = -1;            ///< Distributed ancestor node id.
@@ -65,6 +75,14 @@ class DistributedSolver {
   /// Distributed ancestors from the root (index 0, level 0) downward.
   std::vector<DistLevel> dist_;
   double factor_seconds_ = 0.0;
+  FactorStatus factor_status_;
+  SolveStatus last_status_;
 };
+
+/// Combine per-rank FactorStatus snapshots into one global status every
+/// rank agrees on (sums the node counters, maxes the shift). Collective
+/// over comm; shared by DistributedSolver and DistributedHybridSolver.
+FactorStatus allreduce_factor_status(const FactorStatus& local,
+                                     const mpisim::Comm& comm);
 
 }  // namespace fdks::core

@@ -20,6 +20,25 @@ size_t NodeFactor::bytes() const {
   return b;
 }
 
+double leaf_pivot_ratio(const NodeFactor& f) {
+  if (f.leaf_uses_chol) {
+    // Cholesky pivots are sqrt-scaled relative to LU pivots; square
+    // the diagonal ratio so both paths feed the same threshold.
+    const double dmin = f.leaf_chol.min_diag;
+    double dmax = 0.0;
+    for (index_t i = 0; i < f.leaf_chol.n(); ++i)
+      dmax = std::max(dmax, f.leaf_chol.l(i, i));
+    return dmax > 0.0 ? (dmin / dmax) * (dmin / dmax) : 0.0;
+  }
+  return f.leaf_lu.pivot_ratio();
+}
+
+bool leaf_near_singular(const NodeFactor& f, double threshold) {
+  if (f.leaf_uses_chol)
+    return !f.leaf_chol.spd || leaf_pivot_ratio(f) < threshold;
+  return f.leaf_lu.singular || leaf_pivot_ratio(f) < threshold;
+}
+
 FactorTree::FactorTree(const HMatrix& h, SolverOptions opts)
     : h_(&h), opts_(opts) {
   nf_.resize(h.tree().nodes().size());
@@ -97,10 +116,37 @@ Matrix FactorTree::dense_phat(index_t id) const {
 void FactorTree::set_lambda(double lambda) {
   opts_.lambda = lambda;
   // Invalidate lambda-dependent factors; V kernel blocks stay.
-  for (NodeFactor& f : nf_) f.factored = false;
+  for (NodeFactor& f : nf_) {
+    f.factored = false;
+    f.diag_shift = 0.0;
+  }
   stab_ = StabilityReport{};
   stab_.threshold = opts_.rcond_threshold;
   profile_ = FactorProfile{};
+  shifted_nodes_ = 0;
+  shift_retries_ = 0;
+  nonfinite_nodes_ = 0;
+  max_shift_ = 0.0;
+}
+
+FactorStatus FactorTree::factor_status() const {
+  std::lock_guard<std::mutex> lock(stab_mu_);
+  FactorStatus fs;
+  fs.lambda_requested = opts_.lambda;
+  fs.lambda_effective = opts_.lambda + max_shift_;
+  fs.shifted_nodes = shifted_nodes_;
+  fs.shift_retries = shift_retries_;
+  fs.nonfinite_nodes = nonfinite_nodes_;
+  fs.flagged_nodes = stab_.flagged_nodes;
+  if (nonfinite_nodes_ > 0) {
+    fs.code = FactorCode::NonFinite;
+  } else if (stab_.flagged_nodes > shifted_nodes_) {
+    // Flagged nodes beyond the repaired ones: degraded factors remain.
+    fs.code = FactorCode::NearSingular;
+  } else if (shifted_nodes_ > 0) {
+    fs.code = FactorCode::ShiftedDiagonal;
+  }
+  return fs;
 }
 
 size_t FactorTree::subtree_bytes(index_t id) const {
@@ -117,19 +163,11 @@ void FactorTree::record_stability(index_t id) {
   bool flagged = false;
   double leaf_pr = 1.0, z_rc = 1.0;
   if (nd.is_leaf()) {
-    if (f.leaf_uses_chol) {
-      // Cholesky pivots are sqrt-scaled relative to LU pivots; square
-      // the diagonal ratio so both paths feed the same threshold.
-      const double dmin = f.leaf_chol.min_diag;
-      double dmax = 0.0;
-      for (index_t i = 0; i < f.leaf_chol.n(); ++i)
-        dmax = std::max(dmax, f.leaf_chol.l(i, i));
-      leaf_pr = dmax > 0.0 ? (dmin / dmax) * (dmin / dmax) : 0.0;
-      flagged = !f.leaf_chol.spd || leaf_pr < stab_.threshold;
-    } else {
-      leaf_pr = f.leaf_lu.pivot_ratio();
-      flagged = f.leaf_lu.singular || leaf_pr < stab_.threshold;
-    }
+    leaf_pr = leaf_pivot_ratio(f);
+    // A shifted leaf stays flagged: StabilityReport is the raw §III
+    // detector, and a node that needed a shift WAS ill-conditioned —
+    // the repaired outcome is reported separately via FactorStatus.
+    flagged = leaf_near_singular(f, stab_.threshold) || f.diag_shift > 0.0;
   } else {
     z_rc = la::lu_rcond(f.z_lu, f.z_norm1);
     flagged = f.z_lu.singular || z_rc < stab_.threshold;

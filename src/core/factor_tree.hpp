@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "askit/hmatrix.hpp"
+#include "core/status.hpp"
 #include "kernel/summation.hpp"
 #include "la/chol.hpp"
 #include "la/lu.hpp"
@@ -61,6 +62,17 @@ struct SolverOptions {
   /// the factorization flops. Falls back to LU per leaf whenever a
   /// non-positive pivot shows the block is not numerically SPD.
   bool spd_leaves = false;
+  /// Guardrail (graceful degradation): when a leaf block factors
+  /// near-singular (pivot ratio below rcond_threshold, the small-lambda
+  /// regime of §III), re-factorize with a bumped diagonal shift —
+  /// effectively raising lambda on that node — instead of keeping
+  /// garbage factors. The bump is recorded in FactorStatus and the node
+  /// stays flagged in StabilityReport (the raw detector).
+  bool auto_shift = true;
+  /// First shift, relative to ||lambda I + K_aa||_1; grows 100x per
+  /// retry up to max_shift_retries attempts.
+  double shift_initial = 1e-12;
+  int max_shift_retries = 6;
 };
 
 /// Where factorization time goes (accumulated across nodes; thread-safe
@@ -92,6 +104,7 @@ struct StabilityReport {
 
 struct NodeFactor {
   bool factored = false;
+  double diag_shift = 0.0;  ///< Guardrail shift added to the leaf diagonal.
   // Leaf only (exactly one of the two factorizations is populated):
   la::LuFactor leaf_lu;
   la::CholFactor leaf_chol;
@@ -110,6 +123,16 @@ struct NodeFactor {
   size_t bytes() const;
 };
 
+/// Conditioning ratio of a factored leaf on a common scale: LU pivot
+/// ratio, or the squared Cholesky diagonal ratio (Cholesky pivots are
+/// sqrt-scaled relative to LU pivots).
+double leaf_pivot_ratio(const NodeFactor& f);
+
+/// Shared detector for the §III small-lambda regime: true when the leaf
+/// factorization is singular, non-SPD (Cholesky path), or its pivot
+/// ratio falls below `threshold`.
+bool leaf_near_singular(const NodeFactor& f, double threshold);
+
 /// Per-node factor storage plus the factorize/solve kernels, operating
 /// in *permuted* (tree) coordinates on contiguous subranges.
 class FactorTree {
@@ -120,6 +143,9 @@ class FactorTree {
   const SolverOptions& options() const { return opts_; }
   const StabilityReport& stability() const { return stab_; }
   const FactorProfile& profile() const { return profile_; }
+  /// Structured factorization outcome (shift retries, NaN detection,
+  /// conditioning). Snapshot of the state accumulated so far.
+  FactorStatus factor_status() const;
   const NodeFactor& factor(index_t id) const {
     return nf_[static_cast<size_t>(id)];
   }
@@ -174,7 +200,12 @@ class FactorTree {
   std::vector<NodeFactor> nf_;
   StabilityReport stab_;
   FactorProfile profile_;
-  mutable std::mutex stab_mu_;  ///< Guards stab_/profile_ under
+  // FactorStatus accumulators (finalized by factor_status()).
+  index_t shifted_nodes_ = 0;
+  index_t shift_retries_ = 0;
+  index_t nonfinite_nodes_ = 0;
+  double max_shift_ = 0.0;
+  mutable std::mutex stab_mu_;  ///< Guards stab_/profile_/status under
                                 ///< parallel traversals.
 };
 

@@ -1,5 +1,6 @@
 // Telescoped O(N log N) factorization (Algorithm II.2) and the shared
 // per-node factorization kernel.
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -15,6 +16,11 @@ std::vector<index_t> range_ids(index_t begin, index_t end) {
   std::vector<index_t> v(static_cast<size_t>(end - begin));
   std::iota(v.begin(), v.end(), begin);
   return v;
+}
+
+bool matrix_finite(const Matrix& m) {
+  return all_finite(std::span<const double>(
+      m.data(), static_cast<size_t>(m.size())));
 }
 
 }  // namespace
@@ -91,16 +97,49 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
     // a non-positive pivot), else GETRF-equivalent partial-pivot LU.
     Matrix a = h_->km().block_range(nd.begin, nd.end, nd.begin, nd.end);
     for (index_t i = 0; i < nd.size(); ++i) a(i, i) += opts_.lambda;
-    f.leaf_uses_chol = false;
-    if (opts_.spd_leaves) {
-      f.leaf_chol = la::chol_factor(a);
-      if (f.leaf_chol.spd) {
-        f.leaf_uses_chol = true;
-      } else {
-        f.leaf_chol = la::CholFactor{};  // Not SPD: discard, use LU.
-      }
+    if (!matrix_finite(a)) {
+      // Phase-boundary guard: non-finite kernel entries cannot be
+      // repaired here; record for FactorStatus and proceed (the factors
+      // will carry the NaN, which the guarded solves detect).
+      obs::add("guardrail.nonfinite_nodes");
+      std::lock_guard<std::mutex> lock(stab_mu_);
+      ++nonfinite_nodes_;
     }
-    if (!f.leaf_uses_chol) f.leaf_lu = la::lu_factor(a);
+    const double anorm = la::norm1(a);
+    f.diag_shift = 0.0;
+    index_t retries = 0;
+    for (;;) {
+      f.leaf_uses_chol = false;
+      if (opts_.spd_leaves) {
+        f.leaf_chol = la::chol_factor(a);
+        if (f.leaf_chol.spd) {
+          f.leaf_uses_chol = true;
+        } else {
+          f.leaf_chol = la::CholFactor{};  // Not SPD: discard, use LU.
+        }
+      }
+      if (!f.leaf_uses_chol) f.leaf_lu = la::lu_factor(a);
+      if (!opts_.auto_shift || retries >= opts_.max_shift_retries ||
+          !leaf_near_singular(f, opts_.rcond_threshold))
+        break;
+      // Graceful degradation: bump the effective lambda on this node
+      // and re-factorize (the §III small-lambda repair). Shift grows
+      // geometrically until the block is numerically invertible.
+      const double base = opts_.shift_initial * std::max(1.0, anorm);
+      const double target = f.diag_shift == 0.0 ? base : f.diag_shift * 1e2;
+      for (index_t i = 0; i < nd.size(); ++i)
+        a(i, i) += target - f.diag_shift;
+      f.diag_shift = target;
+      ++retries;
+      obs::add("guardrail.shift_retries");
+    }
+    if (f.diag_shift > 0.0) {
+      obs::add("guardrail.shifted_nodes");
+      std::lock_guard<std::mutex> lock(stab_mu_);
+      ++shifted_nodes_;
+      shift_retries_ += retries;
+      max_shift_ = std::max(max_shift_, f.diag_shift);
+    }
     if (compute_phat) {
       // P^_a = (lambda I + K_aa)^-1 P_{a~,a}^T; for an unskeletonized
       // root-leaf the projection is the identity.
@@ -156,6 +195,13 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
   Matrix b21 = f.v_rl.apply_block(fl.phat.size() > 0 ? fl.phat
                                                      : dense_phat(nd.left));
   const double dt_v = t_v.stop();
+  if (!matrix_finite(b12) || !matrix_finite(b21)) {
+    // Phase boundary V-assembly -> Z-factorization: NaN/Inf here means
+    // upstream factors or kernel evaluations were already poisoned.
+    obs::add("guardrail.nonfinite_nodes");
+    std::lock_guard<std::mutex> lock(stab_mu_);
+    ++nonfinite_nodes_;
+  }
 
   obs::ScopedTimer t_z("z_factor");
   Matrix z(sl + sr, sl + sr);

@@ -1,5 +1,6 @@
 #include "core/hybrid.hpp"
 
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -120,6 +121,101 @@ std::vector<double> HybridSolver::solve(std::span<const double> u) const {
   matvec_w(last_.x, wz);
   for (size_t i = 0; i < w.size(); ++i) w[i] -= wz[i];
   return h_->from_tree_order(w);
+}
+
+SolveStatus HybridSolver::solve_with_status(std::span<const double> u,
+                                            std::span<double> x) const {
+  SolveStatus st;
+  const FactorStatus fs = ft_.factor_status();
+  st.lambda_effective = fs.lambda_effective;
+  st.shifted_nodes = fs.shifted_nodes;
+  if (!all_finite(u)) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "right-hand side contains NaN/Inf";
+    obs::add("guardrail.nonfinite_rhs");
+    return st;
+  }
+
+  std::vector<double> x0 = solve(u);
+  st.gmres_iterations = last_.iterations;
+  const double lambda = opts_.direct.lambda;
+  const bool x0_finite =
+      all_finite(std::span<const double>(x0.data(), x0.size()));
+  double res0 = std::numeric_limits<double>::infinity();
+  if (x0_finite) res0 = h_->relative_residual(x0, u, lambda);
+  st.residual = res0;
+
+  const bool reduced_failed = reduced_size_ > 0 &&
+                              (!last_.converged || last_.nonfinite ||
+                               last_.breakdown || last_.stagnated);
+  const bool want_escalate =
+      opts_.escalate_residual_tol > 0.0 &&
+      (!x0_finite || !std::isfinite(res0) ||
+       res0 > opts_.escalate_residual_tol || reduced_failed);
+
+  if (want_escalate) {
+    // Graceful degradation (§II-C discussion): the direct pass becomes a
+    // right preconditioner M^-1 for an outer GMRES on A = lambda I + K~,
+    // i.e. solve (A M^-1) y = u, then x = M^-1 y.
+    obs::add("guardrail.escalations");
+    ++st.escalations;
+    iter::GmresOptions og;
+    og.max_iters = opts_.escalate_max_iters;
+    og.restart = std::min(opts_.escalate_max_iters, 60);
+    og.rtol = opts_.escalate_residual_tol;
+    og.record_history = false;
+    std::vector<double> scratch(u.size());
+    auto op = [this, lambda, &scratch](std::span<const double> y,
+                                       std::span<double> out) {
+      std::vector<double> q = solve(y);  // q = M^-1 y.
+      std::copy(q.begin(), q.end(), scratch.begin());
+      h_->apply(scratch, out, lambda);   // out = A q.
+    };
+    iter::GmresResult outer =
+        iter::gmres(h_->n(), op, u, og);
+    st.gmres_iterations += outer.iterations;
+    if (all_finite(std::span<const double>(outer.x.data(),
+                                           outer.x.size()))) {
+      std::vector<double> xe = solve(outer.x);
+      if (all_finite(std::span<const double>(xe.data(), xe.size()))) {
+        const double rese = h_->relative_residual(xe, u, lambda);
+        if (std::isfinite(rese) && (!std::isfinite(res0) || rese < res0)) {
+          x0 = std::move(xe);
+          st.residual = rese;
+        }
+      }
+    }
+  }
+
+  if (!all_finite(std::span<const double>(x0.data(), x0.size()))) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "solution contains NaN/Inf";
+    return st;
+  }
+  std::copy(x0.begin(), x0.end(), x.begin());
+
+  // Outcome priority: worst condition wins, repaired states still ok().
+  if (want_escalate) {
+    if (opts_.escalate_residual_tol > 0.0 &&
+        st.residual > opts_.escalate_residual_tol) {
+      st.code = SolveCode::NotConverged;
+      st.detail = "escalated solve still misses escalate_residual_tol";
+    } else {
+      st.code = SolveCode::Escalated;
+    }
+  } else if (reduced_failed) {
+    if (last_.breakdown) {
+      st.code = SolveCode::Breakdown;
+    } else if (last_.stagnated) {
+      st.code = SolveCode::Stagnated;
+    } else {
+      st.code = SolveCode::NotConverged;
+    }
+    st.detail = "reduced-system GMRES did not converge";
+  } else if (fs.code == FactorCode::ShiftedDiagonal) {
+    st.code = SolveCode::ShiftedDiagonal;
+  }
+  return st;
 }
 
 size_t HybridSolver::factor_bytes() const {

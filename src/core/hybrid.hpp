@@ -22,6 +22,13 @@ namespace fdks::core {
 struct HybridOptions {
   SolverOptions direct;        ///< Frontier-subtree factorization options.
   iter::GmresOptions gmres;    ///< Reduced-system Krylov options.
+  /// Auto-escalation guardrail: after a hybrid solve, when the true
+  /// residual against (lambda I + K~) exceeds this tolerance (or the
+  /// reduced-system GMRES failed outright), demote the factorization to
+  /// a preconditioner for an outer GMRES on the full operator. 0
+  /// disables the check.
+  double escalate_residual_tol = 0.0;
+  int escalate_max_iters = 200;  ///< Outer-GMRES iteration budget.
 };
 
 class HybridSolver {
@@ -32,6 +39,17 @@ class HybridSolver {
   /// Solve (lambda I + K~) x = u (vectors in original point order).
   /// Records the reduced-system GMRES trace (last_gmres()).
   std::vector<double> solve(std::span<const double> u) const;
+
+  /// Guarded solve with graceful degradation: validates input/output,
+  /// measures the true residual, and — when escalate_residual_tol is set
+  /// and the direct pass misses it — escalates to an outer GMRES on
+  /// (lambda I + K~) right-preconditioned by this solver. Never throws
+  /// on numerical trouble; inspect the returned SolveStatus.
+  SolveStatus solve_with_status(std::span<const double> u,
+                                std::span<double> x) const;
+
+  /// Structured factorization outcome for the frontier subtrees.
+  FactorStatus factor_status() const { return ft_.factor_status(); }
 
   /// Size S of the reduced system (I + VW).
   index_t reduced_size() const { return reduced_size_; }

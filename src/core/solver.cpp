@@ -69,6 +69,35 @@ Matrix FastDirectSolver::solve(const Matrix& u) const {
   return x;
 }
 
+SolveStatus FastDirectSolver::solve_checked(std::span<const double> u,
+                                            std::span<double> x) const {
+  SolveStatus st;
+  const FactorStatus fs = ft_.factor_status();
+  st.lambda_effective = fs.lambda_effective;
+  st.shifted_nodes = fs.shifted_nodes;
+  if (!all_finite(u)) {
+    st.code = SolveCode::NonFinite;
+    st.detail = "right-hand side contains NaN/Inf";
+    obs::add("guardrail.nonfinite_rhs");
+    return st;
+  }
+  solve(u, x);
+  if (!all_finite(x)) {
+    st.code = SolveCode::NonFinite;
+    st.detail = fs.code == FactorCode::NonFinite
+                    ? "solution contains NaN/Inf (factorization was "
+                      "already non-finite)"
+                    : "solution contains NaN/Inf";
+    return st;
+  }
+  st.residual =
+      ft_.hmatrix().relative_residual(x, u, ft_.options().lambda);
+  if (fs.code == FactorCode::ShiftedDiagonal) {
+    st.code = SolveCode::ShiftedDiagonal;
+  }
+  return st;
+}
+
 size_t FastDirectSolver::factor_bytes() const {
   return ft_.subtree_bytes(ft_.hmatrix().tree().root());
 }

@@ -34,6 +34,17 @@ class FastDirectSolver {
   /// Block solve for multiple right-hand sides (columns of u).
   Matrix solve(const Matrix& u) const;
 
+  /// Guarded solve: validates the input, solves, validates the output,
+  /// and returns a structured outcome including the true relative
+  /// residual against the hierarchical operator and any diagonal-shift
+  /// degradation inherited from the factorization. Never throws on
+  /// numerical trouble — inspect the returned SolveStatus.
+  SolveStatus solve_checked(std::span<const double> u,
+                            std::span<double> x) const;
+
+  /// Structured factorization outcome (shift retries, NaN detection).
+  FactorStatus factor_status() const { return ft_.factor_status(); }
+
   const StabilityReport& stability() const { return ft_.stability(); }
   const FactorTree& factor_tree() const { return ft_; }
   /// Per-phase factorization time breakdown (leaf factors, V assembly,

@@ -1,0 +1,58 @@
+#include "core/status.hpp"
+
+#include <sstream>
+
+namespace fdks::core {
+
+const char* to_string(FactorCode c) {
+  switch (c) {
+    case FactorCode::Ok: return "ok";
+    case FactorCode::ShiftedDiagonal: return "shifted-diagonal";
+    case FactorCode::NearSingular: return "near-singular";
+    case FactorCode::NonFinite: return "non-finite";
+  }
+  return "?";
+}
+
+const char* to_string(SolveCode c) {
+  switch (c) {
+    case SolveCode::Ok: return "ok";
+    case SolveCode::ShiftedDiagonal: return "shifted-diagonal";
+    case SolveCode::Escalated: return "escalated";
+    case SolveCode::NotConverged: return "not-converged";
+    case SolveCode::Breakdown: return "breakdown";
+    case SolveCode::Stagnated: return "stagnated";
+    case SolveCode::NonFinite: return "non-finite";
+  }
+  return "?";
+}
+
+std::string FactorStatus::message() const {
+  std::ostringstream os;
+  os << "factorization " << to_string(code);
+  if (shifted_nodes > 0)
+    os << ": " << shifted_nodes << " leaf block(s) required a diagonal "
+       << "shift (" << shift_retries << " retries, lambda "
+       << lambda_requested << " -> " << lambda_effective << " worst-case)";
+  if (nonfinite_nodes > 0)
+    os << "; " << nonfinite_nodes << " node(s) held NaN/Inf entries";
+  if (code == FactorCode::NearSingular)
+    os << ": " << flagged_nodes << " node(s) below the rcond threshold";
+  return os.str();
+}
+
+std::string SolveStatus::message() const {
+  std::ostringstream os;
+  os << "solve " << to_string(code);
+  if (residual >= 0.0) os << ", residual " << residual;
+  if (gmres_iterations > 0) os << ", " << gmres_iterations << " iterations";
+  if (escalations > 0) os << ", " << escalations << " escalation(s)";
+  if (shifted_nodes > 0)
+    os << ", " << shifted_nodes
+       << " shifted leaf block(s) (effective lambda " << lambda_effective
+       << ")";
+  if (!detail.empty()) os << " [" << detail << "]";
+  return os.str();
+}
+
+}  // namespace fdks::core

@@ -1,0 +1,95 @@
+// Structured factorization/solve outcomes (robustness layer).
+//
+// The paper's §III warns that the direct factorization degrades when
+// off-diagonal ranks grow or the regularized diagonal blocks become
+// ill-conditioned. Instead of throw-or-garbage, the solvers report a
+// structured status:
+//
+//   FactorStatus — what happened during factorization: clean, completed
+//     via the automatic diagonal-shift retry (graceful degradation: the
+//     effective lambda was bumped on near-singular leaf blocks),
+//     near-singular factors left in place, or non-finite input detected.
+//
+//   SolveStatus — what happened during a guarded solve: clean, degraded
+//     (shifted factors), escalated (the hybrid solver demoted its direct
+//     factor to a preconditioner and re-solved iteratively), iterative
+//     breakdown/stagnation, non-convergence, or non-finite data.
+//
+// Statuses with ok() == true mean "a usable solution was produced",
+// possibly via a recorded degradation path; callers that need exact
+// λI + K~ solves must check degraded() as well.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace fdks::core {
+
+using la::index_t;
+
+enum class FactorCode {
+  Ok,               ///< Clean factorization.
+  ShiftedDiagonal,  ///< Completed after bumping lambda on >= 1 leaf.
+  NearSingular,     ///< Factors kept but conditioning below threshold.
+  NonFinite,        ///< NaN/Inf encountered in blocks being factorized.
+};
+
+struct FactorStatus {
+  FactorCode code = FactorCode::Ok;
+  double lambda_requested = 0.0;
+  /// Largest per-node effective lambda actually factorized
+  /// (lambda_requested + the biggest diagonal shift applied).
+  double lambda_effective = 0.0;
+  index_t shifted_nodes = 0;    ///< Leaves factored with a bumped shift.
+  index_t shift_retries = 0;    ///< Total re-factorization attempts.
+  index_t nonfinite_nodes = 0;  ///< Nodes whose blocks held NaN/Inf.
+  index_t flagged_nodes = 0;    ///< StabilityReport detector count.
+
+  bool ok() const {
+    return code == FactorCode::Ok || code == FactorCode::ShiftedDiagonal;
+  }
+  bool degraded() const { return code != FactorCode::Ok; }
+  std::string message() const;
+};
+
+enum class SolveCode {
+  Ok,               ///< Clean solve.
+  ShiftedDiagonal,  ///< Solved with diagonal-shifted factors.
+  Escalated,        ///< Hybrid auto-escalation (factor as preconditioner).
+  NotConverged,     ///< Iterative phase missed its tolerance.
+  Breakdown,        ///< GMRES Arnoldi breakdown before convergence.
+  Stagnated,        ///< GMRES stagnation detector tripped.
+  NonFinite,        ///< NaN/Inf in the right-hand side or the solution.
+};
+
+struct SolveStatus {
+  SolveCode code = SolveCode::Ok;
+  double residual = -1.0;       ///< Relative residual when computed.
+  int gmres_iterations = 0;     ///< Krylov iterations spent (all phases).
+  int escalations = 0;          ///< Auto-escalation retries used.
+  double lambda_effective = 0.0;
+  index_t shifted_nodes = 0;
+  std::string detail;           ///< Free-form context for diagnostics.
+
+  bool ok() const {
+    return code == SolveCode::Ok || code == SolveCode::ShiftedDiagonal ||
+           code == SolveCode::Escalated;
+  }
+  bool degraded() const { return code != SolveCode::Ok; }
+  std::string message() const;
+};
+
+const char* to_string(FactorCode c);
+const char* to_string(SolveCode c);
+
+/// Phase-boundary guard: true iff every entry is finite.
+inline bool all_finite(std::span<const double> v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace fdks::core

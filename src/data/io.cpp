@@ -1,5 +1,7 @@
 #include "data/io.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <set>
@@ -15,6 +17,36 @@ namespace {
   throw std::runtime_error(what + ": " + path);
 }
 
+[[noreturn]] void fail_at(const std::string& what, const std::string& path,
+                          long line) {
+  throw std::runtime_error(what + " at " + path + ":" +
+                           std::to_string(line));
+}
+
+/// Parse a full numeric cell; rejects trailing garbage ("1.5x") that
+/// std::stod alone would silently accept, and reports the offending
+/// file:line instead of std::invalid_argument's bare "stod".
+double parse_number(const std::string& cell, const std::string& what,
+                    const std::string& path, long line) {
+  size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(cell, &pos);
+  } catch (const std::exception&) {
+    fail_at(what + ": bad numeric value '" + cell + "'", path, line);
+  }
+  while (pos < cell.size() &&
+         std::isspace(static_cast<unsigned char>(cell[pos])))
+    ++pos;
+  if (pos != cell.size())
+    fail_at(what + ": bad numeric value '" + cell + "'", path, line);
+  return v;
+}
+
+/// Guard against absurd 1-based feature indices (a corrupt token like
+/// "999999999999:1" would otherwise allocate a dim-that-large matrix).
+constexpr index_t kMaxFeatureIndex = 100'000'000;
+
 }  // namespace
 
 Dataset read_libsvm(const std::string& path, index_t dim) {
@@ -25,21 +57,41 @@ Dataset read_libsvm(const std::string& path, index_t dim) {
   std::vector<std::vector<std::pair<index_t, double>>> rows;
   index_t maxdim = dim;
   std::string line;
+  long lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    double label;
-    if (!(ls >> label)) fail("read_libsvm: bad label line", path);
+    std::string first;
+    if (!(ls >> first)) fail_at("read_libsvm: bad label line", path, lineno);
+    const double label =
+        parse_number(first, "read_libsvm: label", path, lineno);
+    if (!std::isfinite(label))
+      fail_at("read_libsvm: non-finite label", path, lineno);
     labels.push_back(label);
     rows.emplace_back();
     std::string tok;
     while (ls >> tok) {
       const size_t colon = tok.find(':');
       if (colon == std::string::npos)
-        fail("read_libsvm: expected idx:value, got '" + tok + "' in", path);
-      const index_t idx = std::stol(tok.substr(0, colon));
-      const double val = std::stod(tok.substr(colon + 1));
-      if (idx < 1) fail("read_libsvm: indices are 1-based", path);
+        fail_at("read_libsvm: expected idx:value, got '" + tok + "'", path,
+                lineno);
+      const index_t idx = static_cast<index_t>(parse_number(
+          tok.substr(0, colon), "read_libsvm: feature index", path, lineno));
+      const double val = parse_number(
+          tok.substr(colon + 1), "read_libsvm: feature value", path, lineno);
+      if (idx < 1)
+        fail_at("read_libsvm: indices are 1-based (got " +
+                    std::to_string(idx) + ")",
+                path, lineno);
+      if (idx > kMaxFeatureIndex)
+        fail_at("read_libsvm: implausible feature index " +
+                    std::to_string(idx),
+                path, lineno);
+      if (!std::isfinite(val))
+        fail_at("read_libsvm: non-finite value for feature " +
+                    std::to_string(idx),
+                path, lineno);
       maxdim = std::max(maxdim, idx);
       rows.back().emplace_back(idx - 1, val);
     }
@@ -103,15 +155,28 @@ Dataset read_csv(const std::string& path, bool labeled) {
   if (!in) fail("read_csv: cannot open", path);
   std::vector<std::vector<double>> rows;
   std::string line;
+  long lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
     rows.emplace_back();
     std::istringstream ls(line);
     std::string cell;
-    while (std::getline(ls, cell, ','))
-      rows.back().push_back(std::stod(cell));
+    size_t col = 0;
+    while (std::getline(ls, cell, ',')) {
+      ++col;
+      const double v = parse_number(cell, "read_csv", path, lineno);
+      if (!std::isfinite(v))
+        fail_at("read_csv: non-finite value in column " +
+                    std::to_string(col),
+                path, lineno);
+      rows.back().push_back(v);
+    }
     if (rows.back().size() != rows.front().size())
-      fail("read_csv: ragged rows in", path);
+      fail_at("read_csv: ragged row (" +
+                  std::to_string(rows.back().size()) + " columns, expected " +
+                  std::to_string(rows.front().size()) + ")",
+              path, lineno);
   }
   if (rows.empty()) fail("read_csv: empty file", path);
   const index_t ncols = static_cast<index_t>(rows.front().size());
@@ -203,9 +268,22 @@ Dataset read_binary(const std::string& path) {
   const auto d = get<int64_t>(in);
   const auto n = get<int64_t>(in);
   ds.intrinsic_dim = static_cast<index_t>(get<int64_t>(in));
+  if (!in) fail("read_binary: truncated header in", path);
+  // Header sanity before the allocation: a corrupt header must produce
+  // a diagnostic, not a multi-terabyte resize or a negative-size crash.
+  if (d < 1 || n < 1)
+    fail("read_binary: corrupt header (dim " + std::to_string(d) + ", n " +
+             std::to_string(n) + ") in",
+         path);
+  constexpr int64_t kMaxElems = int64_t{1} << 40;  // 8 TiB of doubles.
+  if (d > kMaxElems || n > kMaxElems || d * n > kMaxElems)
+    fail("read_binary: implausible header (dim " + std::to_string(d) +
+             ", n " + std::to_string(n) + ") in",
+         path);
   ds.points.resize(static_cast<index_t>(d), static_cast<index_t>(n));
   in.read(reinterpret_cast<char*>(ds.points.data()),
           static_cast<std::streamsize>(ds.points.size() * sizeof(double)));
+  if (!in) fail("read_binary: truncated point data in", path);
   ds.labels = get_vec_d(in);
   ds.classes = get_vec_i(in);
   ds.targets = get_vec_d(in);
@@ -213,6 +291,12 @@ Dataset read_binary(const std::string& path) {
   ds.name.resize(name_len);
   in.read(ds.name.data(), static_cast<std::streamsize>(name_len));
   if (!in) fail("read_binary: truncated file", path);
+  for (index_t j = 0; j < ds.n(); ++j)
+    for (index_t i = 0; i < ds.dim(); ++i)
+      if (!std::isfinite(ds.points(i, j)))
+        fail("read_binary: non-finite coordinate (point " +
+                 std::to_string(j) + ", dim " + std::to_string(i) + ") in",
+             path);
   return ds;
 }
 

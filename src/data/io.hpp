@@ -3,6 +3,12 @@
 // files), a simple CSV reader/writer, and a fast binary container.
 // With these, the synthetic stand-ins can be swapped for the real data
 // whenever it is available, without touching any solver code.
+//
+// All readers validate as they parse — malformed numbers, NaN/Inf
+// coordinates, ragged rows, implausible feature indices, and corrupt
+// binary headers raise std::runtime_error naming the file plus the
+// line (text formats) or point/dimension index (binary), so bad input
+// is rejected at the door instead of surfacing as solver NaNs later.
 #pragma once
 
 #include <string>

@@ -31,12 +31,24 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
   out.x.assign(static_cast<size_t>(n), 0.0);
 
   const double bnorm = nrm2(b);
+  if (!std::isfinite(bnorm)) {
+    // Guardrail: a poisoned right-hand side cannot be iterated on.
+    out.nonfinite = true;
+    out.relative_residual = bnorm;
+    obs::add("guardrail.gmres_nonfinite");
+    return out;
+  }
   if (bnorm == 0.0) {
     out.converged = true;
     out.relative_residual = 0.0;
     return out;
   }
   const double target = std::max(opts.rtol * bnorm, opts.atol);
+  // Residual norms per global iteration, kept for the stagnation
+  // detector independently of record_history.
+  std::vector<double> rnorms;
+  if (opts.stagnation_window > 0)
+    rnorms.reserve(static_cast<size_t>(opts.max_iters));
 
   const int m = std::max(1, opts.restart);
   // Arnoldi basis (m+1 vectors) and Hessenberg in compact storage.
@@ -63,6 +75,11 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
       v[0][static_cast<size_t>(i)] = b[static_cast<size_t>(i)] -
                                      w[static_cast<size_t>(i)];
     rnorm = nrm2(v[0]);
+    if (!std::isfinite(rnorm)) {
+      out.nonfinite = true;
+      obs::add("guardrail.gmres_nonfinite");
+      break;
+    }
     if (rnorm <= target) {
       out.converged = true;
       break;
@@ -124,7 +141,34 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
         out.residual_history.push_back(rnorm / bnorm);
         out.time_history.push_back(elapsed(t0));
       }
+      if (!std::isfinite(rnorm) || !std::isfinite(hk1)) {
+        // Guardrail: NaN/Inf in the Arnoldi process — abort rather
+        // than iterate on garbage. x keeps the last finite update.
+        out.nonfinite = true;
+        obs::add("guardrail.gmres_nonfinite");
+        ++k;
+        ++total_it;
+        break;
+      }
+      if (opts.stagnation_window > 0) {
+        rnorms.push_back(rnorm);
+        const size_t wnd = static_cast<size_t>(opts.stagnation_window);
+        if (rnorms.size() > wnd &&
+            rnorm > opts.stagnation_rtol * rnorms[rnorms.size() - 1 - wnd]) {
+          out.stagnated = true;
+          obs::add("guardrail.gmres_stagnation");
+          ++k;
+          ++total_it;
+          break;
+        }
+      }
       if (rnorm <= target || hk1 == 0.0) {
+        if (hk1 == 0.0 && rnorm > target) {
+          // True breakdown: invariant subspace reached without hitting
+          // the tolerance (lucky breakdown would have rnorm <= target).
+          out.breakdown = true;
+          obs::add("guardrail.gmres_breakdown");
+        }
         ++k;
         ++total_it;
         break;
@@ -133,7 +177,15 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
 
     // Back-substitute y from the triangular H and update x += V y.
     std::vector<double> y(static_cast<size_t>(k), 0.0);
+    bool singular_h = false;
     for (int i = k - 1; i >= 0; --i) {
+      if (H(i, i) == 0.0) {
+        // Zero pivot: this Krylov direction carries no information (the
+        // operator is singular along it). Skip it instead of dividing by
+        // zero — the Givens residual estimate is fictitious here.
+        singular_h = true;
+        continue;
+      }
       double s = g[static_cast<size_t>(i)];
       for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[static_cast<size_t>(j)];
       y[static_cast<size_t>(i)] = s / H(i, i);
@@ -141,6 +193,11 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
     for (int i = 0; i < k; ++i)
       axpy(y[static_cast<size_t>(i)], v[static_cast<size_t>(i)], out.x);
 
+    if (singular_h && !out.breakdown) {
+      out.breakdown = true;
+      obs::add("guardrail.gmres_breakdown");
+    }
+    if (out.breakdown || out.stagnated || out.nonfinite) break;
     if (rnorm <= target) {
       out.converged = true;
       break;
@@ -149,7 +206,8 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
 
   out.iterations = total_it;
   out.relative_residual = rnorm / bnorm;
-  if (rnorm <= target) out.converged = true;
+  if (!out.breakdown && !out.nonfinite && rnorm <= target)
+    out.converged = true;
   obs::add("gmres.iterations", static_cast<double>(total_it));
   return out;
 }

@@ -30,6 +30,11 @@ struct GmresOptions {
   double atol = 0.0;         ///< Stop when ||r|| <= atol.
   bool cgs_refine = true;    ///< Second orthogonalization pass (CGS2).
   bool record_history = true;
+  /// Stagnation guardrail: stop (with .stagnated set) when the residual
+  /// norm improves by less than a factor of stagnation_rtol over
+  /// stagnation_window consecutive iterations. 0 disables.
+  int stagnation_window = 0;
+  double stagnation_rtol = 0.99;
 };
 
 struct GmresResult {
@@ -39,6 +44,13 @@ struct GmresResult {
   double relative_residual = 1.0;          ///< Final ||r|| / ||b||.
   std::vector<double> residual_history;    ///< Per-iteration ||r||/||b||.
   std::vector<double> time_history;        ///< Seconds since solve start.
+  // Guardrail outcomes (§III robustness): why the iteration stopped
+  // when it did not converge.
+  bool breakdown = false;   ///< Arnoldi produced a zero vector while the
+                            ///< residual was still above tolerance.
+  bool stagnated = false;   ///< Stagnation detector tripped.
+  bool nonfinite = false;   ///< NaN/Inf appeared; iteration aborted and
+                            ///< x holds the last finite iterate.
 };
 
 /// Solve A x = b with x0 = 0. n is the system size.

@@ -15,9 +15,15 @@ double dot(std::span<const double> x, std::span<const double> y) {
 
 double nrm2(std::span<const double> x) {
   // Two-pass scaled norm: cheap and immune to overflow/underflow for the
-  // magnitudes seen in kernel methods.
+  // magnitudes seen in kernel methods. NaN/Inf entries must propagate:
+  // std::max(0.0, NaN) would silently drop NaN and report norm zero,
+  // which upstream convergence checks would read as "converged".
   double amax = 0.0;
-  for (double v : x) amax = std::max(amax, std::abs(v));
+  for (double v : x) {
+    const double a = std::abs(v);
+    if (a > amax || std::isnan(a)) amax = a;
+  }
+  if (!std::isfinite(amax)) return amax;  // NaN -> NaN, Inf -> Inf.
   if (amax == 0.0) return 0.0;
   double s = 0.0;
   for (double v : x) {

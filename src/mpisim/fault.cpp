@@ -1,0 +1,80 @@
+#include "mpisim/fault.hpp"
+
+#include <sstream>
+
+namespace fdks::mpisim {
+
+namespace {
+
+std::string timeout_message(int waiting_rank, int src_rank, int tag,
+                            std::uint64_t context,
+                            std::chrono::milliseconds deadline) {
+  std::ostringstream os;
+  os << "mpisim timeout: rank " << waiting_rank << " waited "
+     << deadline.count() << " ms for a message from rank " << src_rank
+     << " (tag " << tag << ", context " << context << ")";
+  return os.str();
+}
+
+std::string killed_message(int rank, std::uint64_t op_index) {
+  std::ostringstream os;
+  os << "mpisim fault: rank " << rank
+     << " killed by the fault plan at communication op " << op_index;
+  return os.str();
+}
+
+std::string multi_message(int world_size,
+                          const std::vector<MultiRankError::RankError>& errs) {
+  std::ostringstream os;
+  os << "mpisim::run: " << errs.size() << " of " << world_size
+     << " ranks failed:";
+  for (const auto& e : errs) os << "\n  rank " << e.rank << ": " << e.what;
+  return os.str();
+}
+
+/// splitmix64: small, well-mixed, and stable across platforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TimeoutError::TimeoutError(int waiting_rank, int src_rank, int tag,
+                           std::uint64_t context,
+                           std::chrono::milliseconds deadline)
+    : std::runtime_error(
+          timeout_message(waiting_rank, src_rank, tag, context, deadline)),
+      waiting_rank_(waiting_rank), src_rank_(src_rank), tag_(tag),
+      context_(context) {}
+
+RankKilledError::RankKilledError(int rank, std::uint64_t op_index)
+    : std::runtime_error(killed_message(rank, op_index)), rank_(rank) {}
+
+MultiRankError::MultiRankError(int world_size, std::vector<RankError> errors)
+    : std::runtime_error(multi_message(world_size, errors)),
+      errors_(std::move(errors)) {}
+
+FaultAction fault_decide(const FaultPlan& plan, int src_world, int dst_world,
+                         int tag, std::uint64_t sequence) {
+  if (!plan.message_faults()) return FaultAction::None;
+  std::uint64_t h = mix64(plan.seed ^ 0x66646b73ull);  // "fdks".
+  h = mix64(h ^ static_cast<std::uint64_t>(src_world));
+  h = mix64(h ^ static_cast<std::uint64_t>(dst_world));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = mix64(h ^ sequence);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double acc = plan.drop_fraction;
+  if (u < acc) return FaultAction::Drop;
+  acc += plan.delay_fraction;
+  if (u < acc) return FaultAction::Delay;
+  acc += plan.duplicate_fraction;
+  if (u < acc) return FaultAction::Duplicate;
+  acc += plan.corrupt_fraction;
+  if (u < acc) return FaultAction::Corrupt;
+  return FaultAction::None;
+}
+
+}  // namespace fdks::mpisim

@@ -1,0 +1,126 @@
+// Fault model for the message-passing runtime: deadline errors and a
+// deterministic seeded fault-injection plan.
+//
+// A production message-passing layer fails in bounded, diagnosable ways;
+// an in-process simulator should too. Two pieces:
+//
+//   TimeoutError / RankKilledError — every blocking wait in the runtime
+//     carries a deadline (WorldOptions::timeout). A mismatched send/recv
+//     or a dead peer surfaces as a TimeoutError naming the waiting rank,
+//     the awaited source rank, the tag, and the communicator context —
+//     instead of an infinite hang.
+//
+//   FaultPlan — a seeded, fully deterministic injection plan applied at
+//     message-delivery time (drop / delay / duplicate / payload-corrupt
+//     a chosen fraction of messages) plus per-rank stall/kill faults
+//     applied at send/recv call time. The decision for a message is a
+//     pure hash of (seed, src, dst, tag, per-link sequence number), so a
+//     plan replays identically across runs regardless of thread
+//     scheduling. Injection counters land in the obs registry
+//     ("mpisim.fault.*") so tests and benches can assert on them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fdks::mpisim {
+
+/// A blocking wait exceeded its deadline. Ranks and tags identify the
+/// stuck edge: `waiting_rank` (world rank) was waiting for a message
+/// from `src_rank` with `tag` on communicator context `context`.
+class TimeoutError : public std::runtime_error {
+ public:
+  TimeoutError(int waiting_rank, int src_rank, int tag,
+               std::uint64_t context, std::chrono::milliseconds deadline);
+
+  int waiting_rank() const { return waiting_rank_; }
+  int src_rank() const { return src_rank_; }
+  int tag() const { return tag_; }
+  std::uint64_t context() const { return context_; }
+
+ private:
+  int waiting_rank_;
+  int src_rank_;
+  int tag_;
+  std::uint64_t context_;
+};
+
+/// Thrown inside a rank that a FaultPlan kills: the rank's communication
+/// operations abort from `kill_after_ops` onward, simulating a crashed
+/// process. Peers observe the death as TimeoutErrors.
+class RankKilledError : public std::runtime_error {
+ public:
+  RankKilledError(int rank, std::uint64_t op_index);
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Several ranks failed under mpisim::run. Collects every rank's error
+/// (rank id + what()) so multi-rank failures are diagnosable; the
+/// what() string lists them all.
+class MultiRankError : public std::runtime_error {
+ public:
+  struct RankError {
+    int rank;
+    std::string what;
+  };
+
+  MultiRankError(int world_size, std::vector<RankError> errors);
+  const std::vector<RankError>& errors() const { return errors_; }
+
+ private:
+  std::vector<RankError> errors_;
+};
+
+/// What the plan decided for one message.
+enum class FaultAction { None, Drop, Delay, Duplicate, Corrupt };
+
+/// Deterministic seeded injection plan. Fractions are per-message
+/// probabilities drawn from a hash of the message coordinates; they are
+/// evaluated cumulatively (drop first, then delay, duplicate, corrupt),
+/// so at most one action applies per message.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_fraction = 0.0;       ///< Message silently discarded.
+  double delay_fraction = 0.0;      ///< Delivery deferred by `delay`.
+  double duplicate_fraction = 0.0;  ///< Message delivered twice.
+  double corrupt_fraction = 0.0;    ///< One payload entry replaced by NaN.
+  std::chrono::milliseconds delay{20};
+
+  /// Rank-level faults (world ranks; -1 = none).
+  int stall_rank = -1;                       ///< Sleeps `stall` once, at
+  std::chrono::milliseconds stall{0};        ///< its next comm operation.
+  int kill_rank = -1;                        ///< Comm ops throw
+  std::uint64_t kill_after_ops = 0;          ///< RankKilledError from the
+                                             ///< kill_after_ops-th on.
+
+  bool message_faults() const {
+    return drop_fraction > 0.0 || delay_fraction > 0.0 ||
+           duplicate_fraction > 0.0 || corrupt_fraction > 0.0;
+  }
+  bool enabled() const {
+    return message_faults() || stall_rank >= 0 || kill_rank >= 0;
+  }
+};
+
+/// The plan's decision for message number `sequence` on the directed
+/// link src_world -> dst_world with `tag`. Pure function: identical
+/// inputs give identical decisions on every run.
+FaultAction fault_decide(const FaultPlan& plan, int src_world, int dst_world,
+                         int tag, std::uint64_t sequence);
+
+/// Per-world runtime knobs.
+struct WorldOptions {
+  /// Deadline for every blocking wait (recvs and, through them, all
+  /// collectives). <= 0 waits forever (the legacy hang-on-bug mode).
+  /// Overridable with the FDKS_MPISIM_TIMEOUT_MS environment variable.
+  std::chrono::milliseconds timeout{60000};
+  FaultPlan faults;
+};
+
+}  // namespace fdks::mpisim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -11,21 +13,93 @@
 
 namespace fdks::mpisim {
 
-World::World(int size) : size_(size) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// FDKS_MPISIM_TIMEOUT_MS overrides the configured wait deadline
+/// (<= 0 disables the deadline entirely).
+std::chrono::milliseconds env_timeout_override(
+    std::chrono::milliseconds fallback) {
+  const char* s = std::getenv("FDKS_MPISIM_TIMEOUT_MS");
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return fallback;
+  return std::chrono::milliseconds(v);
+}
+
+}  // namespace
+
+World::World(int size, WorldOptions opts) : size_(size), opts_(opts) {
   if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  opts_.timeout = env_timeout_override(opts_.timeout);
   boxes_.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  link_seq_.assign(static_cast<size_t>(size) * static_cast<size_t>(size), 0);
+  rank_ops_.assign(static_cast<size_t>(size), 0);
+  stalled_.assign(static_cast<size_t>(size), 0);
 }
 
 std::uint64_t World::next_context() {
   return context_counter_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void World::comm_op(int world_rank) {
+  const FaultPlan& fp = opts_.faults;
+  if (!fp.enabled()) return;
+  const auto r = static_cast<size_t>(world_rank);
+  const std::uint64_t op = rank_ops_[r]++;
+  if (fp.stall_rank == world_rank && !stalled_[r] && fp.stall.count() > 0) {
+    stalled_[r] = 1;
+    obs::add("mpisim.fault.stall");
+    std::this_thread::sleep_for(fp.stall);
+  }
+  if (fp.kill_rank == world_rank && op >= fp.kill_after_ops) {
+    obs::add("mpisim.fault.kill");
+    throw RankKilledError(world_rank, op);
+  }
+}
+
 void World::post(int dst_world, Message msg) {
+  const FaultPlan& fp = opts_.faults;
+  bool duplicate = false;
+  if (fp.message_faults()) {
+    const size_t link = static_cast<size_t>(msg.src_world) *
+                            static_cast<size_t>(size_) +
+                        static_cast<size_t>(dst_world);
+    const std::uint64_t seq = link_seq_[link]++;
+    switch (fault_decide(fp, msg.src_world, dst_world, msg.tag, seq)) {
+      case FaultAction::Drop:
+        obs::add("mpisim.fault.injected");
+        obs::add("mpisim.fault.drop");
+        return;  // Silently discarded: the receiver's deadline reports it.
+      case FaultAction::Delay:
+        obs::add("mpisim.fault.injected");
+        obs::add("mpisim.fault.delay");
+        msg.deliver_at = Clock::now() + fp.delay;
+        break;
+      case FaultAction::Duplicate:
+        obs::add("mpisim.fault.injected");
+        obs::add("mpisim.fault.duplicate");
+        duplicate = true;
+        break;
+      case FaultAction::Corrupt:
+        obs::add("mpisim.fault.injected");
+        obs::add("mpisim.fault.corrupt");
+        if (!msg.data.empty())
+          msg.data[static_cast<size_t>(seq) % msg.data.size()] =
+              std::numeric_limits<double>::quiet_NaN();
+        break;
+      case FaultAction::None:
+        break;
+    }
+  }
   Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(std::move(msg));
+    box.queue.push_back(msg);
+    if (duplicate) box.queue.push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
@@ -33,19 +107,46 @@ void World::post(int dst_world, Message msg) {
 std::vector<double> World::wait(int dst_world, std::uint64_t context,
                                 int src_world, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
+  const bool has_deadline = opts_.timeout.count() > 0;
+  const Clock::time_point deadline =
+      has_deadline ? Clock::now() + opts_.timeout : Clock::time_point{};
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
-    auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                           [&](const Message& m) {
-                             return m.context == context &&
-                                    m.src_world == src_world && m.tag == tag;
-                           });
-    if (it != box.queue.end()) {
-      std::vector<double> data = std::move(it->data);
-      box.queue.erase(it);
+    const Clock::time_point now = Clock::now();
+    // Earliest pending delivery time among matching-but-delayed
+    // messages; also detects an immediately deliverable match.
+    bool have_delayed = false;
+    Clock::time_point next_delivery{};
+    auto match = box.queue.end();
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->context != context || it->src_world != src_world ||
+          it->tag != tag)
+        continue;
+      if (it->deliver_at <= now) {
+        match = it;
+        break;
+      }
+      if (!have_delayed || it->deliver_at < next_delivery) {
+        have_delayed = true;
+        next_delivery = it->deliver_at;
+      }
+    }
+    if (match != box.queue.end()) {
+      std::vector<double> data = std::move(match->data);
+      box.queue.erase(match);
       return data;
     }
-    box.cv.wait(lock);
+    if (has_deadline && now >= deadline) {
+      obs::add("mpisim.timeouts");
+      throw TimeoutError(dst_world, src_world, tag, context, opts_.timeout);
+    }
+    if (have_delayed && (!has_deadline || next_delivery < deadline)) {
+      box.cv.wait_until(lock, next_delivery);
+    } else if (has_deadline) {
+      box.cv.wait_until(lock, deadline);
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -55,6 +156,7 @@ Comm::Comm(World* world, std::uint64_t context, std::vector<int> members,
       my_index_(my_index) {}
 
 void Comm::send(int dest, int tag, std::span<const double> data) const {
+  world_->comm_op(members_[static_cast<size_t>(my_index_)]);
   // Per-rank-thread counters; the snapshot sums them into total traffic.
   obs::add("mpisim.messages");
   obs::add("mpisim.bytes", double(data.size()) * double(sizeof(double)));
@@ -67,6 +169,7 @@ void Comm::send(int dest, int tag, std::span<const double> data) const {
 }
 
 std::vector<double> Comm::recv(int src, int tag) const {
+  world_->comm_op(members_[static_cast<size_t>(my_index_)]);
   return world_->wait(members_[static_cast<size_t>(my_index_)], context_,
                       members_[static_cast<size_t>(src)], tag);
 }
@@ -134,14 +237,15 @@ Comm Comm::split(int color) const {
   return Comm(world_, ctx, group, idx);
 }
 
-void run(int p, const std::function<void(Comm&)>& fn) {
-  World world(p);
+void run(int p, const std::function<void(Comm&)>& fn,
+         const WorldOptions& opts) {
+  World world(p, opts);
   const std::uint64_t ctx = world.next_context();
   std::vector<int> members(static_cast<size_t>(p));
   std::iota(members.begin(), members.end(), 0);
 
   std::vector<std::thread> threads;
-  std::exception_ptr first_error = nullptr;
+  std::vector<std::pair<int, std::exception_ptr>> errors;
   std::mutex err_mu;
   threads.reserve(static_cast<size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -151,12 +255,33 @@ void run(int p, const std::function<void(Comm&)>& fn) {
         fn(comm);
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        errors.emplace_back(r, std::current_exception());
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (errors.empty()) return;
+  if (errors.size() == 1) std::rethrow_exception(errors.front().second);
+  // Several ranks failed: aggregate every rank's message so the caller
+  // sees which ranks broke and how (deterministic rank order).
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<MultiRankError::RankError> what;
+  what.reserve(errors.size());
+  for (const auto& [r, ep] : errors) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      what.push_back({r, e.what()});
+    } catch (...) {
+      what.push_back({r, "unknown exception"});
+    }
+  }
+  throw MultiRankError(p, std::move(what));
+}
+
+void run(int p, const std::function<void(Comm&)>& fn) {
+  run(p, fn, WorldOptions{});
 }
 
 }  // namespace fdks::mpisim

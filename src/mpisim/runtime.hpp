@@ -7,9 +7,16 @@
 // mutex/condition-variable queues, so the distributed factorization and
 // solve run — with their real communication pattern and data ownership —
 // inside one process. Swapping in real MPI is a transport change only.
+//
+// Robustness (fault.hpp): every blocking wait carries a deadline and
+// throws a descriptive TimeoutError instead of hanging, and a seeded
+// FaultPlan can deterministically drop/delay/duplicate/corrupt messages
+// or stall/kill a rank — the test harness for the solvers' failure
+// paths.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -18,6 +25,8 @@
 #include <mutex>
 #include <span>
 #include <vector>
+
+#include "mpisim/fault.hpp"
 
 namespace fdks::mpisim {
 
@@ -28,6 +37,8 @@ struct Message {
   std::uint64_t context = 0;
   int tag = 0;
   std::vector<double> data;
+  /// Injected-delay delivery time; default (epoch) = deliverable now.
+  std::chrono::steady_clock::time_point deliver_at{};
 };
 
 class Comm;
@@ -35,13 +46,19 @@ class Comm;
 /// Shared world state: one mailbox per world rank.
 class World {
  public:
-  explicit World(int size);
+  explicit World(int size, WorldOptions opts = {});
   int size() const { return size_; }
+  const WorldOptions& options() const { return opts_; }
 
   void post(int dst_world, Message msg);
   std::vector<double> wait(int dst_world, std::uint64_t context,
                            int src_world, int tag);
   std::uint64_t next_context();
+
+  /// Rank-level fault hook, called by Comm on every send/recv: applies
+  /// the plan's stall (sleeps once) and kill (throws RankKilledError)
+  /// faults for `world_rank`.
+  void comm_op(int world_rank);
 
  private:
   struct Mailbox {
@@ -50,8 +67,14 @@ class World {
     std::vector<Message> queue;
   };
   int size_;
+  WorldOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<std::uint64_t> context_counter_{1};
+  // Per-link and per-rank fault bookkeeping. Each cell is written only
+  // by the owning source rank's thread, so plain integers suffice.
+  std::vector<std::uint64_t> link_seq_;  ///< [src * size + dst] messages.
+  std::vector<std::uint64_t> rank_ops_;  ///< Comm ops issued per rank.
+  std::vector<char> stalled_;            ///< Stall already applied.
 };
 
 /// A communicator: an ordered group of world ranks plus a context id
@@ -65,7 +88,8 @@ class Comm {
   int size() const { return static_cast<int>(members_.size()); }
   World& world() const { return *world_; }
 
-  /// Blocking point-to-point send/recv by communicator rank.
+  /// Blocking point-to-point send/recv by communicator rank. recv
+  /// throws TimeoutError when the world's deadline expires first.
   void send(int dest, int tag, std::span<const double> data) const;
   std::vector<double> recv(int src, int tag) const;
 
@@ -79,7 +103,8 @@ class Comm {
   Comm split(int color) const;
 
   // Collectives (implemented in collectives.cpp); all are blocking and
-  // must be entered by every member.
+  // must be entered by every member. Built on send/recv, so they
+  // inherit the deadline and fault-injection behavior.
   void bcast(std::vector<double>& data, int root) const;
   void reduce_sum(std::vector<double>& data, int root) const;
   void allreduce_sum(std::vector<double>& data) const;
@@ -95,7 +120,13 @@ class Comm {
 };
 
 /// Launch fn on p ranks (threads) over a fresh world; joins all threads.
-/// Exceptions thrown by any rank are rethrown (first one wins).
+/// When exactly one rank fails its exception is rethrown unchanged;
+/// when several fail, a MultiRankError carrying every rank's error (with
+/// rank ids) is thrown instead.
 void run(int p, const std::function<void(Comm&)>& fn);
+
+/// As above with explicit runtime options (wait deadline, fault plan).
+void run(int p, const std::function<void(Comm&)>& fn,
+         const WorldOptions& opts);
 
 }  // namespace fdks::mpisim

@@ -105,16 +105,20 @@ TEST(DistHybrid, ResidualAgainstCompressedOperator) {
 }
 
 TEST(DistHybrid, RejectsFrontierAboveRankLevel) {
-  // L = 1 frontier with p = 4 ranks: frontier nodes span ranks.
+  // L = 1 frontier with p = 4 ranks: frontier nodes span ranks. All
+  // four ranks throw std::invalid_argument, so run() aggregates them
+  // into a MultiRankError naming every rank.
   const index_t n = 256;
   Matrix pts = clustered_points(2, n, 5);
   askit::HMatrix h(pts, Kernel::gaussian(1.0), restricted(1));
-  EXPECT_THROW(
-      mpisim::run(4,
-                  [&](mpisim::Comm& comm) {
-                    DistributedHybridSolver ds(h, hopts(1.0), comm);
-                  }),
-      std::invalid_argument);
+  try {
+    mpisim::run(4, [&](mpisim::Comm& comm) {
+      DistributedHybridSolver ds(h, hopts(1.0), comm);
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const mpisim::MultiRankError& e) {
+    EXPECT_EQ(e.errors().size(), 4u);
+  }
 }
 
 TEST(DistHybrid, AllRanksShareIdenticalReducedTrace) {

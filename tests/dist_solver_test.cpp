@@ -118,32 +118,40 @@ TEST(DistributedSolver, ResidualAgainstCompressedOperator) {
 }
 
 TEST(DistributedSolver, RejectsNonPowerOfTwo) {
+  // Every rank rejects the invalid world size, so run() aggregates the
+  // three identical std::invalid_arguments into one MultiRankError.
   const index_t n = 128;
   Matrix pts = clustered_points(2, n, 7);
   askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
   SolverOptions opts;
-  EXPECT_THROW(
-      mpisim::run(3,
-                  [&](mpisim::Comm& comm) {
-                    DistributedSolver ds(h, opts, comm);
-                  }),
-      std::invalid_argument);
+  try {
+    mpisim::run(3, [&](mpisim::Comm& comm) {
+      DistributedSolver ds(h, opts, comm);
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const mpisim::MultiRankError& e) {
+    EXPECT_EQ(e.errors().size(), 3u);
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+  }
 }
 
 TEST(DistributedSolver, RejectsTooManyRanksForTree) {
-  // leaf_size 64 on 128 points: depth 1, no complete level 3.
+  // leaf_size 64 on 128 points: depth 1, no complete level 3. All eight
+  // ranks throw, surfacing as an aggregated MultiRankError.
   const index_t n = 128;
   Matrix pts = clustered_points(2, n, 8);
   AskitConfig cfg = dist_config();
   cfg.leaf_size = 64;
   askit::HMatrix h(pts, Kernel::gaussian(1.0), cfg);
   SolverOptions opts;
-  EXPECT_THROW(
-      mpisim::run(8,
-                  [&](mpisim::Comm& comm) {
-                    DistributedSolver ds(h, opts, comm);
-                  }),
-      std::invalid_argument);
+  try {
+    mpisim::run(8, [&](mpisim::Comm& comm) {
+      DistributedSolver ds(h, opts, comm);
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const mpisim::MultiRankError& e) {
+    EXPECT_EQ(e.errors().size(), 8u);
+  }
 }
 
 TEST(DistributedSolver, MultipleSolvesReuseFactorization) {

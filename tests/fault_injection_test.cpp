@@ -1,0 +1,388 @@
+// Fault-injection tests for the mpisim runtime and the distributed
+// solvers: seeded drop plans must surface as descriptive timeouts (not
+// hangs), delay-only plans must leave answers bit-compatible with the
+// fault-free run, a killed rank must be visible to its peers as
+// timeouts, and injection bookkeeping must be deterministic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <random>
+
+#include "core/dist_hybrid.hpp"
+#include "core/dist_solver.hpp"
+#include "la/blas1.hpp"
+#include "mpisim/runtime.hpp"
+#include "obs/obs.hpp"
+
+namespace fdks {
+namespace {
+
+using askit::AskitConfig;
+using core::DistributedHybridSolver;
+using core::DistributedSolver;
+using core::HybridOptions;
+using core::SolverOptions;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+using mpisim::Comm;
+using mpisim::FaultAction;
+using mpisim::FaultPlan;
+using mpisim::MultiRankError;
+using mpisim::TimeoutError;
+using mpisim::WorldOptions;
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+AskitConfig dist_config() {
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 40;
+  cfg.tol = 1e-8;
+  cfg.num_neighbors = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<double> random_vec(index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+TEST(FaultPlanDecide, IsDeterministicAndRespectsFractions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_fraction = 0.10;
+  plan.delay_fraction = 0.20;
+  plan.corrupt_fraction = 0.05;
+
+  int drops = 0, delays = 0, corrupts = 0, dups = 0;
+  const int trials = 20000;
+  for (int s = 0; s < trials; ++s) {
+    const FaultAction a = fault_decide(plan, 0, 1, 7, s);
+    const FaultAction again = fault_decide(plan, 0, 1, 7, s);
+    ASSERT_EQ(a, again) << "decision must be a pure function";
+    switch (a) {
+      case FaultAction::Drop: ++drops; break;
+      case FaultAction::Delay: ++delays; break;
+      case FaultAction::Corrupt: ++corrupts; break;
+      case FaultAction::Duplicate: ++dups; break;
+      case FaultAction::None: break;
+    }
+  }
+  EXPECT_EQ(dups, 0);
+  EXPECT_NEAR(drops / double(trials), 0.10, 0.02);
+  EXPECT_NEAR(delays / double(trials), 0.20, 0.02);
+  EXPECT_NEAR(corrupts / double(trials), 0.05, 0.02);
+
+  // Different links decide independently (not all-or-nothing).
+  int diff = 0;
+  for (int s = 0; s < 1000; ++s)
+    if (fault_decide(plan, 0, 1, 7, s) != fault_decide(plan, 2, 3, 7, s))
+      ++diff;
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjection, RecvTimeoutNamesRankTagAndDeadline) {
+  WorldOptions wo;
+  wo.timeout = std::chrono::milliseconds(150);
+  bool caught = false;
+  // Only rank 0 blocks on a recv nobody sends; exactly one rank fails,
+  // so the original TimeoutError must be rethrown unwrapped.
+  try {
+    mpisim::run(
+        2,
+        [](Comm& c) {
+          if (c.rank() == 0) (void)c.recv(1, 42);
+        },
+        wo);
+  } catch (const TimeoutError& e) {
+    caught = true;
+    EXPECT_EQ(e.waiting_rank(), 0);
+    EXPECT_EQ(e.src_rank(), 1);
+    EXPECT_EQ(e.tag(), 42);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 42"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(FaultInjection, TimeoutZeroDisablesDeadline) {
+  // timeout <= 0 must mean "wait forever": the late message still lands.
+  WorldOptions wo;
+  wo.timeout = std::chrono::milliseconds(0);
+  mpisim::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          c.send(0, 3, std::vector<double>{9.0});
+        } else {
+          EXPECT_EQ(c.recv(1, 3).at(0), 9.0);
+        }
+      },
+      wo);
+}
+
+TEST(FaultInjection, SeededDropPlanSurfacesAsTimeoutsOnDistSolver) {
+  obs::set_enabled(true);
+  obs::reset();
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 1);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 0.7;
+  auto u = random_vec(n, 2);
+
+  WorldOptions wo;
+  wo.timeout = std::chrono::milliseconds(400);
+  wo.faults.seed = 7;
+  wo.faults.drop_fraction = 0.25;  // Factorization traffic cannot survive.
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bool caught = false;
+  try {
+    mpisim::run(
+        4,
+        [&](Comm& comm) {
+          DistributedSolver ds(h, opts, comm);
+          (void)ds.solve(u);
+        },
+        wo);
+  } catch (const std::exception& e) {
+    caught = true;
+    // Whether one rank or several hit the deadline, the message must
+    // carry the descriptive timeout naming a stuck rank and tag.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mpisim timeout"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank"), std::string::npos) << what;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(caught) << "a 25% drop plan must not complete silently";
+  // Bounded failure, not a hang: a handful of serialized 400 ms
+  // deadlines at worst, never the 60 s default.
+  EXPECT_LT(elapsed, 30.0);
+
+  const auto counters = obs::snapshot().counters;
+  EXPECT_GE(counters.at("mpisim.fault.drop"), 1.0);
+  EXPECT_GE(counters.at("mpisim.timeouts"), 1.0);
+  obs::set_enabled(false);
+}
+
+TEST(FaultInjection, DelayOnlyPlanMatchesFaultFreeDistSolver) {
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 3);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 0.7;
+  auto u = random_vec(n, 4);
+
+  std::vector<double> x_clean;
+  mpisim::run(4, [&](Comm& comm) {
+    DistributedSolver ds(h, opts, comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) x_clean = std::move(x);
+  });
+
+  WorldOptions wo;
+  wo.faults.seed = 11;
+  wo.faults.delay_fraction = 0.30;
+  wo.faults.delay = std::chrono::milliseconds(5);
+  std::vector<double> x_delayed;
+  core::SolveStatus status;
+  mpisim::run(
+      4,
+      [&](Comm& comm) {
+        DistributedSolver ds(h, opts, comm);
+        auto x = ds.solve(u);
+        if (comm.rank() == 0) {
+          x_delayed = std::move(x);
+          status = ds.last_status();
+        }
+      },
+      wo);
+
+  ASSERT_EQ(x_delayed.size(), x_clean.size());
+  const double diff =
+      la::nrm2(la::vsub(x_delayed, x_clean)) / la::nrm2(x_clean);
+  EXPECT_LT(diff, 1e-12) << "delays reorder traffic but not arithmetic";
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(FaultInjection, DelayOnlyPlanMatchesFaultFreeDistHybrid) {
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 5);
+  AskitConfig cfg = dist_config();
+  cfg.num_neighbors = 0;
+  cfg.level_restriction = 3;
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), cfg);
+  HybridOptions ho;
+  ho.direct.lambda = 0.8;
+  ho.gmres.rtol = 1e-12;
+  auto u = random_vec(n, 6);
+
+  std::vector<double> x_clean;
+  mpisim::run(4, [&](Comm& comm) {
+    DistributedHybridSolver ds(h, ho, comm);
+    auto x = ds.solve(u);
+    if (comm.rank() == 0) x_clean = std::move(x);
+  });
+
+  WorldOptions wo;
+  wo.faults.seed = 13;
+  wo.faults.delay_fraction = 0.30;
+  wo.faults.delay = std::chrono::milliseconds(5);
+  std::vector<double> x_delayed;
+  core::SolveStatus status;
+  mpisim::run(
+      4,
+      [&](Comm& comm) {
+        DistributedHybridSolver ds(h, ho, comm);
+        auto x = ds.solve(u);
+        if (comm.rank() == 0) {
+          x_delayed = std::move(x);
+          status = ds.last_status();
+        }
+      },
+      wo);
+
+  ASSERT_EQ(x_delayed.size(), x_clean.size());
+  const double diff =
+      la::nrm2(la::vsub(x_delayed, x_clean)) / la::nrm2(x_clean);
+  EXPECT_LT(diff, 1e-12);
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(FaultInjection, CorruptPlanSurfacesAsCleanStatusNotDeadlock) {
+  // The acceptance scenario where the two tentpole halves meet: payload
+  // corruption (NaN) flows into the numerics and must surface as a
+  // structured non-finite status on every rank — not a hang, not a
+  // crash, not silently wrong data.
+  const index_t n = 256;
+  Matrix pts = clustered_points(3, n, 7);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), dist_config());
+  SolverOptions opts;
+  opts.lambda = 0.7;
+  auto u = random_vec(n, 8);
+
+  WorldOptions wo;
+  wo.timeout = std::chrono::milliseconds(2000);
+  wo.faults.seed = 17;
+  wo.faults.corrupt_fraction = 0.5;
+
+  std::vector<core::SolveStatus> status(4);
+  try {
+    mpisim::run(
+        4,
+        [&](Comm& comm) {
+          DistributedSolver ds(h, opts, comm);
+          (void)ds.solve(u);
+          status[static_cast<size_t>(comm.rank())] = ds.last_status();
+        },
+        wo);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(status[static_cast<size_t>(r)].code,
+                core::SolveCode::NonFinite)
+          << "rank " << r << ": " << status[static_cast<size_t>(r)].message();
+    }
+  } catch (const std::exception& e) {
+    // Corruption of header/metadata payloads (sizes, skeleton ids) can
+    // abort decoding instead; a descriptive error is an accepted
+    // outcome — silent garbage or a deadlock is not.
+    SUCCEED() << "corrupt plan raised: " << e.what();
+  }
+}
+
+TEST(FaultInjection, KilledRankIsSeenByPeersAsTimeouts) {
+  WorldOptions wo;
+  wo.timeout = std::chrono::milliseconds(200);
+  wo.faults.kill_rank = 2;
+  wo.faults.kill_after_ops = 4;
+
+  try {
+    mpisim::run(
+        4,
+        [](Comm& c) {
+          for (int round = 0; round < 8; ++round) c.barrier();
+        },
+        wo);
+    FAIL() << "a killed rank must not complete";
+  } catch (const MultiRankError& e) {
+    bool killed = false, timed_out = false;
+    for (const auto& re : e.errors()) {
+      if (re.what.find("killed by the fault plan") != std::string::npos) {
+        EXPECT_EQ(re.rank, 2);
+        killed = true;
+      }
+      if (re.what.find("mpisim timeout") != std::string::npos)
+        timed_out = true;
+    }
+    EXPECT_TRUE(killed) << e.what();
+    EXPECT_TRUE(timed_out) << e.what();
+  } catch (const TimeoutError&) {
+    // Acceptable alternative: the kill raced such that only one rank
+    // failed overall — but with a barrier chain peers must also fail.
+    FAIL() << "peers of a killed rank must time out too";
+  }
+}
+
+TEST(FaultInjection, StallDelaysButDoesNotChangeResults) {
+  WorldOptions wo;
+  wo.faults.stall_rank = 1;
+  wo.faults.stall = std::chrono::milliseconds(100);
+  const auto t0 = std::chrono::steady_clock::now();
+  mpisim::run(
+      2,
+      [](Comm& c) {
+        std::vector<double> v{static_cast<double>(c.rank() + 1)};
+        c.allreduce_sum(v);
+        EXPECT_EQ(v[0], 3.0);
+      },
+      wo);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.09);
+}
+
+TEST(FaultInjection, MultiRankErrorListsEveryFailedRank) {
+  try {
+    mpisim::run(4, [](Comm& c) {
+      c.barrier();
+      if (c.rank() == 0) throw std::runtime_error("alpha failure");
+      if (c.rank() == 3) throw std::logic_error("omega failure");
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const MultiRankError& e) {
+    ASSERT_EQ(e.errors().size(), 2u);
+    EXPECT_EQ(e.errors()[0].rank, 0);
+    EXPECT_EQ(e.errors()[1].rank, 3);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 of 4 ranks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0: alpha failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 3: omega failure"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace fdks

@@ -130,5 +130,136 @@ TEST_F(IoTest, BinaryBadMagicRejected) {
   EXPECT_THROW(read_binary(path("junk.bin")), std::runtime_error);
 }
 
+// Validation guardrails: corrupt inputs must fail with the file, line,
+// and offending record named in the message — not propagate NaN into
+// the solver or crash on an absurd allocation.
+
+TEST_F(IoTest, CsvNonFiniteValueNamesLineAndColumn) {
+  {
+    std::ofstream f(path("nan.csv"));
+    f << "1.0,2.0\n3.0,nan\n";
+  }
+  try {
+    read_csv(path("nan.csv"), false);
+    FAIL() << "expected rejection of NaN cell";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(":2"), std::string::npos) << what;  // line number
+  }
+}
+
+TEST_F(IoTest, CsvBadTokenNamesLine) {
+  {
+    std::ofstream f(path("garbage.csv"));
+    f << "1.0,2.0\n1.5x,3.0\n";
+  }
+  try {
+    read_csv(path("garbage.csv"), false);
+    FAIL() << "expected rejection of trailing garbage in a cell";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1.5x"), std::string::npos) << what;
+    EXPECT_NE(what.find(":2"), std::string::npos) << what;
+  }
+}
+
+TEST_F(IoTest, CsvRaggedRowNamesCountsAndLine) {
+  {
+    std::ofstream f(path("ragged2.csv"));
+    f << "1,2,3\n4,5,6\n7,8\n";
+  }
+  try {
+    read_csv(path("ragged2.csv"), false);
+    FAIL() << "expected ragged-row rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 columns, expected 3"), std::string::npos) << what;
+    EXPECT_NE(what.find(":3"), std::string::npos) << what;
+  }
+}
+
+TEST_F(IoTest, LibsvmNonFiniteValueNamesFeatureAndLine) {
+  {
+    std::ofstream f(path("inf.svm"));
+    f << "+1 1:0.5\n-1 1:1.0 2:inf\n";
+  }
+  try {
+    read_libsvm(path("inf.svm"));
+    FAIL() << "expected rejection of non-finite feature value";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("feature 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(":2"), std::string::npos) << what;
+  }
+}
+
+TEST_F(IoTest, LibsvmImplausibleIndexRejected) {
+  {
+    std::ofstream f(path("bigidx.svm"));
+    f << "+1 999999999999:1.0\n";
+  }
+  EXPECT_THROW(read_libsvm(path("bigidx.svm")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryCorruptHeaderRejectedBeforeAllocation) {
+  // Write a valid magic followed by a negative dim: the reader must
+  // reject the header instead of resizing to garbage.
+  {
+    std::ofstream f(path("hdr.bin"), std::ios::binary);
+    const uint64_t magic = 0x46444b5344415431ull;
+    const int64_t d = -4, n = 10, idim = 0;
+    f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    f.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(&idim), sizeof(idim));
+  }
+  try {
+    read_binary(path("hdr.bin"));
+    FAIL() << "expected corrupt-header rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt header"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryImplausibleHeaderRejected) {
+  {
+    std::ofstream f(path("huge.bin"), std::ios::binary);
+    const uint64_t magic = 0x46444b5344415431ull;
+    const int64_t d = int64_t{1} << 30, n = int64_t{1} << 30, idim = 0;
+    f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    f.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(&idim), sizeof(idim));
+  }
+  try {
+    read_binary(path("huge.bin"));
+    FAIL() << "expected implausible-header rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible header"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryTruncatedPointDataRejected) {
+  Dataset ds = make_synthetic(SyntheticKind::Normal, 16, 4);
+  write_binary(path("full.bin"), ds);
+  // Chop the file mid-way through the point block.
+  const auto full = fs::file_size(path("full.bin"));
+  fs::resize_file(path("full.bin"), full / 2);
+  try {
+    read_binary(path("full.bin"));
+    FAIL() << "expected truncation rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace fdks::data

@@ -149,12 +149,36 @@ TEST(Mpisim, BarrierCompletes) {
 }
 
 TEST(Mpisim, ExceptionPropagatesToCaller) {
+  // A single failing rank rethrows the original exception unchanged.
   EXPECT_THROW(run(2,
                    [](Comm& c) {
                      c.barrier();
                      if (c.rank() == 1) throw std::runtime_error("boom");
                    }),
                std::runtime_error);
+}
+
+TEST(Mpisim, MultiRankFailuresAggregateWithRankIds) {
+  // Two failing ranks: neither error may be swallowed — the aggregate
+  // lists both, sorted by rank, with the rank ids in what().
+  try {
+    run(4, [](Comm& c) {
+      c.barrier();
+      if (c.rank() == 3) throw std::runtime_error("late failure");
+      if (c.rank() == 1) throw std::runtime_error("early failure");
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const MultiRankError& e) {
+    ASSERT_EQ(e.errors().size(), 2u);
+    EXPECT_EQ(e.errors()[0].rank, 1);
+    EXPECT_EQ(e.errors()[0].what, "early failure");
+    EXPECT_EQ(e.errors()[1].rank, 3);
+    EXPECT_EQ(e.errors()[1].what, "late failure");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 of 4 ranks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1: early failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 3: late failure"), std::string::npos) << what;
+  }
 }
 
 }  // namespace
