@@ -3,6 +3,7 @@
 //   fdks_tool solve  [--data KIND] [--n N] [--h H] [--lambda L]
 //                    [--tau T] [--leaf M] [--rank S] [--restrict LVL]
 //                    [--hybrid] [--compact-w] [--scheme gemv|gemm|gsks]
+//                    [--checkpoint-dir DIR]
 //   fdks_tool krr    [--data KIND] [--n N] [--h H] [--lambda L] ...
 //   fdks_tool info   [--data KIND] [--n N] [--h H] [--tau T] ...
 //   fdks_tool gen    [--data KIND] [--n N] [--out PATH]
@@ -13,11 +14,20 @@
 // timings/residuals; `krr` trains and evaluates a classifier; `info`
 // prints compression statistics (ranks, frontier, memory); `gen` writes
 // a synthetic dataset to disk for external tooling.
+//
+// --checkpoint-dir DIR makes `solve` restartable: each pipeline stage
+// (compress -> factorize -> solve) persists its result into DIR
+// (atomic, checksummed; see src/ckpt) and a re-run resumes from the
+// last completed stage. Corrupt or stale checkpoints are skipped with a
+// diagnostic and the stage re-runs.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "askit/serialize.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/hybrid.hpp"
 #include "core/solver.hpp"
 #include "data/io.hpp"
@@ -46,6 +56,7 @@ struct Args {
   kernel::Scheme scheme = kernel::Scheme::StoredGemv;
   uint64_t seed = 42;
   std::string out;
+  std::string checkpoint_dir;
   bool profile = false;
 };
 
@@ -57,7 +68,8 @@ int usage() {
                "[--rank S]\n"
                "       [--restrict LVL] [--hybrid] [--compact-w] "
                "[--spd-leaves]\n"
-               "       [--scheme gemv|gemm|gsks] [--seed X] [--profile]\n");
+               "       [--scheme gemv|gemm|gsks] [--seed X] [--profile]\n"
+               "       [--checkpoint-dir DIR]\n");
   return 2;
 }
 
@@ -139,6 +151,10 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need("--out");
       if (!v) return false;
       a.out = v;
+    } else if (flag == "--checkpoint-dir") {
+      const char* v = need("--checkpoint-dir");
+      if (!v) return false;
+      a.checkpoint_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -158,12 +174,46 @@ askit::AskitConfig askit_config(const Args& a) {
   return cfg;
 }
 
+/// Compress stage with checkpoint resume: reload the serialized HMatrix
+/// when a valid "compress" marker exists, else build and persist it.
+askit::HMatrix build_or_resume_hmatrix(const Args& a,
+                                       const data::Dataset& ds) {
+  if (!a.checkpoint_dir.empty()) {
+    ckpt::ensure_dir(a.checkpoint_dir);
+    const std::string hpath = ckpt::join(a.checkpoint_dir, "hmatrix.bin");
+    std::string diag;
+    if (ckpt::stage_done(a.checkpoint_dir, "compress", nullptr, &diag) &&
+        ckpt::file_exists(hpath)) {
+      std::printf("checkpoint: compress stage done, loading %s\n",
+                  hpath.c_str());
+      return askit::load_hmatrix(hpath);
+    }
+    if (!diag.empty())
+      std::printf("checkpoint: compress stage re-runs (%s)\n", diag.c_str());
+    askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
+                     askit_config(a));
+    askit::save_hmatrix(hpath, h);
+    ckpt::mark_stage(a.checkpoint_dir, "compress", hpath);
+    return h;
+  }
+  return askit::HMatrix(ds.points, kernel::Kernel::gaussian(a.h),
+                        askit_config(a));
+}
+
 int run_solve(const Args& a) {
   data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
   std::printf("dataset %s: N=%td d=%td\n", ds.name.c_str(), ds.n(), ds.dim());
+
+  const bool ck = !a.checkpoint_dir.empty();
+  std::string solved_detail;
+  if (ck && ckpt::stage_done(a.checkpoint_dir, "solve", &solved_detail)) {
+    std::printf("checkpoint: pipeline already complete — %s\n",
+                solved_detail.c_str());
+    return 0;
+  }
+
   obs::ScopedTimer t_setup("setup");
-  askit::HMatrix h(ds.points, kernel::Kernel::gaussian(a.h),
-                   askit_config(a));
+  askit::HMatrix h = build_or_resume_hmatrix(a, ds);
   t_setup.stop();
   std::printf("hmatrix: %td nodes skeletonized, max rank %td, frontier %zu\n",
               h.stats().skeletonized_nodes, h.stats().max_rank_used,
@@ -173,34 +223,43 @@ int run_solve(const Args& a) {
   std::normal_distribution<double> g(0.0, 1.0);
   for (auto& v : u) v = g(rng);
 
+  char summary[160];
   if (a.hybrid) {
     core::HybridOptions ho;
     ho.direct.lambda = a.lambda;
     ho.direct.compact_w = a.compact_w;
     ho.direct.scheme = a.scheme;
+    ho.direct.checkpoint_dir = a.checkpoint_dir;
     core::HybridSolver solver(h, ho);
+    if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
     auto x = solver.solve(u);
-    std::printf("hybrid: factor %.3fs, reduced %td, ksp %d, residual %.2e, "
-                "mem %.1f MB, %s\n",
-                solver.factor_seconds(), solver.reduced_size(),
-                solver.last_gmres().iterations,
-                h.relative_residual(x, u, a.lambda),
-                double(solver.factor_bytes()) / 1048576.0,
-                solver.stability().stable() ? "stable" : "UNSTABLE");
+    std::snprintf(summary, sizeof summary,
+                  "hybrid: factor %.3fs, reduced %td, ksp %d, residual "
+                  "%.2e, mem %.1f MB, %s",
+                  solver.factor_seconds(), solver.reduced_size(),
+                  solver.last_gmres().iterations,
+                  h.relative_residual(x, u, a.lambda),
+                  double(solver.factor_bytes()) / 1048576.0,
+                  solver.stability().stable() ? "stable" : "UNSTABLE");
   } else {
     core::SolverOptions so;
     so.lambda = a.lambda;
     so.compact_w = a.compact_w;
     so.spd_leaves = a.spd_leaves;
     so.scheme = a.scheme;
+    so.checkpoint_dir = a.checkpoint_dir;
     core::FastDirectSolver solver(h, so);
+    if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
     auto x = solver.solve(u);
-    std::printf("direct: factor %.3fs, residual %.2e, mem %.1f MB, %s\n",
-                solver.factor_seconds(),
-                h.relative_residual(x, u, a.lambda),
-                double(solver.factor_bytes()) / 1048576.0,
-                solver.stability().stable() ? "stable" : "UNSTABLE");
+    std::snprintf(summary, sizeof summary,
+                  "direct: factor %.3fs, residual %.2e, mem %.1f MB, %s",
+                  solver.factor_seconds(),
+                  h.relative_residual(x, u, a.lambda),
+                  double(solver.factor_bytes()) / 1048576.0,
+                  solver.stability().stable() ? "stable" : "UNSTABLE");
   }
+  std::printf("%s\n", summary);
+  if (ck) ckpt::mark_stage(a.checkpoint_dir, "solve", summary);
   return 0;
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos soak: sweep drop/corrupt fractions under the reliable transport
+# and require in-tolerance cells to complete with fault-free residual
+# quality (the "chaos"-labelled ctest, tests/chaos_soak_test.cpp).
+#
+# The sweep grid and problem size are environment knobs, forwarded to
+# the test binary:
+#   FDKS_CHAOS_DROPS=0,0.05,0.10,0.20 \
+#   FDKS_CHAOS_CORRUPTS=0,0.02,0.05 \
+#   FDKS_CHAOS_N=384 scripts/chaos_soak.sh
+#
+# Defaults (0,0.05,0.10 x 0,0.02 at n=192) finish in a few seconds;
+# cells beyond the documented tolerance may fail the solve but must
+# fail with a clean structured error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L chaos --output-on-failure "$@"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the tree under AddressSanitizer and run the fault-tolerance test
+# suite (everything labeled "fault"). The ASan counterpart to
+# scripts/fault_tsan.sh: TSan finds the races, ASan finds the
+# use-after-frees and overflows in the retransmit/checkpoint paths.
+#
+# Equivalent to:
+#   cmake --preset asan-fault && cmake --build --preset asan-fault -j
+#   ctest --preset asan-fault -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-fault
+cmake --build --preset asan-fault -j "$(nproc)"
+ctest --preset asan-fault -j "$(nproc)"

@@ -4,65 +4,22 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "askit/wire.hpp"
+
 namespace fdks::askit {
 
 namespace {
 
+using wire::get;
+using wire::get_doubles;
+using wire::get_ids;
+using wire::get_matrix;
+using wire::put;
+using wire::put_doubles;
+using wire::put_ids;
+using wire::put_matrix;
+
 constexpr uint64_t kMagic = 0x46444b53484d4131ull;  // "FDKSHMA1".
-
-template <class T>
-void put(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <class T>
-T get(std::ifstream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  return v;
-}
-
-void put_matrix(std::ofstream& out, const la::Matrix& m) {
-  put<int64_t>(out, m.rows());
-  put<int64_t>(out, m.cols());
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(double)));
-}
-
-la::Matrix get_matrix(std::ifstream& in) {
-  const auto r = get<int64_t>(in);
-  const auto c = get<int64_t>(in);
-  la::Matrix m(static_cast<index_t>(r), static_cast<index_t>(c));
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
-  return m;
-}
-
-void put_ids(std::ofstream& out, const std::vector<index_t>& v) {
-  put<uint64_t>(out, v.size());
-  for (index_t x : v) put<int64_t>(out, x);
-}
-
-std::vector<index_t> get_ids(std::ifstream& in) {
-  const auto nv = get<uint64_t>(in);
-  std::vector<index_t> v(nv);
-  for (auto& x : v) x = static_cast<index_t>(get<int64_t>(in));
-  return v;
-}
-
-void put_doubles(std::ofstream& out, const std::vector<double>& v) {
-  put<uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
-
-std::vector<double> get_doubles(std::ifstream& in) {
-  const auto nv = get<uint64_t>(in);
-  std::vector<double> v(nv);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(nv * sizeof(double)));
-  return v;
-}
 
 }  // namespace
 

@@ -1,0 +1,103 @@
+// Binary wire primitives shared by the on-disk format family.
+//
+// askit/serialize (the HMatrix compress artifact) and ckpt/checkpoint
+// (factorization checkpoints) speak the same low-level dialect: raw
+// little-endian POD fields, length-prefixed containers, and an FNV-1a
+// checksum for detecting torn or corrupted files. Centralizing the
+// primitives here keeps the two formats byte-compatible where they
+// overlap (matrices, index lists) and gives the checkpoint layer stream
+// (not file) based encoding, so payloads can be checksummed in memory
+// before they touch disk.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fdks::askit::wire {
+
+using la::index_t;
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+inline void put_matrix(std::ostream& out, const la::Matrix& m) {
+  put<std::int64_t>(out, m.rows());
+  put<std::int64_t>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+inline la::Matrix get_matrix(std::istream& in) {
+  const auto r = get<std::int64_t>(in);
+  const auto c = get<std::int64_t>(in);
+  la::Matrix m(static_cast<index_t>(r), static_cast<index_t>(c));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  return m;
+}
+
+inline void put_ids(std::ostream& out, const std::vector<index_t>& v) {
+  put<std::uint64_t>(out, v.size());
+  for (index_t x : v) put<std::int64_t>(out, x);
+}
+
+inline std::vector<index_t> get_ids(std::istream& in) {
+  const auto nv = get<std::uint64_t>(in);
+  std::vector<index_t> v(nv);
+  for (auto& x : v) x = static_cast<index_t>(get<std::int64_t>(in));
+  return v;
+}
+
+inline void put_doubles(std::ostream& out, const std::vector<double>& v) {
+  put<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+inline std::vector<double> get_doubles(std::istream& in) {
+  const auto nv = get<std::uint64_t>(in);
+  std::vector<double> v(nv);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(nv * sizeof(double)));
+  return v;
+}
+
+inline void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string get_string(std::istream& in) {
+  const auto n = get<std::uint64_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+/// FNV-1a over a byte range; `seed` chains multi-buffer hashes.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace fdks::askit::wire

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"
 
 namespace fdks::core {
@@ -53,8 +54,31 @@ DistributedHybridSolver::DistributedHybridSolver(const HMatrix& h,
   reduced_size_ = offsets_.back();
 
   const auto t0 = std::chrono::steady_clock::now();
-  for (size_t ai : local_frontier_)
-    ft_.factorize_subtree(frontier_[ai], /*compute_phat=*/true);
+  // Checkpoint/restart (core/recovery.hpp): each rank persists the
+  // factors of all its frontier subtrees in one file; a supervised
+  // re-execution resumes from it instead of re-factorizing.
+  const SolverOptions& dopts = ft_.options();
+  std::vector<index_t> local_roots;
+  local_roots.reserve(local_frontier_.size());
+  for (size_t ai : local_frontier_) local_roots.push_back(frontier_[ai]);
+  if (!dopts.checkpoint_dir.empty()) {
+    ckpt::ensure_dir(dopts.checkpoint_dir);
+    const std::string scope = "dist-hybrid p=" + std::to_string(p) +
+                              " rank=" + std::to_string(comm_.rank());
+    const std::string path =
+        ckpt::join(dopts.checkpoint_dir,
+                   "factors_hybrid_p" + std::to_string(p) + "_r" +
+                       std::to_string(comm_.rank()) + ".ckpt");
+    std::string diag;
+    if (!ckpt::try_load_factor_tree(path, ft_, local_roots, scope, &diag)) {
+      for (index_t a : local_roots)
+        ft_.factorize_subtree(a, /*compute_phat=*/true);
+      ckpt::save_factor_tree(path, ft_, local_roots, scope);
+    }
+  } else {
+    for (index_t a : local_roots)
+      ft_.factorize_subtree(a, /*compute_phat=*/true);
+  }
   factor_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

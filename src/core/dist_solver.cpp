@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"
 #include "la/gemm.hpp"
 
@@ -127,8 +128,32 @@ void DistributedSolver::factorize() {
   const auto& t = h_->tree();
 
   // Local phase: own subtree, sequential Algorithm II.2, including the
-  // local root's P^ (it feeds the first distributed level).
-  ft_.factorize_subtree(local_root_, /*compute_phat=*/logp_ > 0);
+  // local root's P^ (it feeds the first distributed level). With a
+  // checkpoint directory configured, each rank persists its local
+  // subtree (atomic, checksummed) and a supervised re-execution resumes
+  // here instead of re-factorizing — the restart path of
+  // core/recovery.hpp. The distributed phase below is communication-
+  // bound and cheap relative to the local factorization, so it simply
+  // re-runs.
+  const SolverOptions& sopts = ft_.options();
+  if (!sopts.checkpoint_dir.empty()) {
+    ckpt::ensure_dir(sopts.checkpoint_dir);
+    const std::string scope = "dist p=" + std::to_string(comm_.size()) +
+                              " rank=" + std::to_string(comm_.rank()) +
+                              " root=" + std::to_string(local_root_);
+    const std::string path = ckpt::join(
+        sopts.checkpoint_dir,
+        "factors_dist_p" + std::to_string(comm_.size()) + "_r" +
+            std::to_string(comm_.rank()) + ".ckpt");
+    const index_t roots[] = {local_root_};
+    std::string diag;
+    if (!ckpt::try_load_factor_tree(path, ft_, roots, scope, &diag)) {
+      ft_.factorize_subtree(local_root_, /*compute_phat=*/logp_ > 0);
+      ckpt::save_factor_tree(path, ft_, roots, scope);
+    }
+  } else {
+    ft_.factorize_subtree(local_root_, /*compute_phat=*/logp_ > 0);
+  }
   Matrix phat_local =
       logp_ > 0 ? ft_.dense_phat(local_root_) : Matrix();
 

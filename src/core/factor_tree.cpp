@@ -149,6 +149,34 @@ FactorStatus FactorTree::factor_status() const {
   return fs;
 }
 
+void FactorTree::adopt_factor(index_t id, NodeFactor f) {
+  if (id < 0 || static_cast<size_t>(id) >= nf_.size())
+    throw std::out_of_range("FactorTree::adopt_factor: node id " +
+                            std::to_string(id) + " outside [0, " +
+                            std::to_string(nf_.size()) + ")");
+  nf_[static_cast<size_t>(id)] = std::move(f);
+}
+
+FactorAccumulators FactorTree::accumulators() const {
+  std::lock_guard<std::mutex> lock(stab_mu_);
+  FactorAccumulators acc;
+  acc.stab = stab_;
+  acc.shifted_nodes = shifted_nodes_;
+  acc.shift_retries = shift_retries_;
+  acc.nonfinite_nodes = nonfinite_nodes_;
+  acc.max_shift = max_shift_;
+  return acc;
+}
+
+void FactorTree::adopt_accumulators(const FactorAccumulators& acc) {
+  std::lock_guard<std::mutex> lock(stab_mu_);
+  stab_ = acc.stab;
+  shifted_nodes_ = acc.shifted_nodes;
+  shift_retries_ = acc.shift_retries;
+  nonfinite_nodes_ = acc.nonfinite_nodes;
+  max_shift_ = acc.max_shift;
+}
+
 size_t FactorTree::subtree_bytes(index_t id) const {
   const tree::Node& nd = h_->tree().node(id);
   size_t b = nf_[static_cast<size_t>(id)].bytes();

@@ -21,6 +21,7 @@
 
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "askit/hmatrix.hpp"
@@ -73,6 +74,12 @@ struct SolverOptions {
   /// retry up to max_shift_retries attempts.
   double shift_initial = 1e-12;
   int max_shift_retries = 6;
+  /// Checkpoint/restart (src/ckpt): when non-empty, solvers persist
+  /// their factored state into this directory (atomic, checksummed
+  /// files) and resume from the newest valid checkpoint instead of
+  /// re-factorizing — the restart path for the recovery supervisor
+  /// (core/recovery.hpp) and `fdks_tool --checkpoint-dir`.
+  std::string checkpoint_dir;
 };
 
 /// Where factorization time goes (accumulated across nodes; thread-safe
@@ -121,6 +128,17 @@ struct NodeFactor {
                 ///< telescoping stencil P^_α = blockdiag(P^_l,P^_r) T.
 
   size_t bytes() const;
+};
+
+/// Raw accumulator snapshot for checkpoint save/restore (src/ckpt):
+/// everything factor_status() derives its report from, minus timings
+/// (a restored tree restarts its profile at zero).
+struct FactorAccumulators {
+  StabilityReport stab;
+  index_t shifted_nodes = 0;
+  index_t shift_retries = 0;
+  index_t nonfinite_nodes = 0;
+  double max_shift = 0.0;
 };
 
 /// Conditioning ratio of a factored leaf on a common scale: LU pivot
@@ -184,6 +202,15 @@ class FactorTree {
 
   /// Total bytes held by factors in the subtree at `id`.
   size_t subtree_bytes(index_t id) const;
+
+  // Checkpoint hooks (src/ckpt). FactorTree is non-movable (it guards
+  // its accumulators with a mutex), so restore mutates an existing tree
+  // built from the same HMatrix/options in place.
+  /// Adopt a previously factored per-node state wholesale.
+  void adopt_factor(index_t id, NodeFactor f);
+  /// Snapshot / restore the factor-status accumulators.
+  FactorAccumulators accumulators() const;
+  void adopt_accumulators(const FactorAccumulators& acc);
 
   /// Change lambda and invalidate the lambda-dependent factors; the next
   /// factorize_subtree() reuses the stored V kernel blocks (the dominant

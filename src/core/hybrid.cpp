@@ -4,11 +4,35 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"
 #include "la/gemm.hpp"
 #include "obs/obs.hpp"
 
 namespace fdks::core {
+
+namespace {
+
+/// Checkpoint-aware frontier factorization (scope "hybrid"): resume all
+/// subtree factors from one file when a valid checkpoint matches,
+/// otherwise factorize and persist. See SolverOptions::checkpoint_dir.
+void factorize_roots_ckpt(FactorTree& ft, std::span<const index_t> roots,
+                          bool compute_phat) {
+  const SolverOptions& opts = ft.options();
+  if (opts.checkpoint_dir.empty()) {
+    for (index_t a : roots) ft.factorize_subtree(a, compute_phat);
+    return;
+  }
+  ckpt::ensure_dir(opts.checkpoint_dir);
+  const std::string path =
+      ckpt::join(opts.checkpoint_dir, "factors_hybrid.ckpt");
+  std::string diag;
+  if (ckpt::try_load_factor_tree(path, ft, roots, "hybrid", &diag)) return;
+  for (index_t a : roots) ft.factorize_subtree(a, compute_phat);
+  ckpt::save_factor_tree(path, ft, roots, "hybrid");
+}
+
+}  // namespace
 
 HybridSolver::HybridSolver(const HMatrix& h, HybridOptions opts)
     : h_(&h), opts_(opts), ft_(h, opts.direct) {
@@ -18,17 +42,17 @@ HybridSolver::HybridSolver(const HMatrix& h, HybridOptions opts)
   if (frontier_.empty()) {
     // Degenerate single-leaf tree: the "frontier" is the root itself and
     // the solver is a plain dense factorization.
-    ft_.factorize_subtree(h.tree().root(), /*compute_phat=*/false);
+    const index_t roots[] = {h.tree().root()};
+    factorize_roots_ckpt(ft_, roots, /*compute_phat=*/false);
   } else {
     offsets_.reserve(frontier_.size() + 1);
     offsets_.push_back(0);
-    for (index_t a : frontier_) {
-      // Each frontier root needs its own P^ (it is a W block).
-      ft_.factorize_subtree(a, /*compute_phat=*/true);
+    for (index_t a : frontier_)
       offsets_.push_back(offsets_.back() +
                          static_cast<index_t>(h.skeleton(a).skel.size()));
-    }
     reduced_size_ = offsets_.back();
+    // Each frontier root needs its own P^ (it is a W block).
+    factorize_roots_ckpt(ft_, frontier_, /*compute_phat=*/true);
   }
   factor_seconds_ = t_factor.stop();
   obs::add("hybrid.reduced_size", static_cast<double>(reduced_size_));

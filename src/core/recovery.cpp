@@ -1,0 +1,113 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace fdks::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A failure the supervisor retries: the categories a production
+/// scheduler treats as transient (crashed rank, missed deadline, or a
+/// mix of several ranks failing those ways).
+bool retryable(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const mpisim::RankKilledError&) {
+    return true;
+  } catch (const mpisim::TimeoutError&) {
+    return true;
+  } catch (const mpisim::MultiRankError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string describe(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+std::string RecoveryReport::message() const {
+  std::ostringstream os;
+  os << (succeeded ? "recovered" : "failed") << " after " << attempts.size()
+     << " attempt" << (attempts.size() == 1 ? "" : "s");
+  for (const auto& a : attempts) {
+    os << "\n  attempt " << a.index << ": "
+       << (a.succeeded ? "ok" : a.error) << " (" << a.seconds << " s)";
+  }
+  return os.str();
+}
+
+RecoveryReport run_with_recovery(int p,
+                                 const std::function<void(mpisim::Comm&)>& fn,
+                                 mpisim::WorldOptions opts,
+                                 const RecoveryOptions& ropts) {
+  if (ropts.max_attempts < 1)
+    throw std::invalid_argument(
+        "run_with_recovery: RecoveryOptions.max_attempts must be >= 1 (got " +
+        std::to_string(ropts.max_attempts) + ")");
+
+  RecoveryReport report;
+  std::chrono::milliseconds pause = ropts.backoff;
+  for (int attempt = 0; attempt < ropts.max_attempts; ++attempt) {
+    RecoveryAttempt a;
+    a.index = attempt;
+    obs::add("recover.attempts");
+    const Clock::time_point t0 = Clock::now();
+    std::exception_ptr failure;
+    try {
+      mpisim::run(p, fn, opts);
+      a.succeeded = true;
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    a.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (failure) a.error = describe(failure);
+    report.attempts.push_back(a);
+
+    if (a.succeeded) {
+      report.succeeded = true;
+      if (attempt > 0) obs::add("recover.recovered_runs");
+      return report;
+    }
+    if (!retryable(failure)) std::rethrow_exception(failure);
+
+    report.error = a.error;
+    if (attempt + 1 >= ropts.max_attempts) break;
+    obs::add("recover.retries");
+    // Transient-crash model: the deterministic plan would otherwise
+    // kill/stall the same rank again on every retry.
+    if (ropts.clear_kill_on_retry) {
+      opts.faults.kill_rank = -1;
+      opts.faults.kill_after_ops = 0;
+    }
+    if (ropts.clear_stall_on_retry) {
+      opts.faults.stall_rank = -1;
+      opts.faults.stall = std::chrono::milliseconds{0};
+    }
+    if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    pause = std::min(
+        std::chrono::milliseconds(static_cast<std::int64_t>(
+            static_cast<double>(pause.count()) * ropts.backoff_multiplier)),
+        ropts.max_backoff);
+  }
+  obs::add("recover.exhausted_runs");
+  return report;
+}
+
+}  // namespace fdks::core

@@ -1,0 +1,78 @@
+// Supervised re-execution of distributed runs (recovery layer 3).
+//
+// Layer 1 (mpisim ReliableTransport) survives message-level faults;
+// layer 2 (src/ckpt) persists completed factorization work. This layer
+// closes the loop for rank-level faults: run_with_recovery wraps
+// mpisim::run, catches the failures the runtime can diagnose but not
+// mask (RankKilledError, TimeoutError, MultiRankError), and re-executes
+// the whole program under a configurable retry budget with backoff.
+// Because the program's solvers resume from their newest valid
+// checkpoint (SolverOptions::checkpoint_dir), a re-execution repeats
+// only the work lost since the last checkpoint — the classic
+// supervisor + checkpoint/restart pattern of production distributed
+// solvers.
+//
+// Retries model *transient* faults (a crashed node is replaced, a
+// network partition heals): by default the re-execution clears the
+// fault plan's kill/stall entries, matching "the same deterministic
+// fault does not recur". The full attempt history is reported in a
+// structured RecoveryReport; attempts are also counted in the obs
+// registry under "recover.*".
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+
+namespace fdks::core {
+
+struct RecoveryOptions {
+  /// Total executions allowed (first try + retries).
+  int max_attempts = 3;
+  /// Pause before a retry; grows by `backoff_multiplier` per retry,
+  /// capped at `max_backoff`.
+  std::chrono::milliseconds backoff{50};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{2000};
+  /// Transient-crash model: clear the fault plan's kill/stall faults on
+  /// retry (the failed node was "replaced"). Disable to re-run against
+  /// a persistent fault and exhaust the budget deterministically.
+  bool clear_kill_on_retry = true;
+  bool clear_stall_on_retry = true;
+};
+
+/// One execution attempt, as observed by the supervisor.
+struct RecoveryAttempt {
+  int index = 0;          ///< 0-based attempt number.
+  bool succeeded = false;
+  std::string error;      ///< what() of the failure (empty on success).
+  double seconds = 0.0;   ///< Wall-clock duration of the attempt.
+};
+
+/// Full outcome of a supervised run: per-attempt history plus the
+/// terminal state. When the budget is exhausted, `error` holds the last
+/// failure (run_with_recovery does not throw for retryable failures —
+/// inspect the report).
+struct RecoveryReport {
+  std::vector<RecoveryAttempt> attempts;
+  bool succeeded = false;
+  std::string error;  ///< Last attempt's failure when !succeeded.
+
+  int attempts_used() const { return static_cast<int>(attempts.size()); }
+  std::string message() const;
+};
+
+/// Execute `fn` on `p` simulated ranks under supervision: failures that
+/// a production scheduler would retry (a killed rank, a deadline
+/// timeout, multiple rank failures) trigger re-execution with backoff
+/// until the attempt budget is spent. Non-retryable exceptions (logic
+/// errors, bad options) propagate unchanged on the first attempt.
+RecoveryReport run_with_recovery(int p,
+                                 const std::function<void(mpisim::Comm&)>& fn,
+                                 mpisim::WorldOptions opts,
+                                 const RecoveryOptions& ropts = {});
+
+}  // namespace fdks::core

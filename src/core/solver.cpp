@@ -3,6 +3,7 @@
 // original-order solve wrappers.
 #include "core/solver.hpp"
 
+#include "ckpt/checkpoint.hpp"
 #include "obs/obs.hpp"
 
 namespace fdks::core {
@@ -26,20 +27,40 @@ void run_factorize(FactorTree& ft, index_t root, bool parallel_tree) {
   }
 }
 
+/// Checkpoint-aware factorization: resume from a valid checkpoint when
+/// one matches (same points/kernel/config/options/lambda — the
+/// fingerprint guards all of it), otherwise factorize and persist. The
+/// sequential full-tree factorization uses scope "seq".
+void run_factorize_ckpt(FactorTree& ft, index_t root, bool parallel_tree) {
+  const SolverOptions& opts = ft.options();
+  if (opts.checkpoint_dir.empty()) {
+    run_factorize(ft, root, parallel_tree);
+    return;
+  }
+  ckpt::ensure_dir(opts.checkpoint_dir);
+  const std::string path =
+      ckpt::join(opts.checkpoint_dir, "factors_seq.ckpt");
+  const index_t roots[] = {root};
+  std::string diag;
+  if (ckpt::try_load_factor_tree(path, ft, roots, "seq", &diag)) return;
+  run_factorize(ft, root, parallel_tree);
+  ckpt::save_factor_tree(path, ft, roots, "seq");
+}
+
 }  // namespace
 
 FastDirectSolver::FastDirectSolver(const HMatrix& h, SolverOptions opts)
     : ft_(h, opts) {
   obs::ScopedTimer t("factorize");
-  run_factorize(ft_, h.tree().root(), opts.parallel_tree);
+  run_factorize_ckpt(ft_, h.tree().root(), opts.parallel_tree);
   factor_seconds_ = t.stop();
 }
 
 void FastDirectSolver::refactorize(double lambda) {
   obs::ScopedTimer t("factorize");
   ft_.set_lambda(lambda);
-  run_factorize(ft_, ft_.hmatrix().tree().root(),
-                ft_.options().parallel_tree);
+  run_factorize_ckpt(ft_, ft_.hmatrix().tree().root(),
+                     ft_.options().parallel_tree);
   factor_seconds_ = t.stop();
 }
 

@@ -26,6 +26,17 @@ KernelBlockOp::KernelBlockOp(const KernelMatrix* km,
   if (scheme_ == Scheme::StoredGemv) stored_ = km_->block(rows_, cols_);
 }
 
+KernelBlockOp::KernelBlockOp(const KernelMatrix* km,
+                             std::vector<index_t> rows,
+                             std::vector<index_t> cols, Scheme scheme,
+                             Matrix stored)
+    : km_(km), rows_(std::move(rows)), cols_(std::move(cols)),
+      scheme_(scheme), stored_(std::move(stored)) {
+  if (scheme_ == Scheme::StoredGemv &&
+      (stored_.rows() != this->rows() || stored_.cols() != this->cols()))
+    stored_ = km_->block(rows_, cols_);
+}
+
 void KernelBlockOp::apply(std::span<const double> u, std::span<double> y,
                           double alpha, double beta) const {
   if (static_cast<index_t>(u.size()) != cols() ||

@@ -35,9 +35,20 @@ class KernelBlockOp {
   KernelBlockOp(const KernelMatrix* km, std::vector<index_t> rows,
                 std::vector<index_t> cols, Scheme scheme);
 
+  /// Checkpoint-restore constructor (src/ckpt): adopt a previously
+  /// materialized stored block instead of re-evaluating the kernel. If
+  /// the scheme requires a stored block and `stored` does not match the
+  /// index-list dimensions, the block is re-materialized from km.
+  KernelBlockOp(const KernelMatrix* km, std::vector<index_t> rows,
+                std::vector<index_t> cols, Scheme scheme, Matrix stored);
+
   index_t rows() const { return static_cast<index_t>(rows_.size()); }
   index_t cols() const { return static_cast<index_t>(cols_.size()); }
   Scheme scheme() const { return scheme_; }
+  // Checkpoint-save access to the operator's persistent state.
+  const std::vector<index_t>& row_ids() const { return rows_; }
+  const std::vector<index_t>& col_ids() const { return cols_; }
+  const Matrix& stored_block() const { return stored_; }
 
   /// y = beta*y + alpha * B * u.
   void apply(std::span<const double> u, std::span<double> y,

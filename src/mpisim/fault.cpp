@@ -8,11 +8,14 @@ namespace {
 
 std::string timeout_message(int waiting_rank, int src_rank, int tag,
                             std::uint64_t context,
-                            std::chrono::milliseconds deadline) {
+                            std::chrono::milliseconds deadline,
+                            std::chrono::milliseconds elapsed,
+                            const char* waited_for) {
   std::ostringstream os;
   os << "mpisim timeout: rank " << waiting_rank << " waited "
-     << deadline.count() << " ms for a message from rank " << src_rank
-     << " (tag " << tag << ", context " << context << ")";
+     << elapsed.count() << " ms for " << waited_for << " from rank "
+     << src_rank << " (tag " << tag << ", context " << context
+     << ", deadline " << deadline.count() << " ms)";
   return os.str();
 }
 
@@ -44,11 +47,13 @@ std::uint64_t mix64(std::uint64_t x) {
 
 TimeoutError::TimeoutError(int waiting_rank, int src_rank, int tag,
                            std::uint64_t context,
-                           std::chrono::milliseconds deadline)
-    : std::runtime_error(
-          timeout_message(waiting_rank, src_rank, tag, context, deadline)),
+                           std::chrono::milliseconds deadline,
+                           std::chrono::milliseconds elapsed,
+                           const char* waited_for)
+    : std::runtime_error(timeout_message(waiting_rank, src_rank, tag, context,
+                                         deadline, elapsed, waited_for)),
       waiting_rank_(waiting_rank), src_rank_(src_rank), tag_(tag),
-      context_(context) {}
+      context_(context), deadline_(deadline), elapsed_(elapsed) {}
 
 RankKilledError::RankKilledError(int rank, std::uint64_t op_index)
     : std::runtime_error(killed_message(rank, op_index)), rank_(rank) {}
@@ -56,6 +61,51 @@ RankKilledError::RankKilledError(int rank, std::uint64_t op_index)
 MultiRankError::MultiRankError(int world_size, std::vector<RankError> errors)
     : std::runtime_error(multi_message(world_size, errors)),
       errors_(std::move(errors)) {}
+
+void validate_options(const WorldOptions& opts, int world_size) {
+  const FaultPlan& fp = opts.faults;
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("mpisim::WorldOptions: " + what);
+  };
+  const auto check_fraction = [&](const char* field, double v) {
+    if (!(v >= 0.0 && v <= 1.0))
+      bad("FaultPlan." + std::string(field) + " must be in [0, 1] (got " +
+          std::to_string(v) + ")");
+  };
+  check_fraction("drop_fraction", fp.drop_fraction);
+  check_fraction("delay_fraction", fp.delay_fraction);
+  check_fraction("duplicate_fraction", fp.duplicate_fraction);
+  check_fraction("corrupt_fraction", fp.corrupt_fraction);
+  if (fp.delay.count() < 0)
+    bad("FaultPlan.delay must be >= 0 ms (got " +
+        std::to_string(fp.delay.count()) + ")");
+  if (fp.stall.count() < 0)
+    bad("FaultPlan.stall must be >= 0 ms (got " +
+        std::to_string(fp.stall.count()) + ")");
+  const auto check_rank = [&](const char* field, int r) {
+    if (r < -1 || r >= world_size)
+      bad("FaultPlan." + std::string(field) + " must be -1 or a world rank " +
+          "in [0, " + std::to_string(world_size) + ") (got " +
+          std::to_string(r) + ")");
+  };
+  check_rank("stall_rank", fp.stall_rank);
+  check_rank("kill_rank", fp.kill_rank);
+  const ReliableTransport& rt = opts.reliable;
+  if (rt.enabled) {
+    if (rt.ack_timeout.count() <= 0)
+      bad("ReliableTransport.ack_timeout must be > 0 ms (got " +
+          std::to_string(rt.ack_timeout.count()) + ")");
+    if (rt.max_retries < 0)
+      bad("ReliableTransport.max_retries must be >= 0 (got " +
+          std::to_string(rt.max_retries) + ")");
+    if (!(rt.backoff >= 1.0))
+      bad("ReliableTransport.backoff must be >= 1 (got " +
+          std::to_string(rt.backoff) + ")");
+    if (rt.max_backoff < rt.ack_timeout)
+      bad("ReliableTransport.max_backoff must be >= ack_timeout (got " +
+          std::to_string(rt.max_backoff.count()) + " ms)");
+  }
+}
 
 FaultAction fault_decide(const FaultPlan& plan, int src_world, int dst_world,
                          int tag, std::uint64_t sequence) {

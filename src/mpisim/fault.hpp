@@ -30,22 +30,36 @@ namespace fdks::mpisim {
 
 /// A blocking wait exceeded its deadline. Ranks and tags identify the
 /// stuck edge: `waiting_rank` (world rank) was waiting for a message
-/// from `src_rank` with `tag` on communicator context `context`.
+/// from `src_rank` with `tag` on communicator context `context`. Both
+/// the configured deadline and the wait actually elapsed are carried
+/// (and printed), so logs distinguish a near-miss from a hard hang.
+/// `waited_for` names what the wait was for: a data message for recv
+/// deadlines, an acknowledgment for reliable-transport retry
+/// exhaustion.
 class TimeoutError : public std::runtime_error {
  public:
   TimeoutError(int waiting_rank, int src_rank, int tag,
-               std::uint64_t context, std::chrono::milliseconds deadline);
+               std::uint64_t context, std::chrono::milliseconds deadline,
+               std::chrono::milliseconds elapsed,
+               const char* waited_for = "a message");
 
   int waiting_rank() const { return waiting_rank_; }
   int src_rank() const { return src_rank_; }
   int tag() const { return tag_; }
   std::uint64_t context() const { return context_; }
+  /// Configured wait deadline (per blocking wait, or the reliable
+  /// transport's final per-attempt ack deadline).
+  std::chrono::milliseconds deadline() const { return deadline_; }
+  /// Wall-clock time actually spent waiting before giving up.
+  std::chrono::milliseconds elapsed() const { return elapsed_; }
 
  private:
   int waiting_rank_;
   int src_rank_;
   int tag_;
   std::uint64_t context_;
+  std::chrono::milliseconds deadline_;
+  std::chrono::milliseconds elapsed_;
 };
 
 /// Thrown inside a rank that a FaultPlan kills: the rank's communication
@@ -114,6 +128,28 @@ struct FaultPlan {
 FaultAction fault_decide(const FaultPlan& plan, int src_world, int dst_world,
                          int tag, std::uint64_t sequence);
 
+/// Opt-in reliable delivery policy: stop-and-wait ARQ per directed
+/// link. Every data message is framed with a per-link sequence number
+/// and a payload checksum; delivery into the destination mailbox is
+/// acknowledged; an unacknowledged send retransmits with bounded
+/// exponential backoff. The combination *survives* injected message
+/// faults instead of surfacing them: dropped messages (and dropped
+/// acks) are retried, corrupt payloads are checksum-rejected and
+/// retransmitted, duplicates are suppressed by sequence number, delays
+/// are waited out. Recovery actions land in the obs registry under
+/// "mpisim.recover.*". Rank stall/kill faults are NOT survivable at
+/// this layer — that is the checkpoint/restart + supervisor layer
+/// (src/ckpt, core/recovery.hpp).
+struct ReliableTransport {
+  bool enabled = false;
+  /// Ack wait for the first attempt of a message; grows by `backoff`
+  /// per retransmission, capped at `max_backoff`.
+  std::chrono::milliseconds ack_timeout{50};
+  int max_retries = 8;          ///< Retransmissions per message.
+  double backoff = 2.0;         ///< Per-retry ack-wait multiplier.
+  std::chrono::milliseconds max_backoff{1000};
+};
+
 /// Per-world runtime knobs.
 struct WorldOptions {
   /// Deadline for every blocking wait (recvs and, through them, all
@@ -121,6 +157,14 @@ struct WorldOptions {
   /// Overridable with the FDKS_MPISIM_TIMEOUT_MS environment variable.
   std::chrono::milliseconds timeout{60000};
   FaultPlan faults;
+  ReliableTransport reliable;
 };
+
+/// Arming-time validation (called by the World constructor): fractions
+/// outside [0,1], negative delay/stall durations, stall/kill ranks
+/// outside [-1, world_size), or a nonsensical reliable-transport policy
+/// raise std::invalid_argument naming the offending field — instead of
+/// the plan silently misbehaving mid-run.
+void validate_options(const WorldOptions& opts, int world_size);
 
 }  // namespace fdks::mpisim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -16,6 +17,25 @@ namespace fdks::mpisim {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Acknowledgment frames live on a reserved context/tag pair that no
+// communicator traffic can collide with: context ids handed to user
+// comms start at 1, and the collectives/split tags sit in -101..-204.
+constexpr std::uint64_t kAckContext = 0;
+constexpr int kTagAck = -301;
+
+/// FNV-1a over the payload bytes. Cheap, stable across platforms, and
+/// sensitive to the single-entry NaN corruption the fault plan injects.
+std::uint64_t payload_checksum(const std::vector<double>& data) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const size_t n = data.size() * sizeof(double);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 /// FDKS_MPISIM_TIMEOUT_MS overrides the configured wait deadline
 /// (<= 0 disables the deadline entirely).
@@ -33,10 +53,17 @@ std::chrono::milliseconds env_timeout_override(
 
 World::World(int size, WorldOptions opts) : size_(size), opts_(opts) {
   if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  validate_options(opts_, size);
   opts_.timeout = env_timeout_override(opts_.timeout);
   boxes_.reserve(static_cast<size_t>(size));
-  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
-  link_seq_.assign(static_cast<size_t>(size) * static_cast<size_t>(size), 0);
+  for (int i = 0; i < size; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+    boxes_.back()->rel_next_seq.assign(static_cast<size_t>(size), 0);
+  }
+  const size_t links = static_cast<size_t>(size) * static_cast<size_t>(size);
+  link_seq_.assign(links, 0);
+  ack_seq_.assign(links, 0);
+  rel_seq_.assign(links, 0);
   rank_ops_.assign(static_cast<size_t>(size), 0);
   stalled_.assign(static_cast<size_t>(size), 0);
 }
@@ -68,7 +95,12 @@ void World::post(int dst_world, Message msg) {
     const size_t link = static_cast<size_t>(msg.src_world) *
                             static_cast<size_t>(size_) +
                         static_cast<size_t>(dst_world);
-    const std::uint64_t seq = link_seq_[link]++;
+    // Acks keep their own fault-sequence array: an ack on link dst->src
+    // is posted by the *data sender's* thread, while dst's own thread
+    // advances link_seq_ for its data sends on the same link — sharing
+    // the cell would break the single-writer invariant.
+    const std::uint64_t seq =
+        msg.tag == kTagAck ? ack_seq_[link]++ : link_seq_[link]++;
     switch (fault_decide(fp, msg.src_world, dst_world, msg.tag, seq)) {
       case FaultAction::Drop:
         obs::add("mpisim.fault.injected");
@@ -95,6 +127,10 @@ void World::post(int dst_world, Message msg) {
         break;
     }
   }
+  if (msg.reliable) {
+    deliver_reliable(dst_world, std::move(msg), duplicate);
+    return;
+  }
   Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -104,12 +140,134 @@ void World::post(int dst_world, Message msg) {
   box.cv.notify_all();
 }
 
+void World::deliver_reliable(int dst_world, Message msg, bool duplicate) {
+  // A corrupted payload is rejected outright: no enqueue, no ack — the
+  // sender's retransmission repairs it.
+  if (payload_checksum(msg.data) != msg.checksum) {
+    obs::add("mpisim.recover.checksum_reject");
+    return;
+  }
+  const int src = msg.src_world;
+  const std::uint64_t seq = msg.rel_seq;
+  Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
+  const int copies = duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    bool accept = false;
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      std::uint64_t& next = box.rel_next_seq[static_cast<size_t>(src)];
+      // Stop-and-wait serializes each link, so a fresh message always
+      // carries exactly the expected sequence number; anything below it
+      // is a retransmitted or injected duplicate.
+      if (seq >= next) {
+        next = seq + 1;
+        accept = true;
+        box.queue.push_back(msg);
+      }
+    }
+    if (accept) {
+      box.cv.notify_all();
+    } else {
+      obs::add("mpisim.recover.duplicate_suppressed");
+    }
+    // Ack after releasing the mailbox lock: two ranks posting to each
+    // other must never hold crossed mailbox locks. Suppressed
+    // duplicates are re-acked — a retransmit means the original ack
+    // was lost or rejected. The ack flows through post() and is itself
+    // subject to fault injection (via ack_seq_).
+    Message ack;
+    ack.src_world = dst_world;
+    ack.context = kAckContext;
+    ack.tag = kTagAck;
+    ack.data.assign(1, static_cast<double>(seq));
+    post(src, std::move(ack));
+  }
+}
+
+void World::send_reliable(int src_world, int dst_world, Message msg) {
+  const ReliableTransport& rt = opts_.reliable;
+  const size_t link = static_cast<size_t>(src_world) *
+                          static_cast<size_t>(size_) +
+                      static_cast<size_t>(dst_world);
+  msg.reliable = true;
+  msg.rel_seq = rel_seq_[link]++;
+  msg.checksum = payload_checksum(msg.data);
+  std::chrono::milliseconds ack_wait = rt.ack_timeout;
+  const Clock::time_point start = Clock::now();
+  for (int attempt = 0;; ++attempt) {
+    post(dst_world, msg);  // Copy: retransmits repost the pristine payload.
+    if (wait_ack(src_world, dst_world, msg.rel_seq, Clock::now() + ack_wait)) {
+      if (attempt > 0) obs::add("mpisim.recover.recovered");
+      return;
+    }
+    if (attempt >= rt.max_retries) break;
+    obs::add("mpisim.recover.retransmit");
+    ack_wait = std::min(
+        std::chrono::milliseconds(static_cast<std::int64_t>(
+            static_cast<double>(ack_wait.count()) * rt.backoff)),
+        rt.max_backoff);
+  }
+  obs::add("mpisim.recover.exhausted");
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start);
+  throw TimeoutError(src_world, dst_world, msg.tag, msg.context, ack_wait,
+                     elapsed, "an acknowledgment (retries exhausted)");
+}
+
+bool World::wait_ack(int src_world, int from_world, std::uint64_t expect_seq,
+                     std::chrono::steady_clock::time_point attempt_deadline) {
+  Mailbox& box = *boxes_[static_cast<size_t>(src_world)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    bool have_delayed = false;
+    Clock::time_point next_delivery{};
+    bool found = false;
+    for (auto it = box.queue.begin(); it != box.queue.end();) {
+      if (it->context != kAckContext || it->src_world != from_world ||
+          it->tag != kTagAck) {
+        ++it;
+        continue;
+      }
+      if (it->deliver_at > now) {  // Injected-delay ack: wait it out.
+        if (!have_delayed || it->deliver_at < next_delivery) {
+          have_delayed = true;
+          next_delivery = it->deliver_at;
+        }
+        ++it;
+        continue;
+      }
+      // Deliverable ack. Corrupted (non-finite) and stale (already
+      // superseded) acks are consumed and discarded; the expected one
+      // completes the wait.
+      const double v = it->data.empty()
+                           ? std::numeric_limits<double>::quiet_NaN()
+                           : it->data[0];
+      it = box.queue.erase(it);
+      if (std::isfinite(v) && v >= 0.0 &&
+          static_cast<std::uint64_t>(v) == expect_seq) {
+        found = true;
+        break;
+      }
+    }
+    if (found) return true;
+    if (now >= attempt_deadline) return false;
+    if (have_delayed && next_delivery < attempt_deadline) {
+      box.cv.wait_until(lock, next_delivery);
+    } else {
+      box.cv.wait_until(lock, attempt_deadline);
+    }
+  }
+}
+
 std::vector<double> World::wait(int dst_world, std::uint64_t context,
                                 int src_world, int tag) {
   Mailbox& box = *boxes_[static_cast<size_t>(dst_world)];
   const bool has_deadline = opts_.timeout.count() > 0;
+  const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
-      has_deadline ? Clock::now() + opts_.timeout : Clock::time_point{};
+      has_deadline ? start + opts_.timeout : Clock::time_point{};
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     const Clock::time_point now = Clock::now();
@@ -138,7 +296,9 @@ std::vector<double> World::wait(int dst_world, std::uint64_t context,
     }
     if (has_deadline && now >= deadline) {
       obs::add("mpisim.timeouts");
-      throw TimeoutError(dst_world, src_world, tag, context, opts_.timeout);
+      throw TimeoutError(
+          dst_world, src_world, tag, context, opts_.timeout,
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - start));
     }
     if (have_delayed && (!has_deadline || next_delivery < deadline)) {
       box.cv.wait_until(lock, next_delivery);
@@ -165,7 +325,12 @@ void Comm::send(int dest, int tag, std::span<const double> data) const {
   m.context = context_;
   m.tag = tag;
   m.data.assign(data.begin(), data.end());
-  world_->post(members_[static_cast<size_t>(dest)], std::move(m));
+  const int dst = members_[static_cast<size_t>(dest)];
+  if (world_->options().reliable.enabled) {
+    world_->send_reliable(m.src_world, dst, std::move(m));
+  } else {
+    world_->post(dst, std::move(m));
+  }
 }
 
 std::vector<double> Comm::recv(int src, int tag) const {

@@ -12,7 +12,10 @@
 // throws a descriptive TimeoutError instead of hanging, and a seeded
 // FaultPlan can deterministically drop/delay/duplicate/corrupt messages
 // or stall/kill a rank — the test harness for the solvers' failure
-// paths.
+// paths. With WorldOptions::reliable enabled, sends run a stop-and-wait
+// ARQ (sequence numbers, payload checksums, delivery acks, bounded
+// exponential-backoff retransmission) that survives the injected
+// message faults instead of surfacing them; see ReliableTransport.
 #pragma once
 
 #include <atomic>
@@ -39,6 +42,14 @@ struct Message {
   std::vector<double> data;
   /// Injected-delay delivery time; default (epoch) = deliverable now.
   std::chrono::steady_clock::time_point deliver_at{};
+
+  // Reliable-transport framing (set by World::send_reliable): the
+  // per-directed-link sequence number, the FNV-1a payload checksum
+  // verified at delivery, and the flag routing the message through the
+  // dedup/ack path. Plain sends and acks leave `reliable` false.
+  bool reliable = false;
+  std::uint64_t rel_seq = 0;
+  std::uint64_t checksum = 0;
 };
 
 class Comm;
@@ -55,6 +66,15 @@ class World {
                            int src_world, int tag);
   std::uint64_t next_context();
 
+  /// Reliable point-to-point send (stop-and-wait ARQ per directed
+  /// link): frames the message with a sequence number and checksum,
+  /// posts it, and blocks for the delivery acknowledgment,
+  /// retransmitting with bounded exponential backoff per the
+  /// ReliableTransport policy. Throws TimeoutError once the retry
+  /// budget is exhausted. Used by Comm::send when
+  /// options().reliable.enabled.
+  void send_reliable(int src_world, int dst_world, Message msg);
+
   /// Rank-level fault hook, called by Comm on every send/recv: applies
   /// the plan's stall (sleeps once) and kill (throws RankKilledError)
   /// faults for `world_rank`.
@@ -65,14 +85,34 @@ class World {
     std::mutex mu;
     std::condition_variable cv;
     std::vector<Message> queue;
+    /// Reliable-transport dedup: next expected sequence number per
+    /// source world rank (guarded by mu). A retransmitted copy whose
+    /// rel_seq is below the expected value was already delivered and is
+    /// suppressed (and re-acked, since its original ack was lost).
+    std::vector<std::uint64_t> rel_next_seq;
   };
+
+  /// Delivery half of the reliable path: checksum-verify, dedup by
+  /// sequence, enqueue, and acknowledge. `duplicate` delivers an
+  /// injected second copy (which the dedup then suppresses).
+  void deliver_reliable(int dst_world, Message msg, bool duplicate);
+  /// Await the ack for `expect_seq` from `from_world` in `src_world`'s
+  /// mailbox until `attempt_deadline`; consumes stale/corrupted acks.
+  bool wait_ack(int src_world, int from_world, std::uint64_t expect_seq,
+                std::chrono::steady_clock::time_point attempt_deadline);
+
   int size_;
   WorldOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<std::uint64_t> context_counter_{1};
   // Per-link and per-rank fault bookkeeping. Each cell is written only
   // by the owning source rank's thread, so plain integers suffice.
+  // (Acks on link dst->src are posted by the data sender src's thread —
+  // the in-process analogue of the network — so ack_seq_ needs its own
+  // array to keep the single-writer invariant.)
   std::vector<std::uint64_t> link_seq_;  ///< [src * size + dst] messages.
+  std::vector<std::uint64_t> ack_seq_;   ///< [src * size + dst] acks.
+  std::vector<std::uint64_t> rel_seq_;   ///< [src * size + dst] reliable seq.
   std::vector<std::uint64_t> rank_ops_;  ///< Comm ops issued per rank.
   std::vector<char> stalled_;            ///< Stall already applied.
 };

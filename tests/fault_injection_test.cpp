@@ -116,12 +116,79 @@ TEST(FaultInjection, RecvTimeoutNamesRankTagAndDeadline) {
     EXPECT_EQ(e.waiting_rank(), 0);
     EXPECT_EQ(e.src_rank(), 1);
     EXPECT_EQ(e.tag(), 42);
+    // The structured deadline/elapsed fields: the configured deadline,
+    // and at least that much actually waited (small scheduler slack).
+    EXPECT_EQ(e.deadline().count(), 150);
+    EXPECT_GE(e.elapsed().count(), 140);
     const std::string what = e.what();
     EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
     EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
     EXPECT_NE(what.find("tag 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("waited"), std::string::npos) << what;
+    EXPECT_NE(what.find("deadline 150 ms"), std::string::npos) << what;
   }
   EXPECT_TRUE(caught);
+}
+
+// Fault plans are validated when the world is armed: a bad field must be
+// rejected up front with an invalid_argument naming it, not silently
+// produce a nonsensical injection schedule.
+TEST(FaultPlanValidation, NamesTheBadField) {
+  const auto expect_rejected = [](const WorldOptions& wo,
+                                  const char* field) {
+    try {
+      mpisim::run(2, [](Comm&) {}, wo);
+      FAIL() << field << " must be rejected";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+
+  WorldOptions wo;
+  wo.faults.drop_fraction = 1.5;
+  expect_rejected(wo, "drop_fraction");
+
+  wo = WorldOptions{};
+  wo.faults.corrupt_fraction = -0.1;
+  expect_rejected(wo, "corrupt_fraction");
+
+  wo = WorldOptions{};
+  wo.faults.delay = std::chrono::milliseconds(-5);
+  expect_rejected(wo, "delay");
+
+  wo = WorldOptions{};
+  wo.faults.kill_rank = 7;  // World has 2 ranks.
+  expect_rejected(wo, "kill_rank");
+
+  wo = WorldOptions{};
+  wo.faults.stall_rank = -3;
+  expect_rejected(wo, "stall_rank");
+
+  wo = WorldOptions{};
+  wo.reliable.enabled = true;
+  wo.reliable.ack_timeout = std::chrono::milliseconds(0);
+  expect_rejected(wo, "ack_timeout");
+
+  wo = WorldOptions{};
+  wo.reliable.enabled = true;
+  wo.reliable.backoff = 0.5;
+  expect_rejected(wo, "backoff");
+
+  wo = WorldOptions{};
+  wo.reliable.enabled = true;
+  wo.reliable.max_retries = -1;
+  expect_rejected(wo, "max_retries");
+}
+
+TEST(FaultPlanValidation, AcceptsValidPlansIncludingBoundaries) {
+  WorldOptions wo;
+  wo.faults.drop_fraction = 0.0;
+  wo.faults.delay_fraction = 1.0;
+  wo.faults.delay = std::chrono::milliseconds(0);
+  wo.faults.kill_rank = -1;   // Disabled is valid.
+  wo.faults.stall_rank = 1;   // In range for 2 ranks.
+  mpisim::run(2, [](Comm&) {}, wo);  // Must not throw.
 }
 
 TEST(FaultInjection, TimeoutZeroDisablesDeadline) {

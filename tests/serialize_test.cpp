@@ -1,6 +1,9 @@
 // Tests for HMatrix binary serialization: the loaded representation must
 // be operationally identical to the saved one (matvecs, frontier,
-// solver results).
+// solver results). Also covers the checkpoint layer built on the same
+// wire format: FactorTree checkpoints must round-trip bit-exactly, and
+// damaged files (flipped byte, truncation, wrong identity) must be
+// rejected with a diagnostic naming the reason — never loaded.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -9,6 +12,7 @@
 #include <unistd.h>
 
 #include "askit/serialize.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/solver.hpp"
 #include "data/generators.hpp"
 #include "la/blas1.hpp"
@@ -123,6 +127,136 @@ TEST_F(SerializeTest, KernelParametersSurvive) {
   EXPECT_EQ(back.kernel().bandwidth, 1.7);
   EXPECT_EQ(back.config().tol, 1e-5);
   EXPECT_EQ(back.config().leaf_size, 32);
+}
+
+// ---- Checkpoint layer (src/ckpt, same wire-format family) ------------
+
+TEST_F(SerializeTest, FactorTreeCheckpointRoundTripsBitExactly) {
+  HMatrix h = build_sample(256);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FactorTree ft(h, so);
+  const index_t root = h.tree().root();
+  ft.factorize_subtree(root, /*compute_phat=*/false);
+  const index_t roots[] = {root};
+  ckpt::save_factor_tree(path("f.ckpt"), ft, roots, "test");
+
+  core::FactorTree back(h, so);
+  ckpt::load_factor_tree(path("f.ckpt"), back, roots, "test");
+
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> u(256);
+  for (auto& v : u) v = g(rng);
+  std::vector<double> x1 = h.to_tree_order(u);
+  std::vector<double> x2 = x1;
+  ft.solve_subtree(root, x1);
+  back.solve_subtree(root, x2);
+  for (size_t i = 0; i < x1.size(); ++i)
+    EXPECT_EQ(x1[i], x2[i]) << "restored factors must be bit-identical";
+
+  // The factor-status accumulators travel with the factors.
+  EXPECT_EQ(back.factor_status().code, ft.factor_status().code);
+  EXPECT_EQ(back.factor_status().shifted_nodes,
+            ft.factor_status().shifted_nodes);
+  EXPECT_EQ(back.factor_status().lambda_effective,
+            ft.factor_status().lambda_effective);
+}
+
+TEST_F(SerializeTest, CheckpointRejectsSingleFlippedByte) {
+  HMatrix h = build_sample(200);
+  core::SolverOptions so;
+  core::FactorTree ft(h, so);
+  const index_t roots[] = {h.tree().root()};
+  ft.factorize_subtree(roots[0], false);
+  ckpt::save_factor_tree(path("c.ckpt"), ft, roots, "test");
+
+  const auto size = fs::file_size(path("c.ckpt"));
+  {
+    std::fstream f(path("c.ckpt"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&b, 1);
+  }
+
+  core::FactorTree back(h, so);
+  std::string diag;
+  EXPECT_FALSE(ckpt::try_load_factor_tree(path("c.ckpt"), back, roots,
+                                          "test", &diag));
+  EXPECT_NE(diag.find("checksum mismatch"), std::string::npos) << diag;
+  EXPECT_THROW(ckpt::load_factor_tree(path("c.ckpt"), back, roots, "test"),
+               ckpt::CheckpointError);
+}
+
+TEST_F(SerializeTest, CheckpointRejectsTruncation) {
+  HMatrix h = build_sample(200);
+  core::SolverOptions so;
+  core::FactorTree ft(h, so);
+  const index_t roots[] = {h.tree().root()};
+  ft.factorize_subtree(roots[0], false);
+  ckpt::save_factor_tree(path("t.ckpt"), ft, roots, "test");
+  fs::resize_file(path("t.ckpt"), fs::file_size(path("t.ckpt")) / 2);
+
+  core::FactorTree back(h, so);
+  std::string diag;
+  EXPECT_FALSE(ckpt::try_load_factor_tree(path("t.ckpt"), back, roots,
+                                          "test", &diag));
+  EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+}
+
+TEST_F(SerializeTest, CheckpointRejectsWrongIdentity) {
+  HMatrix h = build_sample(200);
+  core::SolverOptions so;
+  so.lambda = 1.0;
+  core::FactorTree ft(h, so);
+  const index_t roots[] = {h.tree().root()};
+  ft.factorize_subtree(roots[0], false);
+  ckpt::save_factor_tree(path("i.ckpt"), ft, roots, "test");
+
+  // Same HMatrix, different lambda: the fingerprint must not match —
+  // restoring these factors would silently solve the wrong system.
+  core::SolverOptions other = so;
+  other.lambda = 2.0;
+  core::FactorTree wrong_opts(h, other);
+  std::string diag;
+  EXPECT_FALSE(ckpt::try_load_factor_tree(path("i.ckpt"), wrong_opts, roots,
+                                          "test", &diag));
+  EXPECT_NE(diag.find("fingerprint mismatch"), std::string::npos) << diag;
+
+  // Same tree and options, different scope: also a different identity.
+  core::FactorTree wrong_scope(h, so);
+  EXPECT_FALSE(ckpt::try_load_factor_tree(path("i.ckpt"), wrong_scope, roots,
+                                          "other-scope", &diag));
+  EXPECT_NE(diag.find("fingerprint mismatch"), std::string::npos) << diag;
+
+  // Missing file: clean refusal, not an exception, on the try_ path.
+  EXPECT_FALSE(ckpt::try_load_factor_tree(path("absent.ckpt"), wrong_scope,
+                                          roots, "test", &diag));
+  EXPECT_NE(diag.find("no checkpoint"), std::string::npos) << diag;
+}
+
+TEST_F(SerializeTest, StageMarkersRoundTripAndSurviveCorruption) {
+  const std::string d = (dir_ / "stages").string();
+  ckpt::ensure_dir(d);
+  EXPECT_FALSE(ckpt::stage_done(d, "compress"));
+  ckpt::mark_stage(d, "compress", "hmatrix.bin");
+  std::string detail;
+  EXPECT_TRUE(ckpt::stage_done(d, "compress", &detail));
+  EXPECT_EQ(detail, "hmatrix.bin");
+
+  // A torn marker counts as absent (the stage re-runs) with a reason.
+  {
+    std::ofstream junk(ckpt::join(d, "stage_factorize.ok"),
+                       std::ios::binary);
+    junk << "torn";
+  }
+  std::string diag;
+  EXPECT_FALSE(ckpt::stage_done(d, "factorize", nullptr, &diag));
+  EXPECT_FALSE(diag.empty());
 }
 
 }  // namespace
