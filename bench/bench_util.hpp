@@ -19,6 +19,7 @@
 
 #include "data/generators.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::bench {
 
@@ -70,10 +71,15 @@ inline void print_header(const char* title) {
               title);
 }
 
-/// Turn the obs registry on (cleared) at bench start.
+/// Turn the obs registry on (cleared) at bench start; FDKS_TRACE=<file>
+/// additionally turns on event tracing (exported by write_bench_json).
 inline void obs_begin() {
   obs::set_enabled(true);
   obs::reset();
+  if (const char* tr = std::getenv("FDKS_TRACE"); tr && *tr) {
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+  }
 }
 
 /// Run `f` under a named top-level phase scope ("setup", ...). Returns
@@ -87,12 +93,22 @@ decltype(auto) phase(const char* name, F&& f) {
 }
 
 /// Write BENCH_<name>.json in the working directory from the current
-/// obs snapshot and announce it on stdout.
+/// obs snapshot and announce it on stdout. Peak process memory is
+/// stamped in as mem.peak_rss_bytes so the regression gate can watch
+/// footprint alongside work counters. With FDKS_TRACE=<file.json> in
+/// the environment and tracing enabled, the event trace is exported
+/// alongside the metrics.
 inline void write_bench_json(const char* name,
                              std::vector<obs::ConfigKV> config = {}) {
+  obs::Snapshot snap = obs::snapshot();
+  const double peak = static_cast<double>(obs::peak_rss_bytes());
+  if (peak > 0.0) snap.counters["mem.peak_rss_bytes"] = peak;
   const std::string path = std::string("BENCH_") + name + ".json";
-  if (obs::write_json(path, name, config, obs::snapshot()))
+  if (obs::write_json(path, name, config, snap))
     std::printf("\n[obs] wrote %s\n", path.c_str());
+  if (const char* tr = std::getenv("FDKS_TRACE"); tr && *tr)
+    if (obs::trace::enabled() && obs::trace::write_chrome_trace(tr))
+      std::printf("[obs] wrote trace %s\n", tr);
 }
 
 }  // namespace fdks::bench

@@ -3,7 +3,7 @@
 //   fdks_tool solve  [--data KIND] [--n N] [--h H] [--lambda L]
 //                    [--tau T] [--leaf M] [--rank S] [--restrict LVL]
 //                    [--hybrid] [--compact-w] [--scheme gemv|gemm|gsks]
-//                    [--checkpoint-dir DIR]
+//                    [--checkpoint-dir DIR] [--ranks P]
 //   fdks_tool krr    [--data KIND] [--n N] [--h H] [--lambda L] ...
 //   fdks_tool info   [--data KIND] [--n N] [--h H] [--tau T] ...
 //   fdks_tool gen    [--data KIND] [--n N] [--out PATH]
@@ -20,20 +20,43 @@
 // (atomic, checksummed; see src/ckpt) and a re-run resumes from the
 // last completed stage. Corrupt or stale checkpoints are skipped with a
 // diagnostic and the stage re-runs.
+//
+// Observability flags (any command):
+//   --profile              aggregate timer tree + counters on exit.
+//   --trace FILE.json      event trace in Chrome trace-event format
+//                          (open in https://ui.perfetto.dev). With
+//                          --ranks P the combined file keeps the
+//                          cross-rank flow arrows and per-rank files
+//                          FILE.rank<k>.json are written alongside; the
+//                          critical-path report prints after the run.
+//   --metrics-interval MS  periodic RSS / trace-volume sampler line on
+//                          stderr while the command runs.
+//   --ranks P              run `solve` distributed over P mpisim ranks
+//                          (P a power of 2); with --hybrid the level
+//                          restriction is raised to log2(P) so the
+//                          frontier does not span ranks.
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "askit/serialize.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "core/dist_hybrid.hpp"
+#include "core/dist_solver.hpp"
 #include "core/hybrid.hpp"
 #include "core/solver.hpp"
 #include "data/io.hpp"
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
+#include "mpisim/runtime.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -58,6 +81,9 @@ struct Args {
   std::string out;
   std::string checkpoint_dir;
   bool profile = false;
+  int ranks = 1;
+  std::string trace;
+  int metrics_interval_ms = 0;
 };
 
 int usage() {
@@ -69,7 +95,8 @@ int usage() {
                "       [--restrict LVL] [--hybrid] [--compact-w] "
                "[--spd-leaves]\n"
                "       [--scheme gemv|gemm|gsks] [--seed X] [--profile]\n"
-               "       [--checkpoint-dir DIR]\n");
+               "       [--checkpoint-dir DIR] [--ranks P]\n"
+               "       [--trace FILE.json] [--metrics-interval MS]\n");
   return 2;
 }
 
@@ -155,6 +182,26 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need("--checkpoint-dir");
       if (!v) return false;
       a.checkpoint_dir = v;
+    } else if (flag == "--ranks") {
+      const char* v = need("--ranks");
+      if (!v) return false;
+      a.ranks = std::atoi(v);
+      if (a.ranks < 1 || (a.ranks & (a.ranks - 1)) != 0) {
+        std::fprintf(stderr, "--ranks must be a power of 2 (got %s)\n", v);
+        return false;
+      }
+    } else if (flag == "--trace") {
+      const char* v = need("--trace");
+      if (!v) return false;
+      a.trace = v;
+    } else if (flag == "--metrics-interval") {
+      const char* v = need("--metrics-interval");
+      if (!v) return false;
+      a.metrics_interval_ms = std::atoi(v);
+      if (a.metrics_interval_ms <= 0) {
+        std::fprintf(stderr, "--metrics-interval needs a positive ms value\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -200,6 +247,57 @@ askit::HMatrix build_or_resume_hmatrix(const Args& a,
                         askit_config(a));
 }
 
+/// Distributed solve over a.ranks mpisim ranks. The HMatrix is shared
+/// read-only across the rank threads (as real MPI would replicate the
+/// compressed operator here); each rank owns its subtree's factors.
+int run_solve_dist(const Args& a, const askit::HMatrix& h,
+                   const std::vector<double>& u) {
+  std::vector<double> x;
+  double factor_seconds = 0.0;
+  index_t reduced = 0;
+  int ksp = 0;
+  mpisim::run(a.ranks, [&](mpisim::Comm& comm) {
+    if (a.hybrid) {
+      core::HybridOptions ho;
+      ho.direct.lambda = a.lambda;
+      ho.direct.compact_w = a.compact_w;
+      ho.direct.scheme = a.scheme;
+      ho.direct.checkpoint_dir = a.checkpoint_dir;
+      core::DistributedHybridSolver solver(h, ho, comm);
+      auto xi = solver.solve(u);
+      if (comm.rank() == 0) {
+        x = std::move(xi);
+        factor_seconds = solver.factor_seconds();
+        reduced = solver.reduced_size();
+        ksp = solver.last_gmres().iterations;
+      }
+    } else {
+      core::SolverOptions so;
+      so.lambda = a.lambda;
+      so.compact_w = a.compact_w;
+      so.spd_leaves = a.spd_leaves;
+      so.scheme = a.scheme;
+      so.checkpoint_dir = a.checkpoint_dir;
+      core::DistributedSolver solver(h, so, comm);
+      auto xi = solver.solve(u);
+      if (comm.rank() == 0) {
+        x = std::move(xi);
+        factor_seconds = solver.factor_seconds();
+      }
+    }
+  });
+  if (a.hybrid) {
+    std::printf("dist-hybrid p=%d: factor %.3fs, reduced %td, ksp %d, "
+                "residual %.2e\n",
+                a.ranks, factor_seconds, reduced, ksp,
+                h.relative_residual(x, u, a.lambda));
+  } else {
+    std::printf("dist-direct p=%d: factor %.3fs, residual %.2e\n", a.ranks,
+                factor_seconds, h.relative_residual(x, u, a.lambda));
+  }
+  return 0;
+}
+
 int run_solve(const Args& a) {
   data::Dataset ds = data::make_synthetic(a.kind, a.n, a.seed);
   std::printf("dataset %s: N=%td d=%td\n", ds.name.c_str(), ds.n(), ds.dim());
@@ -222,6 +320,8 @@ int run_solve(const Args& a) {
   std::vector<double> u(static_cast<size_t>(a.n));
   std::normal_distribution<double> g(0.0, 1.0);
   for (auto& v : u) v = g(rng);
+
+  if (a.ranks > 1) return run_solve_dist(a, h, u);
 
   char summary[160];
   if (a.hybrid) {
@@ -353,18 +453,110 @@ int run_gen(const Args& a) {
 
 }  // namespace
 
+namespace {
+
+/// "x.json" -> "x.rank3.json"; no-extension paths get ".rank3" appended.
+std::string rank_suffixed(const std::string& path, int rank) {
+  const std::string suffix = ".rank" + std::to_string(rank);
+  const size_t dot = path.rfind(".json");
+  if (dot != std::string::npos && dot == path.size() - 5)
+    return path.substr(0, dot) + suffix + ".json";
+  return path + suffix;
+}
+
+void export_trace(const Args& a) {
+  const obs::trace::TraceData data = obs::trace::collect();
+  size_t events = 0;
+  for (const auto& t : data.threads) events += t.events.size();
+  if (obs::trace::write_chrome_trace(a.trace, data))
+    std::printf("trace: wrote %s (%zu threads, %zu events)\n",
+                a.trace.c_str(), data.threads.size(), events);
+  if (a.ranks > 1) {
+    // Per-rank files alongside the combined one. Cross-rank flow arrows
+    // only render in the combined file, where both endpoints exist.
+    for (int r = 0; r < a.ranks; ++r) {
+      obs::trace::TraceData one;
+      for (const auto& t : data.threads)
+        if (t.rank == r) one.threads.push_back(t);
+      if (one.threads.empty()) continue;
+      obs::trace::write_chrome_trace(rank_suffixed(a.trace, r), one);
+    }
+    std::printf("trace: per-rank files %s\n",
+                rank_suffixed(a.trace, 0).c_str());
+  }
+  const obs::trace::CriticalPath cp = obs::trace::critical_path(data);
+  if (!cp.segments.empty())
+    std::fputs(obs::trace::critical_path_report(cp).c_str(), stdout);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Args a;
   if (!parse(argc, argv, a)) return usage();
+  if (a.cmd == "solve" && a.ranks > 1 && a.hybrid) {
+    // The distributed hybrid requires every frontier node to live on one
+    // rank: raise the adaptive-rank frontier to at least level log2(p).
+    index_t logp = 0;
+    while ((index_t{1} << logp) < a.ranks) ++logp;
+    if (a.restrict_level < logp) {
+      std::printf("note: raising --restrict to %td for --ranks %d\n", logp,
+                  a.ranks);
+      a.restrict_level = logp;
+    }
+  }
   if (a.profile) {
     obs::set_enabled(true);
     obs::reset();
   }
+  if (!a.trace.empty()) {
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+  }
+
+  // Periodic memory/trace-volume sampler. It deliberately reads only
+  // /proc and the trace buffers' published state — obs::snapshot() is
+  // not safe concurrently with emission.
+  std::atomic<bool> sampler_stop{false};
+  std::thread sampler;
+  if (a.metrics_interval_ms > 0) {
+    sampler = std::thread([&] {
+      const auto interval = std::chrono::milliseconds(a.metrics_interval_ms);
+      while (!sampler_stop.load(std::memory_order_relaxed)) {
+        size_t events = 0, dropped = 0;
+        for (const auto& t : obs::trace::collect().threads) {
+          events += t.events.size();
+          dropped += t.dropped;
+        }
+        std::fprintf(stderr,
+                     "[metrics] rss=%.1fMB peak=%.1fMB trace_events=%zu "
+                     "dropped=%zu\n",
+                     double(obs::current_rss_bytes()) / 1048576.0,
+                     double(obs::peak_rss_bytes()) / 1048576.0, events,
+                     dropped);
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+
   int rc = 0;
-  if (a.cmd == "solve") rc = run_solve(a);
-  else if (a.cmd == "krr") rc = run_krr(a);
-  else if (a.cmd == "gen") rc = run_gen(a);
-  else rc = run_info(a);
+  try {
+    if (a.cmd == "solve") rc = run_solve(a);
+    else if (a.cmd == "krr") rc = run_krr(a);
+    else if (a.cmd == "gen") rc = run_gen(a);
+    else rc = run_info(a);
+  } catch (...) {
+    if (sampler.joinable()) {
+      sampler_stop.store(true);
+      sampler.join();
+    }
+    throw;
+  }
+  if (sampler.joinable()) {
+    sampler_stop.store(true);
+    sampler.join();
+  }
   if (a.profile) obs::print_tree(stdout, obs::snapshot());
+  if (!a.trace.empty()) export_trace(a);
   return rc;
 }

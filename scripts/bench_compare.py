@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json against baselines.
+
+Usage:
+  bench_compare.py --check [--baseline-dir DIR] [--observed-dir DIR]
+                   [--timing-factor F] [NAME...]
+  bench_compare.py --self-test [--baseline-dir DIR]
+
+--check compares every BENCH_<name>.json present in the observed
+directory (default: cwd) whose baseline exists under the baseline
+directory (default: bench/baselines next to this script's repo). Pass
+explicit NAMEs (e.g. fig4_scaling) to restrict the set. Exit status 0 =
+within tolerance, 1 = regression (each offense printed as
+"FAIL <file> <metric>: baseline=<b> observed=<o> allowed=<threshold>"),
+2 = usage/IO error.
+
+What is gated, and how:
+
+  config     must match the baseline exactly — a differently-sized run
+             is not comparable, and silently comparing it would let a
+             shrunken benchmark masquerade as a speedup.
+  counters   deterministic work measures (flops, messages, bytes,
+             skeleton ranks, GMRES iterations): observed must stay
+             within a relative band of the baseline plus a small
+             absolute slack for tiny counts. Counters prefixed "mem."
+             get a wider band (allocator noise). Growth AND collapse
+             both fail: a counter collapsing to ~0 usually means the
+             code path stopped running, which is a bug the gate should
+             catch, not a win.
+  histograms sample counts gated like counters; quantiles not gated
+             (they are timing-shaped).
+  timers     presence-only by default — wall-clock on shared CI
+             hardware is too noisy for a hard gate. Opt in with
+             --timing-factor F to additionally require every baseline
+             timer's seconds <= F * baseline.
+
+--self-test exercises the gate against itself: every baseline must pass
+unmodified, and must fail (naming the metric) after an in-memory 2x
+doctoring of one counter. Guards against the gate silently passing
+everything.
+
+Baselines are refreshed with scripts/update_baselines.sh (see
+DESIGN.md section 4d for the workflow).
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+# Relative band for counters, plus absolute slack so counts of a few
+# (e.g. ckpt.saved=2) don't fail on +/-1 jitter.
+COUNTER_REL_TOL = 0.25
+COUNTER_ABS_SLACK = 16.0
+# Memory counters: allocator/map noise is larger than work noise.
+MEM_PREFIXES = ("mem.",)
+MEM_FACTOR = 2.0
+
+
+def repo_default_baseline_dir():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(here), "bench", "baselines")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def counter_band(name, base):
+    """Return (lo, hi) allowed band for a counter."""
+    if any(name.startswith(p) for p in MEM_PREFIXES):
+        return (base / MEM_FACTOR - COUNTER_ABS_SLACK,
+                base * MEM_FACTOR + COUNTER_ABS_SLACK)
+    slack = abs(base) * COUNTER_REL_TOL + COUNTER_ABS_SLACK
+    return (base - slack, base + slack)
+
+
+def walk_timers(nodes, prefix=""):
+    for n in nodes:
+        name = prefix + n.get("name", "?")
+        yield name, n
+        yield from walk_timers(n.get("children", []), name + "/")
+
+
+def compare(base, obs, timing_factor=None):
+    """Yield failure tuples (metric, baseline, observed, allowed)."""
+    bcfg, ocfg = base.get("config", {}), obs.get("config", {})
+    if bcfg != ocfg:
+        yield ("config", json.dumps(bcfg, sort_keys=True),
+               json.dumps(ocfg, sort_keys=True), "exact match")
+        return  # Different run shape: numbers below are meaningless.
+
+    bctr, octr = base.get("counters", {}), obs.get("counters", {})
+    for name, bval in sorted(bctr.items()):
+        if name not in octr:
+            yield ("counters." + name, bval, "missing", "present")
+            continue
+        lo, hi = counter_band(name, bval)
+        if not (lo <= octr[name] <= hi):
+            yield ("counters." + name, bval, octr[name],
+                   "[%g, %g]" % (lo, hi))
+
+    bh, oh = base.get("histograms", {}), obs.get("histograms", {})
+    for name, bhist in sorted(bh.items()):
+        if name not in oh:
+            yield ("histograms." + name, bhist.get("count"), "missing",
+                   "present")
+            continue
+        bcount = float(bhist.get("count", 0))
+        lo, hi = counter_band(name, bcount)
+        ocount = float(oh[name].get("count", 0))
+        if not (lo <= ocount <= hi):
+            yield ("histograms.%s.count" % name, bcount, ocount,
+                   "[%g, %g]" % (lo, hi))
+
+    otimers = dict(walk_timers(obs.get("timers", [])))
+    for name, bnode in walk_timers(base.get("timers", [])):
+        if name not in otimers:
+            yield ("timers." + name, bnode.get("seconds"), "missing",
+                   "present")
+            continue
+        if timing_factor is not None:
+            allowed = bnode.get("seconds", 0.0) * timing_factor
+            got = otimers[name].get("seconds", 0.0)
+            if got > allowed:
+                yield ("timers.%s.seconds" % name, bnode.get("seconds"),
+                       got, "<= %g (%gx)" % (allowed, timing_factor))
+
+
+def check_one(fname, base, obs, timing_factor):
+    failures = list(compare(base, obs, timing_factor))
+    for metric, bval, oval, allowed in failures:
+        print("FAIL %s %s: baseline=%s observed=%s allowed=%s"
+              % (fname, metric, bval, oval, allowed))
+    return not failures
+
+
+def run_check(args):
+    names = args.names
+    if not names:
+        names = sorted(
+            f[len("BENCH_"):-len(".json")]
+            for f in os.listdir(args.observed_dir)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print("bench_compare: no BENCH_*.json under %s" % args.observed_dir,
+              file=sys.stderr)
+        return 2
+    rc, compared = 0, 0
+    for name in names:
+        fname = "BENCH_%s.json" % name
+        bpath = os.path.join(args.baseline_dir, fname)
+        opath = os.path.join(args.observed_dir, fname)
+        if not os.path.exists(bpath):
+            print("skip %s: no baseline (add with scripts/"
+                  "update_baselines.sh)" % fname)
+            continue
+        if not os.path.exists(opath):
+            print("FAIL %s: baseline exists but no observed run at %s"
+                  % (fname, opath))
+            rc = 1
+            continue
+        compared += 1
+        if check_one(fname, load(bpath), load(opath), args.timing_factor):
+            print("ok   %s" % fname)
+        else:
+            rc = 1
+    if compared == 0 and rc == 0:
+        print("bench_compare: nothing compared (no baselines for: %s)"
+              % ", ".join(names), file=sys.stderr)
+        return 2
+    return rc
+
+
+def run_self_test(args):
+    files = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not files:
+        print("self-test: no baselines under %s" % args.baseline_dir,
+              file=sys.stderr)
+        return 2
+    for fname in files:
+        base = load(os.path.join(args.baseline_dir, fname))
+        if list(compare(base, base)):
+            print("self-test FAIL: %s does not pass against itself" % fname)
+            return 1
+        counters = base.get("counters", {})
+        if not counters:
+            print("self-test FAIL: %s has no counters to gate" % fname)
+            return 1
+        doctored_name = sorted(counters)[0]
+        doctored = copy.deepcopy(base)
+        doctored["counters"][doctored_name] = \
+            counters[doctored_name] * 2.0 + 10 * COUNTER_ABS_SLACK
+        fails = list(compare(base, doctored))
+        named = [m for m, _, _, _ in fails]
+        if ("counters." + doctored_name) not in named:
+            print("self-test FAIL: %s did not flag doctored 2x regression "
+                  "on %s (flagged: %s)" % (fname, doctored_name, named))
+            return 1
+        print("self-test ok: %s (gate names counters.%s on 2x doctoring)"
+              % (fname, doctored_name))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff BENCH_*.json against committed baselines")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="compare observed runs against baselines")
+    mode.add_argument("--self-test", action="store_true",
+                      help="verify the gate fails on a doctored regression")
+    ap.add_argument("--baseline-dir", default=repo_default_baseline_dir())
+    ap.add_argument("--observed-dir", default=os.getcwd())
+    ap.add_argument("--timing-factor", type=float, default=None,
+                    help="also gate timer seconds at F x baseline "
+                         "(off by default: wall clock is noisy)")
+    ap.add_argument("names", nargs="*",
+                    help="bench names (default: all observed)")
+    args = ap.parse_args()
+    if not os.path.isdir(args.baseline_dir):
+        print("bench_compare: baseline dir %s missing" % args.baseline_dir,
+              file=sys.stderr)
+        return 2
+    return run_self_test(args) if args.self_test else run_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

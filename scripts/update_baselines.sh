@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Refresh the bench-regression baselines under bench/baselines/.
+#
+# Runs the same small-N bench variants as the "bench-smoke" ctest label
+# (sizes MUST stay in sync with bench/CMakeLists.txt), copies the fresh
+# BENCH_*.json over the committed baselines, and re-runs the gate's
+# self-test. Review the diff before committing: a baseline update is a
+# statement that the new counter profile is the intended one, not noise.
+#
+#   scripts/update_baselines.sh            # default build preset
+#   FDKS_BUILD_DIR=build-foo scripts/update_baselines.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Keep in sync with the bench-smoke tests in bench/CMakeLists.txt.
+FIG4_SMOKE_N=4096
+TABLE5_SMOKE_N=2048
+
+BUILD_DIR="${FDKS_BUILD_DIR:-build}"
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_fig4_scaling bench_table5_hybrid_vs_direct
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && "$OLDPWD/$BUILD_DIR/bench/bench_fig4_scaling" "$FIG4_SMOKE_N")
+(cd "$workdir" && "$OLDPWD/$BUILD_DIR/bench/bench_table5_hybrid_vs_direct" "$TABLE5_SMOKE_N")
+
+mkdir -p bench/baselines
+cp "$workdir"/BENCH_fig4_scaling.json \
+   "$workdir"/BENCH_table5_hybrid_vs_direct.json \
+   bench/baselines/
+
+python3 scripts/bench_compare.py --self-test
+
+echo "baselines refreshed:"
+git diff --stat bench/baselines || true

@@ -7,6 +7,7 @@
 
 #include "askit/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::ckpt {
 
@@ -23,6 +24,7 @@ constexpr const char* kKindStage = "fdks.stage.v1";
 
 [[noreturn]] void reject(const std::string& path, const std::string& why) {
   obs::add("ckpt.rejected");
+  obs::trace::instant("ckpt.rejected");
   throw CheckpointError("checkpoint " + path + ": " + why);
 }
 
@@ -159,6 +161,7 @@ void write_blob(const std::string& path, const std::string& kind,
   }
   obs::add("ckpt.saved");
   obs::add("ckpt.bytes_written", static_cast<double>(payload.size()));
+  obs::trace::instant("ckpt.save");
 }
 
 std::string read_blob(const std::string& path, const std::string& kind) {
@@ -188,6 +191,7 @@ std::string read_blob(const std::string& path, const std::string& kind) {
   if (checksum != wire::fnv1a(payload.data(), payload.size()))
     reject(path, "checksum mismatch (file is corrupt)");
   obs::add("ckpt.loaded");
+  obs::trace::instant("ckpt.restore");
   return payload;
 }
 

@@ -7,6 +7,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::core {
 
@@ -53,6 +54,7 @@ DistributedHybridSolver::DistributedHybridSolver(const HMatrix& h,
   }
   reduced_size_ = offsets_.back();
 
+  obs::ScopedTimer t_factor("dist.factorize");
   const auto t0 = std::chrono::steady_clock::now();
   // Checkpoint/restart (core/recovery.hpp): each rank persists the
   // factors of all its frontier subtrees in one file; a supervised
@@ -136,6 +138,7 @@ std::vector<double> DistributedHybridSolver::solve(
   if (static_cast<index_t>(u.size()) != h_->n())
     throw std::invalid_argument("DistributedHybridSolver: size mismatch");
 
+  obs::ScopedTimer t_solve("dist.solve");
   const std::vector<double> ut = h_->to_tree_order(u);
   std::vector<double> w(ut.begin() + local_begin_, ut.begin() + local_end_);
 

@@ -9,6 +9,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"
 #include "la/gemm.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::core {
 
@@ -124,6 +125,7 @@ DistributedSolver::DistributedSolver(const HMatrix& h, SolverOptions opts,
 }
 
 void DistributedSolver::factorize() {
+  obs::ScopedTimer t_dist("dist.factorize");
   const auto t0 = std::chrono::steady_clock::now();
   const auto& t = h_->tree();
 
@@ -135,6 +137,7 @@ void DistributedSolver::factorize() {
   // core/recovery.hpp. The distributed phase below is communication-
   // bound and cheap relative to the local factorization, so it simply
   // re-runs.
+  obs::ScopedTimer t_local("local_factor");
   const SolverOptions& sopts = ft_.options();
   if (!sopts.checkpoint_dir.empty()) {
     ckpt::ensure_dir(sopts.checkpoint_dir);
@@ -156,9 +159,11 @@ void DistributedSolver::factorize() {
   }
   Matrix phat_local =
       logp_ > 0 ? ft_.dense_phat(local_root_) : Matrix();
+  t_local.stop();
 
   // Distributed phase, bottom-up over the recorded ancestors.
   for (int li = logp_ - 1; li >= 0; --li) {
+    obs::ScopedTimer t_level("dist.level");
     DistLevel& dl = dist_[static_cast<size_t>(li)];
     const tree::Node& nd = t.node(dl.node);
     const int q = dl.comm.size();
@@ -259,12 +264,17 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
   if (static_cast<index_t>(u.size()) != h_->n())
     throw std::invalid_argument("DistributedSolver::solve: size mismatch");
 
+  obs::ScopedTimer t_dist("dist.solve");
+
   // Local slice in tree order.
   const std::vector<double> ut = h_->to_tree_order(u);
   std::vector<double> w(ut.begin() + local_begin_, ut.begin() + local_end_);
 
   // Local solve (Algorithm II.3 on the owned subtree).
-  ft_.solve_subtree(local_root_, w);
+  {
+    obs::ScopedTimer t_local("local_solve");
+    ft_.solve_subtree(local_root_, w);
+  }
 
   // Distributed corrections, bottom-up (Algorithm II.5).
   std::vector<index_t> local_pts(static_cast<size_t>(local_end_ -
@@ -272,6 +282,7 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
   std::iota(local_pts.begin(), local_pts.end(), local_begin_);
 
   for (int li = logp_ - 1; li >= 0; --li) {
+    obs::ScopedTimer t_level("dist.level");
     const DistLevel& dl = dist_[static_cast<size_t>(li)];
     const int q = dl.comm.size();
     const bool root_of_half = dl.half_comm.rank() == 0;

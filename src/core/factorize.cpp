@@ -154,6 +154,7 @@ void FactorTree::factorize_node(index_t id, bool compute_phat) {
     f.factored = true;
     {
       const double dt = t_leaf.stop();
+      obs::hist("factor.leaf_seconds", dt);
       std::lock_guard<std::mutex> lock(stab_mu_);
       profile_.leaf_seconds += dt;
       ++profile_.leaves;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::core {
 
@@ -67,6 +68,9 @@ RecoveryReport run_with_recovery(int p,
     RecoveryAttempt a;
     a.index = attempt;
     obs::add("recover.attempts");
+    // Marks where a resumed run's timeline restarts in the event trace.
+    obs::trace::instant(attempt == 0 ? "recover.attempt"
+                                     : "recover.retry_attempt");
     const Clock::time_point t0 = Clock::now();
     std::exception_ptr failure;
     try {
@@ -90,6 +94,7 @@ RecoveryReport run_with_recovery(int p,
     report.error = a.error;
     if (attempt + 1 >= ropts.max_attempts) break;
     obs::add("recover.retries");
+    obs::trace::instant("recover.retry");
     // Transient-crash model: the deterministic plan would otherwise
     // kill/stall the same rank again on every retry.
     if (ropts.clear_kill_on_retry) {

@@ -20,6 +20,19 @@ double elapsed(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Feeds the gmres.iter_seconds histogram from every exit of the Arnoldi
+// loop body (normal step, breakdown, stagnation, tolerance break). The
+// clock is only read while the registry is on.
+struct IterClock {
+  bool on = obs::enabled();
+  std::chrono::steady_clock::time_point t0 =
+      on ? std::chrono::steady_clock::now()
+         : std::chrono::steady_clock::time_point{};
+  ~IterClock() {
+    if (on) obs::hist("gmres.iter_seconds", elapsed(t0));
+  }
+};
+
 }  // namespace
 
 GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
@@ -90,6 +103,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
 
     int k = 0;
     for (; k < m && total_it < opts.max_iters; ++k, ++total_it) {
+      IterClock iter_clock;
       // Arnoldi step: w = A v_k, orthogonalize against the basis with
       // MGS, then (optionally) run a second CGS-style refinement pass.
       a(v[static_cast<size_t>(k)], w);

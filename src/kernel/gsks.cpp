@@ -88,8 +88,10 @@ void gsks_apply(const KernelMatrix& km, std::span<const index_t> rows,
   const index_t m = static_cast<index_t>(rows.size());
   obs::add("gsks.calls");
   // Gram-tile GEMM flops are counted by gemm_raw; this is the fused
-  // kernel-evaluation volume on top of them.
+  // kernel-evaluation volume on top of them. The histogram exposes the
+  // call-size distribution (skeleton sizes drive it).
   obs::add("gsks.kernel_evals", double(m) * double(cols.size()));
+  obs::hist("gsks.evals_per_call", double(m) * double(cols.size()));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::mpisim {
 
@@ -35,6 +36,29 @@ std::uint64_t payload_checksum(const std::vector<double>& data) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// Modeled wire size of one message frame: a 24-byte header (source
+/// rank, tag, context, payload length) plus the raw payload; reliable
+/// framing adds sequence number + checksum + flag (17 bytes). This is
+/// what a byte-exact MPI transport would move, as opposed to the old
+/// payload-only estimate.
+double wire_bytes(std::size_t n_doubles, bool reliable) {
+  return 24.0 + 8.0 * static_cast<double>(n_doubles) +
+         (reliable ? 17.0 : 0.0);
+}
+
+/// Per-rank / per-rank-per-tag byte accounting. `dir` is "sent" or
+/// "recv"; `rank` is the owning world rank (the sender for "sent", the
+/// receiver for "recv").
+void add_comm_bytes(const char* dir, int rank, int tag, double bytes) {
+  if (!obs::enabled()) return;
+  char name[64];
+  std::snprintf(name, sizeof(name), "mpisim.bytes.%s.r%d", dir, rank);
+  obs::add(name, bytes);
+  std::snprintf(name, sizeof(name), "mpisim.bytes.%s.r%d.t%d", dir, rank,
+                tag);
+  obs::add(name, bytes);
 }
 
 /// FDKS_MPISIM_TIMEOUT_MS overrides the configured wait deadline
@@ -70,6 +94,10 @@ World::World(int size, WorldOptions opts) : size_(size), opts_(opts) {
 
 std::uint64_t World::next_context() {
   return context_counter_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t World::next_flow_id() {
+  return flow_counter_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void World::comm_op(int world_rank) {
@@ -180,6 +208,7 @@ void World::deliver_reliable(int dst_world, Message msg, bool duplicate) {
     ack.context = kAckContext;
     ack.tag = kTagAck;
     ack.data.assign(1, static_cast<double>(seq));
+    obs::add("mpisim.recover.bytes", wire_bytes(ack.data.size(), false));
     post(src, std::move(ack));
   }
 }
@@ -202,6 +231,8 @@ void World::send_reliable(int src_world, int dst_world, Message msg) {
     }
     if (attempt >= rt.max_retries) break;
     obs::add("mpisim.recover.retransmit");
+    // Retransmitted frames are recovery traffic, not payload traffic.
+    obs::add("mpisim.recover.bytes", wire_bytes(msg.data.size(), true));
     ack_wait = std::min(
         std::chrono::milliseconds(static_cast<std::int64_t>(
             static_cast<double>(ack_wait.count()) * rt.backoff)),
@@ -268,6 +299,9 @@ std::vector<double> World::wait(int dst_world, std::uint64_t context,
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       has_deadline ? start + opts_.timeout : Clock::time_point{};
+  // The recv span closes via RAII on every exit (including timeout
+  // throws); critical_path() reads these spans as blocking waits.
+  obs::ScopedTimer t_recv("mpisim.recv");
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     const Clock::time_point now = Clock::now();
@@ -291,7 +325,13 @@ std::vector<double> World::wait(int dst_world, std::uint64_t context,
     }
     if (match != box.queue.end()) {
       std::vector<double> data = std::move(match->data);
+      const std::uint64_t flow = match->flow_id;
+      const bool reliable = match->reliable;
       box.queue.erase(match);
+      if (flow != 0) obs::trace::flow_recv(flow, src_world, tag);
+      add_comm_bytes("recv", dst_world, tag,
+                     wire_bytes(data.size(), reliable));
+      obs::hist("mpisim.wait_seconds", t_recv.stop());
       return data;
     }
     if (has_deadline && now >= deadline) {
@@ -317,16 +357,24 @@ Comm::Comm(World* world, std::uint64_t context, std::vector<int> members,
 
 void Comm::send(int dest, int tag, std::span<const double> data) const {
   world_->comm_op(members_[static_cast<size_t>(my_index_)]);
+  const int src = members_[static_cast<size_t>(my_index_)];
+  const int dst = members_[static_cast<size_t>(dest)];
+  const bool reliable = world_->options().reliable.enabled;
+  // The span encloses the flow-start event so Perfetto has a slice to
+  // anchor the arrow; under ARQ it also covers the ack wait.
+  obs::ScopedTimer t_send("mpisim.send");
   // Per-rank-thread counters; the snapshot sums them into total traffic.
   obs::add("mpisim.messages");
-  obs::add("mpisim.bytes", double(data.size()) * double(sizeof(double)));
+  obs::add("mpisim.bytes", wire_bytes(data.size(), reliable));
+  add_comm_bytes("sent", src, tag, wire_bytes(data.size(), reliable));
   Message m;
-  m.src_world = members_[static_cast<size_t>(my_index_)];
+  m.src_world = src;
   m.context = context_;
   m.tag = tag;
   m.data.assign(data.begin(), data.end());
-  const int dst = members_[static_cast<size_t>(dest)];
-  if (world_->options().reliable.enabled) {
+  m.flow_id = world_->next_flow_id();
+  obs::trace::flow_send(m.flow_id, dst, tag);
+  if (reliable) {
     world_->send_reliable(m.src_world, dst, std::move(m));
   } else {
     world_->post(dst, std::move(m));
@@ -416,6 +464,9 @@ void run(int p, const std::function<void(Comm&)>& fn,
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r]() {
       try {
+        // One trace track per rank: the export shows a "rank r" row and
+        // critical_path() treats this thread as rank r's timeline.
+        obs::trace::set_thread_track(r);
         Comm comm(&world, ctx, members, r);
         fn(comm);
       } catch (...) {

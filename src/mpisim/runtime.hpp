@@ -50,6 +50,12 @@ struct Message {
   bool reliable = false;
   std::uint64_t rel_seq = 0;
   std::uint64_t checksum = 0;
+
+  /// World-unique id linking this send to its recv in the event trace
+  /// (obs/trace.hpp flow arrows and critical-path edges). 0 = untracked
+  /// (transport-internal frames such as acks). ARQ retransmits reuse the
+  /// original id — dedup delivers exactly one copy.
+  std::uint64_t flow_id = 0;
 };
 
 class Comm;
@@ -65,6 +71,7 @@ class World {
   std::vector<double> wait(int dst_world, std::uint64_t context,
                            int src_world, int tag);
   std::uint64_t next_context();
+  std::uint64_t next_flow_id();
 
   /// Reliable point-to-point send (stop-and-wait ARQ per directed
   /// link): frames the message with a sequence number and checksum,
@@ -105,6 +112,7 @@ class World {
   WorldOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<std::uint64_t> context_counter_{1};
+  std::atomic<std::uint64_t> flow_counter_{1};
   // Per-link and per-rank fault bookkeeping. Each cell is written only
   // by the owning source rank's thread, so plain integers suffice.
   // (Acks on link dst->src are posted by the data sender src's thread —

@@ -1,11 +1,17 @@
 #include "obs/obs.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace fdks::obs {
 
@@ -47,7 +53,32 @@ struct ThreadState {
   TimerNode root;        ///< name "": synthetic per-thread root.
   TimerNode* current = &root;
   std::unordered_map<std::string, double> counters;
+  std::unordered_map<std::string, HistogramSnapshot> hists;
 };
+
+/// Bucket 0: non-positive. Bucket i in 1..95: [2^(i-49), 2^(i-48)).
+std::size_t hist_bucket(double v) {
+  if (!(v > 0.0)) return 0;
+  const int e = static_cast<int>(std::floor(std::log2(v)));
+  return static_cast<std::size_t>(
+      std::clamp(e + 49, 1, static_cast<int>(kHistBuckets) - 1));
+}
+
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t klen = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, klen) == 0) {
+      kb = std::strtoull(line + klen, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
 
 struct Registry {
   std::mutex mu;
@@ -151,7 +182,27 @@ void record(std::string_view name, double seconds) {
   ++n->count;
 }
 
+void hist(std::string_view name, double v) {
+  if (!enabled()) return;
+  ThreadState& st = thread_state();
+  HistogramSnapshot& h = st.hists[std::string(name)];
+  if (h.count == 0) {
+    h.min = v;
+    h.max = v;
+  } else {
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+  }
+  ++h.count;
+  h.sum += v;
+  ++h.buckets[hist_bucket(v)];
+}
+
 ScopedTimer::ScopedTimer(std::string_view name) : t0_ns_(now_ns()) {
+  if (trace::enabled()) {
+    trace::begin(name);
+    traced_ = true;
+  }
   if (!enabled()) return;
   ThreadState& st = thread_state();
   TimerNode* n = st.current->child(name);
@@ -163,6 +214,10 @@ ScopedTimer::ScopedTimer(std::string_view name) : t0_ns_(now_ns()) {
 double ScopedTimer::stop() {
   if (!open_) return 0.0;
   open_ = false;
+  if (traced_) {
+    trace::end();
+    traced_ = false;
+  }
   const std::uint64_t dns = now_ns() - t0_ns_;
   if (node_ != nullptr) {
     TimerNode* n = static_cast<TimerNode*>(node_);
@@ -182,6 +237,27 @@ const TraceNode* TraceNode::child(std::string_view child_name) const {
   return nullptr;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      if (i == 0) return std::min(min, 0.0);  // Non-positive samples.
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 49);
+      const double hi = std::ldexp(1.0, static_cast<int>(i) - 48);
+      const double frac = std::clamp(
+          (target - prev) / static_cast<double>(buckets[i]), 0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+  }
+  return max;
+}
+
 Snapshot snapshot() {
   Snapshot s;
   Registry& r = registry();
@@ -189,6 +265,20 @@ Snapshot snapshot() {
   for (const auto& st : r.states) {
     merge_into(s.root, st->root);
     for (const auto& [name, v] : st->counters) s.counters[name] += v;
+    for (const auto& [name, h] : st->hists) {
+      HistogramSnapshot& dst = s.histograms[name];
+      if (dst.count == 0) {
+        dst.min = h.min;
+        dst.max = h.max;
+      } else if (h.count > 0) {
+        dst.min = std::min(dst.min, h.min);
+        dst.max = std::max(dst.max, h.max);
+      }
+      dst.count += h.count;
+      dst.sum += h.sum;
+      for (std::size_t i = 0; i < kHistBuckets; ++i)
+        dst.buckets[i] += h.buckets[i];
+    }
   }
   // The synthetic per-thread roots carry no timing of their own; expose
   // the sum of top-level scopes as the root total.
@@ -197,6 +287,10 @@ Snapshot snapshot() {
   for (const TraceNode& c : s.root.children) s.root.seconds += c.seconds;
   return s;
 }
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS:") * 1024; }
+
+std::uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM:") * 1024; }
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -252,7 +346,7 @@ std::string to_json(const Snapshot& s, std::string_view name,
   std::string out;
   out += "{\"name\":\"";
   out += json_escape(name);
-  out += "\",\"schema\":\"fdks-bench-v1\",\"config\":{";
+  out += "\",\"schema\":\"fdks-bench-v2\",\"config\":{";
   for (size_t i = 0; i < config.size(); ++i) {
     if (i > 0) out += ',';
     out += '"';
@@ -273,6 +367,22 @@ std::string to_json(const Snapshot& s, std::string_view name,
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += '"';
     out += json_escape(cname);
+    out += "\":";
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  i = 0;
+  for (const auto& [hname, h] : s.histograms) {
+    if (i++ > 0) out += ',';
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"sum\":%.17g,\"min\":%.17g,"
+                  "\"max\":%.17g,\"p50\":%.9g,\"p90\":%.9g,\"p99\":%.9g}",
+                  static_cast<unsigned long long>(h.count), h.sum, h.min,
+                  h.max, h.quantile(0.50), h.quantile(0.90),
+                  h.quantile(0.99));
+    out += '"';
+    out += json_escape(hname);
     out += "\":";
     out += buf;
   }
@@ -302,6 +412,15 @@ void print_tree(std::FILE* out, const Snapshot& s) {
     std::fprintf(out, "-- counters --\n");
     for (const auto& [name, v] : s.counters)
       std::fprintf(out, "  %-28s %.6g\n", name.c_str(), v);
+  }
+  if (!s.histograms.empty()) {
+    std::fprintf(out, "-- histograms --\n");
+    for (const auto& [name, h] : s.histograms)
+      std::fprintf(out,
+                   "  %-28s n=%-8llu p50=%.3g p90=%.3g p99=%.3g max=%.3g\n",
+                   name.c_str(), static_cast<unsigned long long>(h.count),
+                   h.quantile(0.50), h.quantile(0.90), h.quantile(0.99),
+                   h.max);
   }
 }
 

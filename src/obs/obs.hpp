@@ -12,7 +12,9 @@
 //                  name. The clock is always read (two steady_clock
 //                  calls per scope, ~tens of ns) so stop() can feed
 //                  per-instance views like core::FactorProfile, but the
-//                  registry is only touched when enabled().
+//                  registry is only touched when enabled(). When event
+//                  tracing is on (obs/trace.hpp) each scope also emits
+//                  begin/end events into the calling thread's trace.
 //   add()        — named counter accumulation (flops, GEMM calls,
 //                  skeleton ranks, mpisim traffic). Per-thread storage,
 //                  no atomics on the hot path; a disabled check up
@@ -31,6 +33,7 @@
 // their measurements survive until the next reset().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -58,6 +61,13 @@ void add(std::string_view counter, double v = 1.0);
 /// scope without opening one — for durations measured externally.
 void record(std::string_view name, double seconds);
 
+/// Record one sample into the named log-bucketed histogram (per-thread
+/// storage, merged by snapshot()). Buckets are powers of two, so any
+/// positive scale works: seconds, bytes, iteration counts. Quantiles
+/// from merged buckets are within one bucket (a factor of 2) of exact
+/// and exact for constant distributions.
+void hist(std::string_view name, double v);
+
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string_view name);
@@ -74,6 +84,7 @@ class ScopedTimer {
   void* state_ = nullptr;      ///< Owning ThreadState* when recording.
   std::uint64_t t0_ns_ = 0;
   bool open_ = true;
+  bool traced_ = false;        ///< Emitted a trace::begin() to close.
 };
 
 /// One merged trace-tree node. Children are ordered by first-open order
@@ -88,14 +99,42 @@ struct TraceNode {
   const TraceNode* child(std::string_view child_name) const;
 };
 
+/// Number of histogram buckets: bucket 0 holds non-positive samples,
+/// bucket i (1..95) holds [2^(i-49), 2^(i-48)) — i.e. 2^-48 .. 2^46.
+inline constexpr std::size_t kHistBuckets = 96;
+
+/// Merged histogram. min/max/sum/count are exact; quantiles interpolate
+/// within the hit bucket and clamp to [min, max].
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  /// q in [0, 1]; returns 0 for an empty histogram.
+  double quantile(double q) const;
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
 struct Snapshot {
   TraceNode root;  ///< Synthetic root (empty name); top phases are its
                    ///< children. root.seconds is the sum of top scopes.
   std::map<std::string, double> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
 };
 
-/// Merge every thread's trace tree and counters.
+/// Merge every thread's trace tree, counters, and histograms.
 Snapshot snapshot();
+
+// ---- Process memory --------------------------------------------------
+
+/// Current / peak resident set size in bytes, from /proc/self/status
+/// (VmRSS / VmHWM). Returns 0 where /proc is unavailable.
+std::uint64_t current_rss_bytes();
+std::uint64_t peak_rss_bytes();
 
 // ---- Reporting -------------------------------------------------------
 
@@ -113,9 +152,10 @@ ConfigKV kv(std::string key, std::string_view v);
 /// String literals would otherwise prefer the bool overload.
 ConfigKV kv(std::string key, const char* v);
 
-/// Serialize as {"name":..., "schema":"fdks-bench-v1", "config":{...},
-/// "timers":[...], "counters":{...}}. Timer nodes carry name / seconds /
-/// count / children.
+/// Serialize as {"name":..., "schema":"fdks-bench-v2", "config":{...},
+/// "timers":[...], "counters":{...}, "histograms":{...}}. Timer nodes
+/// carry name / seconds / count / children; histogram entries carry
+/// count / sum / min / max / p50 / p90 / p99.
 std::string to_json(const Snapshot& s, std::string_view name,
                     const std::vector<ConfigKV>& config = {});
 

@@ -1,0 +1,160 @@
+// Event-level distributed tracing on top of the obs registry.
+//
+// The registry's merged timer trees answer "where did the time go in
+// aggregate"; this layer answers the per-rank questions behind the
+// paper's scaling claims (Figs. 4-5): what was each rank doing at each
+// instant, which send fed which recv, and which dependency chain set
+// the wall clock. Design:
+//
+//   Per-thread ring buffers — every emitting thread owns a fixed-size
+//     event buffer it alone writes; publication is a single release
+//     store of the buffer length, so emission is lock-free and safe to
+//     read concurrently (collect() takes an acquire load and reads only
+//     the published prefix). When a buffer fills, new events are
+//     DROPPED (never overwritten): early events — setup, factorization
+//     — survive, and the drop count is reported per thread.
+//
+//   Spans — obs::ScopedTimer automatically emits Begin/End events when
+//     tracing is enabled, so the existing instrumentation becomes a
+//     per-thread timeline for free. Export pairs Begin/End on a stack
+//     into Chrome "X" complete events; events orphaned by drops or
+//     exceptions are discarded (counted in the export's metadata).
+//
+//   Flow events — mpisim stamps every message with a unique flow id;
+//     the sender emits FlowSend (with destination rank and tag), the
+//     receiver FlowRecv on delivery. Exported as Chrome "s"/"f" flow
+//     arrows, and consumed by critical_path().
+//
+//   Tracks — mpisim::run tags each rank thread via set_thread_track(),
+//     so the export groups events into one Perfetto process row per
+//     rank ("rank 0", "rank 1", ...); untagged threads (main, OpenMP
+//     workers) land under a shared "host" row.
+//
+// The export is the Chrome trace-event JSON array format, loadable in
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+//
+// Threading contract: begin/end/instant/flow* and set_thread_track are
+// per-thread and wait-free. collect() and the exporters may run
+// concurrently with emission (they see a consistent prefix). reset()
+// and set_capacity() require quiescence like obs::reset().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdks::obs::trace {
+
+/// Tracing on/off (default off; independent of obs::enabled()). All
+/// emission is a single relaxed load when off.
+bool enabled();
+void set_enabled(bool on);
+
+/// Drop every thread's buffer. Quiescent points only.
+void reset();
+
+/// Per-thread buffer capacity in events for buffers registered from now
+/// on (default 65536). Call before enabling; existing buffers keep
+/// their capacity.
+void set_capacity(std::size_t events_per_thread);
+
+/// Tag the calling thread as mpisim world rank `rank` (>= 0); the
+/// export groups its events under a "rank <r>" process row and
+/// critical_path() treats it as one rank timeline. Untagged threads
+/// export under the shared "host" row.
+void set_thread_track(int rank);
+
+// ---- Emission (no-ops while disabled) --------------------------------
+
+void begin(std::string_view name);
+void end();
+void instant(std::string_view name);
+/// Message flow endpoints: `id` must be unique per logical message and
+/// identical on both ends; `peer` is the other world rank, `tag` the
+/// message tag.
+void flow_send(std::uint64_t id, int peer, int tag);
+void flow_recv(std::uint64_t id, int peer, int tag);
+
+// ---- Collection ------------------------------------------------------
+
+struct Event {
+  enum Type : std::uint8_t { kBegin, kEnd, kInstant, kFlowSend, kFlowRecv };
+  static constexpr std::size_t kNameCap = 31;
+
+  std::uint64_t ts_ns = 0;  ///< steady_clock, same epoch across threads.
+  std::uint64_t id = 0;     ///< Flow id (flow events only).
+  std::int32_t a = 0;       ///< Flow: peer world rank.
+  std::int32_t b = 0;       ///< Flow: message tag.
+  Type type = kInstant;
+  char name[kNameCap + 1] = {};  ///< Truncated to kNameCap chars.
+};
+
+struct ThreadTrace {
+  int rank = -1;            ///< set_thread_track value, -1 = host.
+  std::uint64_t tid = 0;    ///< Stable per-buffer id.
+  std::uint64_t dropped = 0;
+  std::vector<Event> events;  ///< Published prefix, emission order.
+};
+
+struct TraceData {
+  std::vector<ThreadTrace> threads;
+};
+
+/// Snapshot every thread's published events. Safe concurrently with
+/// emission.
+TraceData collect();
+
+// ---- Export ----------------------------------------------------------
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}): per-(pid,tid)
+/// "X" complete events from paired Begin/End, "i" instants, "s"/"f"
+/// flow arrows, plus process/thread name metadata. pid = world rank for
+/// tagged threads.
+std::string chrome_trace_json(const TraceData& d);
+
+/// collect() + chrome_trace_json() -> path. False (stderr diagnostic)
+/// on I/O failure.
+bool write_chrome_trace(const std::string& path);
+bool write_chrome_trace(const std::string& path, const TraceData& d);
+
+// ---- Critical-path analysis ------------------------------------------
+
+/// One link of the longest dependency chain: either local work on
+/// `rank` over [t0_ns, t1_ns], or a message hop (via_message = true)
+/// that entered `rank` from `from_rank`.
+struct CriticalPath {
+  struct Segment {
+    int rank = -1;
+    std::uint64_t t0_ns = 0, t1_ns = 0;
+    bool via_message = false;
+    int from_rank = -1;  ///< Sender rank when via_message.
+    int tag = 0;         ///< Message tag when via_message.
+    double seconds() const {
+      return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+    }
+  };
+
+  double total_seconds = 0.0;   ///< Length of the longest chain.
+  double wall_seconds = 0.0;    ///< Span of the ranked timelines.
+  std::vector<Segment> segments;  ///< Chronological chain.
+  std::map<int, double> rank_busy_seconds;  ///< Non-blocked time per rank.
+
+  /// total_seconds <= wall_seconds and >= every rank's busy time, by
+  /// construction (see trace.cpp); callers may assert this.
+  double max_busy_seconds() const;
+};
+
+/// Longest dependency chain through the per-rank timelines (threads
+/// with rank >= 0) and the send->recv flow edges: within a rank time
+/// flows forward; a recv that actually blocked hands the chain to the
+/// matching sender. Returns a zero CriticalPath when no ranked events
+/// exist.
+CriticalPath critical_path(const TraceData& d);
+
+/// Human-readable multi-line report (totals, per-rank busy time, chain
+/// tail).
+std::string critical_path_report(const CriticalPath& cp);
+
+}  // namespace fdks::obs::trace

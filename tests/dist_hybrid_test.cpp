@@ -2,11 +2,15 @@
 // message-passing runtime): must match the sequential HybridSolver.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <mutex>
 #include <random>
+#include <set>
 
 #include "core/dist_hybrid.hpp"
 #include "la/blas1.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::core {
 namespace {
@@ -133,6 +137,75 @@ TEST(DistHybrid, AllRanksShareIdenticalReducedTrace) {
     iters[static_cast<size_t>(comm.rank())] = ds.last_gmres().iterations;
   });
   for (int r = 1; r < 4; ++r) EXPECT_EQ(iters[0], iters[static_cast<size_t>(r)]);
+}
+
+// A traced 4-rank run must produce one timeline per rank, a matching
+// send for every received flow, and a critical path bounded by the wall
+// clock from below by the busiest rank — the invariants fdks_tool
+// --trace prints and ISSUE 4's acceptance criteria assert.
+class DistHybridTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+  }
+  void TearDown() override {
+    obs::trace::set_enabled(false);
+    obs::trace::reset();
+    obs::reset();
+    obs::set_enabled(false);
+  }
+};
+
+TEST_F(DistHybridTrace, FourRankRunSatisfiesTraceInvariants) {
+  const index_t n = 384;
+  Matrix pts = clustered_points(3, n, 6);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), restricted(2));
+  auto u = random_vec(n, 7);
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    DistributedHybridSolver ds(h, hopts(1.0), comm);
+    (void)ds.solve(u);
+  });
+
+  const obs::trace::TraceData d = obs::trace::collect();
+  std::set<int> ranks;
+  std::set<std::uint64_t> sent_flows;
+  std::size_t recvs = 0, unmatched = 0;
+  for (const auto& t : d.threads) {
+    if (t.rank >= 0) ranks.insert(t.rank);
+    for (const auto& e : t.events)
+      if (e.type == obs::trace::Event::kFlowSend) sent_flows.insert(e.id);
+  }
+  for (const auto& t : d.threads)
+    for (const auto& e : t.events)
+      if (e.type == obs::trace::Event::kFlowRecv) {
+        ++recvs;
+        if (sent_flows.count(e.id) == 0) ++unmatched;
+      }
+  EXPECT_EQ(ranks, (std::set<int>{0, 1, 2, 3}));
+  EXPECT_GT(recvs, 0u);
+  EXPECT_EQ(unmatched, 0u);  // Every flow arrow has both endpoints.
+
+  const obs::trace::CriticalPath cp = obs::trace::critical_path(d);
+  EXPECT_GT(cp.total_seconds, 0.0);
+  EXPECT_LE(cp.total_seconds, cp.wall_seconds * (1.0 + 1e-9));
+  EXPECT_GE(cp.total_seconds, cp.max_busy_seconds() - 1e-9);
+  EXPECT_EQ(cp.rank_busy_seconds.size(), 4u);
+  EXPECT_FALSE(cp.segments.empty());
+
+  // The per-rank wait-time histogram fed by the same run.
+  const obs::Snapshot s = obs::snapshot();
+  ASSERT_EQ(s.histograms.count("mpisim.wait_seconds"), 1u);
+  EXPECT_GT(s.histograms.at("mpisim.wait_seconds").count, 0u);
+  EXPECT_GT(s.histograms.count("gmres.iter_seconds"), 0u);
+
+  // Export names every rank row.
+  const std::string j = obs::trace::chrome_trace_json(d);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_NE(j.find("\"name\":\"rank " + std::to_string(r) + "\""),
+              std::string::npos);
 }
 
 }  // namespace

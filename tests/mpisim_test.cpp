@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "mpisim/runtime.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::mpisim {
 namespace {
@@ -179,6 +180,78 @@ TEST(Mpisim, MultiRankFailuresAggregateWithRankIds) {
     EXPECT_NE(what.find("rank 1: early failure"), std::string::npos) << what;
     EXPECT_NE(what.find("rank 3: late failure"), std::string::npos) << what;
   }
+}
+
+// ---- Communication accounting (obs counters) -------------------------
+
+class MpisimCounters : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::reset();
+    obs::set_enabled(false);
+  }
+};
+
+TEST_F(MpisimCounters, PerRankPerTagByteCountersUseWireSize) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, std::vector<double>{1.0, 2.0, 3.0});
+    } else {
+      auto m = c.recv(0, 7);
+      ASSERT_EQ(m.size(), 3u);
+    }
+  });
+  const obs::Snapshot s = obs::snapshot();
+  // One unreliable 3-double frame: 24-byte header + payload.
+  const double wire = 24.0 + 8.0 * 3.0;
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.messages"), 1.0);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes"), wire);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.sent.r0"), wire);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.sent.r0.t7"), wire);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.recv.r1"), wire);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.recv.r1.t7"), wire);
+  // Rank 1 sent nothing; rank 0 received nothing.
+  EXPECT_EQ(s.counters.count("mpisim.bytes.sent.r1"), 0u);
+  EXPECT_EQ(s.counters.count("mpisim.bytes.recv.r0"), 0u);
+  // The blocking recv records its wait time in the histogram.
+  ASSERT_EQ(s.histograms.count("mpisim.wait_seconds"), 1u);
+  EXPECT_EQ(s.histograms.at("mpisim.wait_seconds").count, 1u);
+}
+
+TEST_F(MpisimCounters, ReliableTransportCountsRecoveryTraffic) {
+  WorldOptions opts;
+  opts.reliable.enabled = true;
+  opts.faults.seed = 42;
+  opts.faults.drop_fraction = 0.5;
+  run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          for (int i = 0; i < 8; ++i)
+            c.send(1, i, std::vector<double>{static_cast<double>(i)});
+        } else {
+          for (int i = 0; i < 8; ++i) {
+            auto m = c.recv(0, i);
+            ASSERT_EQ(m.size(), 1u);
+            EXPECT_EQ(m[0], static_cast<double>(i));
+          }
+        }
+      },
+      opts);
+  const obs::Snapshot s = obs::snapshot();
+  // Payload accounting covers each logical send once, with reliable
+  // framing (24 header + 8 payload + 17 ARQ overhead); retransmits and
+  // acks are recovery traffic, kept out of the payload counters.
+  const double wire = 24.0 + 8.0 + 17.0;
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.sent.r0"), 8.0 * wire);
+  EXPECT_DOUBLE_EQ(s.counters.at("mpisim.bytes.recv.r1"), 8.0 * wire);
+  // Every delivery acks (8 x 32-byte ack frames at minimum), and with a
+  // 50% drop plan some data frames retransmit on top of that.
+  EXPECT_GE(s.counters.at("mpisim.recover.bytes"), 8.0 * 32.0);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 // Tests for the observability registry (src/obs): scope nesting and
 // cross-thread merging, counter totals independent of thread count,
-// JSON report shape, and the FactorProfile regression guarantee that
-// the per-phase seconds still sum after the shared-timer rewrite.
+// log-bucketed histograms, JSON report shape, the event-trace layer
+// (ring buffers, Chrome export, critical-path analysis), and the
+// FactorProfile regression guarantee that the per-phase seconds still
+// sum after the shared-timer rewrite.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,8 +16,20 @@
 #include <omp.h>
 #endif
 
+// libgomp's futex-based end-of-region barrier is invisible to TSan, so
+// correctly synchronized writes from OpenMP workers report as false
+// races against reads after the region; skip OpenMP sub-cases there.
+#if defined(__SANITIZE_THREAD__)
+#define FDKS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FDKS_TSAN 1
+#endif
+#endif
+
 #include "core/solver.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::obs {
 namespace {
@@ -107,7 +123,7 @@ TEST_F(ObsTest, CounterTotalsIndependentOfThreadCount) {
   const double threaded = snapshot().counters.at("tc.units");
   EXPECT_DOUBLE_EQ(serial, threaded);
 
-#ifdef _OPENMP
+#if defined(_OPENMP) && !defined(FDKS_TSAN)
   reset();
 #pragma omp parallel num_threads(2)
   {
@@ -132,25 +148,9 @@ TEST_F(ObsTest, ScopesOnWorkerThreadsMergeByName) {
   EXPECT_DOUBLE_EQ(s.counters.at("work.units"), 10.0);
 }
 
-TEST_F(ObsTest, JsonReportIsWellFormed) {
-  spin_scopes();
-  const std::string j =
-      to_json(snapshot(), "unit \"test\"",
-              {kv("n", 42LL), kv("tol", 1e-5), kv("hybrid", true),
-               kv("dataset", "normal")});  // Literal: must NOT pick bool.
-
-  // Required schema pieces.
-  EXPECT_NE(j.find("\"schema\":\"fdks-bench-v1\""), std::string::npos);
-  EXPECT_NE(j.find("\"name\":\"unit \\\"test\\\"\""), std::string::npos);
-  EXPECT_NE(j.find("\"n\":42"), std::string::npos);
-  EXPECT_NE(j.find("\"hybrid\":true"), std::string::npos);
-  EXPECT_NE(j.find("\"dataset\":\"normal\""), std::string::npos);
-  EXPECT_NE(j.find("\"outer\""), std::string::npos);
-  EXPECT_NE(j.find("\"inner\""), std::string::npos);
-  EXPECT_NE(j.find("\"work.units\":5"), std::string::npos);
-
-  // Balanced braces/brackets and no raw control characters — a cheap
-  // structural proxy for parseability without a JSON dependency.
+// Balanced braces/brackets and no raw control characters — a cheap
+// structural proxy for parseability without a JSON dependency.
+void expect_balanced_json(const std::string& j) {
   int braces = 0, brackets = 0;
   bool in_string = false, escaped = false;
   for (const char c : j) {
@@ -173,8 +173,278 @@ TEST_F(ObsTest, JsonReportIsWellFormed) {
   EXPECT_FALSE(in_string);
 }
 
+std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(pat); pos != std::string::npos;
+       pos = hay.find(pat, pos + pat.size()))
+    ++n;
+  return n;
+}
+
+TEST_F(ObsTest, JsonReportIsWellFormed) {
+  spin_scopes();
+  hist("lat.h", 0.5);
+  const std::string j =
+      to_json(snapshot(), "unit \"test\"",
+              {kv("n", 42LL), kv("tol", 1e-5), kv("hybrid", true),
+               kv("dataset", "normal")});  // Literal: must NOT pick bool.
+
+  // Required schema pieces.
+  EXPECT_NE(j.find("\"schema\":\"fdks-bench-v2\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(j.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"hybrid\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"dataset\":\"normal\""), std::string::npos);
+  EXPECT_NE(j.find("\"outer\""), std::string::npos);
+  EXPECT_NE(j.find("\"inner\""), std::string::npos);
+  EXPECT_NE(j.find("\"work.units\":5"), std::string::npos);
+  // Histograms section carries count and quantiles.
+  EXPECT_NE(j.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"lat.h\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+
+  expect_balanced_json(j);
+}
+
 TEST_F(ObsTest, JsonEscapesControlCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// The log-bucketed histogram: exact quantiles where the bucketing makes
+// them exact (identical samples clamp to [min, max]; within one power-
+// of-two bucket the estimate interpolates linearly).
+TEST_F(ObsTest, HistogramQuantilesAreDeterministic) {
+  // Identical samples: every quantile collapses to the value.
+  for (int i = 0; i < 100; ++i) hist("h.const", 4.0);
+  // 3 samples in bucket [1,2), 1 in [2,4).
+  for (int i = 0; i < 3; ++i) hist("h.spread", 1.0);
+  hist("h.spread", 3.0);
+  // Non-positive samples land in bucket 0.
+  hist("h.z", -1.0);
+  hist("h.z", 0.0);
+
+  const Snapshot s = snapshot();
+  const HistogramSnapshot& c = s.histograms.at("h.const");
+  EXPECT_EQ(c.count, 100u);
+  EXPECT_DOUBLE_EQ(c.sum, 400.0);
+  EXPECT_DOUBLE_EQ(c.min, 4.0);
+  EXPECT_DOUBLE_EQ(c.max, 4.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(c.mean(), 4.0);
+
+  const HistogramSnapshot& sp = s.histograms.at("h.spread");
+  EXPECT_EQ(sp.count, 4u);
+  // p50: target 2 of 3 samples into bucket [1,2) -> 1 + (2/3) * 1.
+  EXPECT_NEAR(sp.quantile(0.50), 1.0 + 2.0 / 3.0, 1e-12);
+  // p99 lands in bucket [2,4) and clamps to the observed max.
+  EXPECT_DOUBLE_EQ(sp.quantile(0.99), 3.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(sp.quantile(0.50), sp.quantile(0.90));
+  EXPECT_LE(sp.quantile(0.90), sp.quantile(0.99));
+
+  EXPECT_DOUBLE_EQ(s.histograms.at("h.z").quantile(0.5), -1.0);
+}
+
+TEST_F(ObsTest, HistogramsMergeAcrossThreads) {
+  for (int i = 0; i < 10; ++i) hist("h.m", 1.0);
+  std::thread worker([] {
+    for (int i = 0; i < 20; ++i) hist("h.m", 2.0);
+  });
+  worker.join();
+  const Snapshot s = snapshot();
+  const HistogramSnapshot& h = s.histograms.at("h.m");
+  EXPECT_EQ(h.count, 30u);
+  EXPECT_DOUBLE_EQ(h.sum, 50.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+}
+
+// ---- Event tracing (obs/trace.hpp) -----------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+    trace::set_capacity(1 << 16);
+    trace::set_enabled(true);
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::set_capacity(1 << 16);
+    trace::reset();
+    reset();
+    set_enabled(false);
+  }
+};
+
+TEST_F(TraceTest, SpansInstantsAndFlowsExportAsChromeJson) {
+  {
+    ScopedTimer outer("outer");  // ScopedTimer emits Begin/End itself.
+    { ScopedTimer inner("inner"); }
+    trace::instant("mark");
+    trace::flow_send(42, 1, 7);
+  }
+  trace::flow_recv(42, 0, 7);
+
+  const trace::TraceData d = trace::collect();
+  std::size_t events = 0;
+  for (const auto& t : d.threads) events += t.events.size();
+  EXPECT_EQ(events, 7u);  // 2 begin + 2 end + 1 instant + 2 flow.
+
+  const std::string j = trace::chrome_trace_json(d);
+  expect_balanced_json(j);
+  EXPECT_EQ(count_occurrences(j, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(j, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count_occurrences(j, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_occurrences(j, "\"ph\":\"f\""), 1u);
+  // Flow endpoints pair by id (0x2a == 42) and the finish end binds to
+  // the enclosing slice.
+  EXPECT_EQ(count_occurrences(j, "\"id\":\"0x2a\""), 2u);
+  EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
+  // Nesting: the inner span closes (and is emitted) before the outer.
+  EXPECT_LT(j.find("\"name\":\"inner\""), j.find("\"name\":\"outer\""));
+  EXPECT_NE(j.find("\"dropped_events\":0"), std::string::npos);
+  EXPECT_NE(j.find("\"orphaned_span_events\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, UnmatchedBeginIsCountedAsOrphanNotExported) {
+  trace::begin("open");
+  const std::string j = trace::chrome_trace_json(trace::collect());
+  expect_balanced_json(j);
+  EXPECT_EQ(count_occurrences(j, "\"ph\":\"X\""), 0u);
+  EXPECT_NE(j.find("\"orphaned_span_events\":1"), std::string::npos);
+  trace::end();  // Close it so TearDown sees a quiescent buffer.
+}
+
+TEST_F(TraceTest, OverflowDropsNewestKeepsEarliest) {
+  trace::set_capacity(16);
+  trace::reset();  // Re-register this thread's buffer at the new size.
+  for (int i = 0; i < 40; ++i)
+    trace::instant("e" + std::to_string(i));
+  const trace::TraceData d = trace::collect();
+  ASSERT_EQ(d.threads.size(), 1u);
+  EXPECT_EQ(d.threads[0].events.size(), 16u);
+  EXPECT_EQ(d.threads[0].dropped, 24u);
+  EXPECT_STREQ(d.threads[0].events.front().name, "e0");
+  EXPECT_STREQ(d.threads[0].events.back().name, "e15");
+}
+
+// Critical path on a hand-built two-rank trace:
+//   rank 0 works 0..100 ms, then sends flow 7 (tag 5) to rank 1;
+//   rank 1 blocks in recv 0..120 ms, then works 120..150 ms.
+// Longest chain = 100 ms work + 20 ms message + 30 ms work = the wall.
+TEST_F(TraceTest, CriticalPathFollowsMessageChain) {
+  using trace::Event;
+  const auto ms = [](std::uint64_t v) { return v * 1'000'000ull; };
+  const auto ev = [](Event::Type ty, std::uint64_t ts, const char* nm,
+                     std::uint64_t id = 0, int a = 0, int b = 0) {
+    Event e;
+    e.type = ty;
+    e.ts_ns = ts;
+    e.id = id;
+    e.a = a;
+    e.b = b;
+    std::strncpy(e.name, nm, Event::kNameCap);
+    return e;
+  };
+
+  trace::TraceData d;
+  trace::ThreadTrace r0;
+  r0.rank = 0;
+  r0.tid = 1;
+  r0.events = {ev(Event::kBegin, ms(0), "work"),
+               ev(Event::kFlowSend, ms(100), "msg", 7, 1, 5),
+               ev(Event::kEnd, ms(100), "")};
+  trace::ThreadTrace r1;
+  r1.rank = 1;
+  r1.tid = 2;
+  r1.events = {ev(Event::kBegin, ms(0), "mpisim.recv"),
+               ev(Event::kFlowRecv, ms(120), "msg", 7, 0, 5),
+               ev(Event::kEnd, ms(120), ""),
+               ev(Event::kBegin, ms(120), "apply"),
+               ev(Event::kEnd, ms(150), "")};
+  d.threads = {r0, r1};
+
+  const trace::CriticalPath cp = trace::critical_path(d);
+  EXPECT_NEAR(cp.total_seconds, 0.150, 1e-12);
+  EXPECT_NEAR(cp.wall_seconds, 0.150, 1e-12);
+  EXPECT_NEAR(cp.rank_busy_seconds.at(0), 0.100, 1e-12);
+  EXPECT_NEAR(cp.rank_busy_seconds.at(1), 0.030, 1e-12);
+  EXPECT_NEAR(cp.max_busy_seconds(), 0.100, 1e-12);
+  // The structural guarantees fdks_tool --trace relies on.
+  EXPECT_LE(cp.total_seconds, cp.wall_seconds + 1e-12);
+  EXPECT_GE(cp.total_seconds, cp.max_busy_seconds() - 1e-12);
+
+  ASSERT_EQ(cp.segments.size(), 3u);
+  EXPECT_EQ(cp.segments[0].rank, 0);
+  EXPECT_FALSE(cp.segments[0].via_message);
+  EXPECT_NEAR(cp.segments[0].seconds(), 0.100, 1e-12);
+  EXPECT_TRUE(cp.segments[1].via_message);
+  EXPECT_EQ(cp.segments[1].rank, 1);
+  EXPECT_EQ(cp.segments[1].from_rank, 0);
+  EXPECT_EQ(cp.segments[1].tag, 5);
+  EXPECT_NEAR(cp.segments[1].seconds(), 0.020, 1e-12);
+  EXPECT_FALSE(cp.segments[2].via_message);
+  EXPECT_NEAR(cp.segments[2].seconds(), 0.030, 1e-12);
+
+  const std::string report = trace::critical_path_report(cp);
+  EXPECT_NE(report.find("critical path:"), std::string::npos);
+  EXPECT_NE(report.find("rank 1 <- rank 0 tag 5"), std::string::npos);
+}
+
+TEST_F(TraceTest, CriticalPathOnEmptyTraceIsZero) {
+  const trace::CriticalPath cp = trace::critical_path(trace::TraceData{});
+  EXPECT_EQ(cp.total_seconds, 0.0);
+  EXPECT_EQ(cp.wall_seconds, 0.0);
+  EXPECT_TRUE(cp.segments.empty());
+}
+
+// Concurrent emitters with a concurrent collector: collect() must only
+// ever see the published prefix (clean under ThreadSanitizer — this
+// test is the race-detection target of the fault-labeled suite).
+TEST_F(TraceTest, ConcurrentEmitAndCollectIsClean) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;  // 4 events/iter, well under capacity.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const trace::TraceData d = trace::collect();
+      for (const auto& t : d.threads)
+        for (const auto& e : t.events)
+          ASSERT_LE(static_cast<int>(e.type),
+                    static_cast<int>(trace::Event::kFlowRecv));
+    }
+  });
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([t] {
+      trace::set_thread_track(t);
+      for (int i = 0; i < kIters; ++i) {
+        trace::begin("work");
+        trace::instant("tick");
+        trace::flow_send(
+            static_cast<std::uint64_t>(t) * kIters + static_cast<std::uint64_t>(i) + 1, t ^ 1, 3);
+        trace::end();
+      }
+    });
+  }
+  for (auto& t : emitters) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const trace::TraceData d = trace::collect();
+  int ranked = 0;
+  for (const auto& t : d.threads) {
+    if (t.rank < 0) continue;
+    ++ranked;
+    EXPECT_EQ(t.events.size() + t.dropped,
+              static_cast<std::size_t>(4 * kIters));
+  }
+  EXPECT_EQ(ranked, kThreads);
+  expect_balanced_json(trace::chrome_trace_json(d));
 }
 
 // Regression for the FactorProfile rewrite: the per-instance phase
