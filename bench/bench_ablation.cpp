@@ -16,6 +16,10 @@
 #include "data/preprocess.hpp"
 #include "knn/rp_tree.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
 using namespace fdks;
 using la::index_t;
 

@@ -9,8 +9,11 @@
 // exposes a single core, so the rank sweep exercises the distributed
 // code path and reports efficiency relative to p=1 (expected ~1 modulo
 // messaging overhead, since the physical parallelism is 1).
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <mutex>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/dist_solver.hpp"

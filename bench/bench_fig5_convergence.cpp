@@ -8,7 +8,10 @@
 // (flat blue lines) while the hybrid keeps decreasing — except in the
 // narrow-bandwidth instability regime (#30), where the factorization's
 // stability detector trips and both methods fail.
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/hybrid.hpp"

@@ -2,6 +2,7 @@
 // substrate: GEMM, LU, pivoted QR, and the fused kernel summation.
 // These are the primitives whose throughput sets GFf/GFs in Tables I/IV.
 #include <benchmark/benchmark.h>
+#include <vector>
 
 #include <numeric>
 #include <random>

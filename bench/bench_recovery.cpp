@@ -15,7 +15,9 @@
 // recovery-cost trajectory is diffable across PRs.
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <unistd.h>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/dist_solver.hpp"

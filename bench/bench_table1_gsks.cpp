@@ -10,9 +10,13 @@
 // materialize+GEMV reference, and the gap grows as d shrinks (the
 // reference becomes memory-bound on the O(mn) block, GSKS never
 // materializes it).
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <numeric>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "kernel/gsks.hpp"

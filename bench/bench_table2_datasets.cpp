@@ -11,6 +11,9 @@
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
 
+#include <cstdio>
+#include <vector>
+
 using namespace fdks;
 using data::SyntheticKind;
 using la::index_t;

@@ -10,7 +10,11 @@
 // what must reproduce is the *solve-scheme* trade-off: GEMV fastest with
 // O(sN log N) storage, GEMM slowest, GSKS within ~2x of GEMV at O(1)
 // extra storage).
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
 #include <numeric>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/dist_solver.hpp"

@@ -12,6 +12,9 @@
 #include "core/solver.hpp"
 #include "data/preprocess.hpp"
 
+#include <cstdio>
+#include <vector>
+
 using namespace fdks;
 using data::SyntheticKind;
 using la::index_t;

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -88,6 +89,7 @@ inline void obs_begin() {
 /// askit::HMatrix(...); });`.
 template <class F>
 decltype(auto) phase(const char* name, F&& f) {
+  // fdks-lint: allow(OBS-KEY) generic wrapper; callers pass registered keys
   obs::ScopedTimer t(name);
   return std::forward<F>(f)();
 }

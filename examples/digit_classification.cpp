@@ -14,10 +14,11 @@
 #include "askit/serialize.hpp"
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t n = argc > 1 ? std::atol(argv[1]) : 2000;
+  const la::index_t n = examples::arg_n(argc, argv, 1, 2000);
 
   // ---- 10-class digits --------------------------------------------------
   {

@@ -11,17 +11,21 @@
 #include <cstdlib>
 #include <mutex>
 #include <random>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/dist_solver.hpp"
 #include "core/solver.hpp"
 #include "data/generators.hpp"
 #include "la/blas1.hpp"
 #include "mpisim/runtime.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t n = argc > 1 ? std::atol(argv[1]) : 4096;
-  const int p = argc > 2 ? std::atoi(argv[2]) : 4;
+  const la::index_t n = examples::arg_n(argc, argv, 1, 4096);
+  const int p = static_cast<int>(examples::arg_n(argc, argv, 2, 4));
 
   data::Dataset ds = data::make_synthetic(data::SyntheticKind::Normal, n, 17);
   askit::AskitConfig acfg;

@@ -1,0 +1,73 @@
+// Checked command-line parsing shared by the example programs.
+//
+// atoi/atof silently turn typos into zeros ("40g6" -> 40, "x" -> 0),
+// which for a solver demo means a nonsense problem size instead of an
+// error. These helpers wrap strtol/strtod with an end-pointer check
+// and throw std::invalid_argument naming the offending argument, per
+// the project error-style convention (lint rule BAN-PARSE).
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fdks::examples {
+
+/// Parse a whole decimal number; throws naming `what` on garbage,
+/// trailing junk, or out-of-range values.
+inline long long parse_ll(const char* s, const char* what) {
+  if (s == nullptr || *s == '\0') {
+    throw std::invalid_argument(std::string("parse_ll: ") + what +
+                                ": empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(std::string("parse_ll: ") + what +
+                                ": not a whole number: '" + s + "'");
+  }
+  return v;
+}
+
+inline int parse_int(const char* s, const char* what) {
+  const long long v = parse_ll(s, what);
+  if (v < INT_MIN || v > INT_MAX) {
+    throw std::invalid_argument(std::string("parse_int: ") + what +
+                                ": out of int range: '" + s + "'");
+  }
+  return static_cast<int>(v);
+}
+
+/// Parse a floating-point value with the same checking.
+inline double parse_double(const char* s, const char* what) {
+  if (s == nullptr || *s == '\0') {
+    throw std::invalid_argument(std::string("parse_double: ") + what +
+                                ": empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(std::string("parse_double: ") + what +
+                                ": not a number: '" + s + "'");
+  }
+  return v;
+}
+
+/// Positional size argument: argv[pos] if present (validated, must be
+/// >= 1), else `fallback`.
+inline long long arg_n(int argc, char** argv, int pos, long long fallback) {
+  if (argc <= pos) return fallback;
+  const long long v = parse_ll(argv[pos], "size argument");
+  if (v < 1) {
+    throw std::invalid_argument(
+        std::string("arg_n: size argument must be >= 1, got '") +
+        argv[pos] + "'");
+  }
+  return v;
+}
+
+}  // namespace fdks::examples

@@ -35,15 +35,21 @@
 //                          (P a power of 2); with --hybrid the level
 //                          restriction is raised to log2(P) so the
 //                          frontier does not span ranks.
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "askit/serialize.hpp"
 #include "ckpt/checkpoint.hpp"
@@ -100,6 +106,30 @@ int usage() {
   return 2;
 }
 
+/// Checked numeric flag parsing: reports the offending flag and value
+/// instead of silently producing zero (lint rule BAN-PARSE).
+bool parse_num(const char* flag, const char* v, long long& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: not a whole number: '%s'\n", flag, v);
+    return false;
+  }
+  return true;
+}
+
+bool parse_real(const char* flag, const char* v, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, v);
+    return false;
+  }
+  return true;
+}
+
 bool parse(int argc, char** argv, Args& a) {
   if (argc < 2) return false;
   a.cmd = argv[1];
@@ -145,35 +175,45 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (flag == "--n") {
       const char* v = need("--n");
       if (!v) return false;
-      a.n = std::atol(v);
+      long long t = 0;
+      if (!parse_num("--n", v, t)) return false;
+      a.n = static_cast<index_t>(t);
     } else if (flag == "--h") {
       const char* v = need("--h");
       if (!v) return false;
-      a.h = std::atof(v);
+      if (!parse_real("--h", v, a.h)) return false;
     } else if (flag == "--lambda") {
       const char* v = need("--lambda");
       if (!v) return false;
-      a.lambda = std::atof(v);
+      if (!parse_real("--lambda", v, a.lambda)) return false;
     } else if (flag == "--tau") {
       const char* v = need("--tau");
       if (!v) return false;
-      a.tau = std::atof(v);
+      if (!parse_real("--tau", v, a.tau)) return false;
     } else if (flag == "--leaf") {
       const char* v = need("--leaf");
       if (!v) return false;
-      a.leaf = std::atol(v);
+      long long t = 0;
+      if (!parse_num("--leaf", v, t)) return false;
+      a.leaf = static_cast<index_t>(t);
     } else if (flag == "--rank") {
       const char* v = need("--rank");
       if (!v) return false;
-      a.rank = std::atol(v);
+      long long t = 0;
+      if (!parse_num("--rank", v, t)) return false;
+      a.rank = static_cast<index_t>(t);
     } else if (flag == "--restrict") {
       const char* v = need("--restrict");
       if (!v) return false;
-      a.restrict_level = std::atol(v);
+      long long t = 0;
+      if (!parse_num("--restrict", v, t)) return false;
+      a.restrict_level = static_cast<index_t>(t);
     } else if (flag == "--seed") {
       const char* v = need("--seed");
       if (!v) return false;
-      a.seed = static_cast<uint64_t>(std::atoll(v));
+      long long t = 0;
+      if (!parse_num("--seed", v, t)) return false;
+      a.seed = static_cast<uint64_t>(t);
     } else if (flag == "--out") {
       const char* v = need("--out");
       if (!v) return false;
@@ -185,7 +225,9 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (flag == "--ranks") {
       const char* v = need("--ranks");
       if (!v) return false;
-      a.ranks = std::atoi(v);
+      long long t = 0;
+      if (!parse_num("--ranks", v, t)) return false;
+      a.ranks = static_cast<int>(t);
       if (a.ranks < 1 || (a.ranks & (a.ranks - 1)) != 0) {
         std::fprintf(stderr, "--ranks must be a power of 2 (got %s)\n", v);
         return false;
@@ -197,7 +239,9 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (flag == "--metrics-interval") {
       const char* v = need("--metrics-interval");
       if (!v) return false;
-      a.metrics_interval_ms = std::atoi(v);
+      long long t = 0;
+      if (!parse_num("--metrics-interval", v, t)) return false;
+      a.metrics_interval_ms = static_cast<int>(t);
       if (a.metrics_interval_ms <= 0) {
         std::fprintf(stderr, "--metrics-interval needs a positive ms value\n");
         return false;
@@ -247,6 +291,19 @@ askit::HMatrix build_or_resume_hmatrix(const Args& a,
                         askit_config(a));
 }
 
+/// FactorStatus / SolveStatus are [[nodiscard]]: surface any recorded
+/// degradation (diagonal shifts, escalation, non-convergence) instead
+/// of silently printing a residual that looks fine.
+void warn_if_degraded(const core::FactorStatus& fs) {
+  if (fs.degraded())
+    std::fprintf(stderr, "warning: %s\n", fs.message().c_str());
+}
+
+void warn_if_degraded(const core::SolveStatus& ss) {
+  if (ss.degraded())
+    std::fprintf(stderr, "warning: %s\n", ss.message().c_str());
+}
+
 /// Distributed solve over a.ranks mpisim ranks. The HMatrix is shared
 /// read-only across the rank threads (as real MPI would replicate the
 /// compressed operator here); each rank owns its subtree's factors.
@@ -270,6 +327,8 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
         factor_seconds = solver.factor_seconds();
         reduced = solver.reduced_size();
         ksp = solver.last_gmres().iterations;
+        warn_if_degraded(solver.factor_status());
+        warn_if_degraded(solver.last_status());
       }
     } else {
       core::SolverOptions so;
@@ -283,6 +342,8 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
       if (comm.rank() == 0) {
         x = std::move(xi);
         factor_seconds = solver.factor_seconds();
+        warn_if_degraded(solver.factor_status());
+        warn_if_degraded(solver.last_status());
       }
     }
   });
@@ -332,6 +393,7 @@ int run_solve(const Args& a) {
     ho.direct.checkpoint_dir = a.checkpoint_dir;
     core::HybridSolver solver(h, ho);
     if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
+    warn_if_degraded(solver.factor_status());
     auto x = solver.solve(u);
     std::snprintf(summary, sizeof summary,
                   "hybrid: factor %.3fs, reduced %td, ksp %d, residual "
@@ -350,6 +412,7 @@ int run_solve(const Args& a) {
     so.checkpoint_dir = a.checkpoint_dir;
     core::FastDirectSolver solver(h, so);
     if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
+    warn_if_degraded(solver.factor_status());
     auto x = solver.solve(u);
     std::snprintf(summary, sizeof summary,
                   "direct: factor %.3fs, residual %.2e, mem %.1f MB, %s",

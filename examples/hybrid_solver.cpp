@@ -13,11 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <vector>
 
 #include "core/hybrid.hpp"
 #include "core/solver.hpp"
 #include "data/generators.hpp"
 #include "iterative/gmres.hpp"
+#include "example_util.hpp"
 
 namespace {
 double now_minus(std::chrono::steady_clock::time_point t0) {
@@ -28,8 +30,8 @@ double now_minus(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t n = argc > 1 ? std::atol(argv[1]) : 4096;
-  const la::index_t level = argc > 2 ? std::atol(argv[2]) : 3;
+  const la::index_t n = examples::arg_n(argc, argv, 1, 4096);
+  const la::index_t level = examples::arg_n(argc, argv, 2, 3);
   const double lambda = 1.0;
 
   data::Dataset ds = data::make_synthetic(data::SyntheticKind::Normal, n, 5);

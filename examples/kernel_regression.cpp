@@ -5,13 +5,15 @@
 //   ./kernel_regression [N]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t n = argc > 1 ? std::atol(argv[1]) : 3000;
+  const la::index_t n = examples::arg_n(argc, argv, 1, 3000);
 
   data::Dataset ds =
       data::make_synthetic(data::SyntheticKind::CovtypeLike, n, 11);

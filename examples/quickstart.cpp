@@ -11,14 +11,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <vector>
 
 #include "askit/hmatrix.hpp"
 #include "core/solver.hpp"
 #include "data/generators.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t n = argc > 1 ? std::atol(argv[1]) : 4096;
+  const la::index_t n = examples::arg_n(argc, argv, 1, 4096);
 
   // Points on a low-intrinsic-dimension manifold in 64-D (the paper's
   // NORMAL dataset recipe).

@@ -9,10 +9,11 @@
 
 #include "core/solver.hpp"
 #include "data/generators.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  const la::index_t nmax = argc > 1 ? std::atol(argv[1]) : 16384;
+  const la::index_t nmax = examples::arg_n(argc, argv, 1, 16384);
 
   std::printf("%8s %12s %14s %14s\n", "N", "factor(s)", "t/(NlogN)",
               "t/(Nlog^2N)");

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-shot static-analysis gate: project linter, warnings-as-errors
+# build, clang-tidy summary. Exits 0 only when the tree is clean;
+# nonzero on any lint finding or strict-build failure. Run this before
+# sending a PR (also registered with ctest as the "lint" label, which
+# covers the linter self-test portion).
+#
+# Stages:
+#   1. fdks_lint.py --self-test     linter fixtures (sanity of the tool)
+#   2. fdks_lint.py over the tree   project rules (obs keys, deadlines,
+#                                   banned constructs, error style)
+#   3. strict build                 -Wall -Wextra -Wconversion -Wshadow
+#                                   -Werror (CMake preset "strict")
+#   4. clang-tidy summary           only when clang-tidy is installed;
+#                                   runs through the strict build's
+#                                   CXX_CLANG_TIDY hook, so a tidy
+#                                   diagnostic fails stage 3 already.
+#                                   This stage just reports what ran.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+failures=0
+
+stage() { printf '\n== check.sh: %s ==\n' "$*"; }
+
+stage "linter self-test"
+if ! python3 scripts/lint/fdks_lint.py --self-test; then
+  failures=$((failures + 1))
+fi
+
+stage "fdks_lint over src/ bench/ examples/"
+if ! python3 scripts/lint/fdks_lint.py --root .; then
+  failures=$((failures + 1))
+fi
+
+stage "strict build (-Werror, preset 'strict')"
+if ! cmake --preset strict >/dev/null; then
+  failures=$((failures + 1))
+elif ! cmake --build --preset strict -j "$jobs"; then
+  failures=$((failures + 1))
+fi
+
+stage "clang-tidy summary"
+if tidy_exe="$(command -v clang-tidy 2>/dev/null)"; then
+  echo "clang-tidy found at ${tidy_exe}; diagnostics were enforced"
+  echo "during the strict build via CXX_CLANG_TIDY (see .clang-tidy)."
+else
+  echo "clang-tidy not installed; skipped (strict -Werror build still ran)."
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: FAILED (${failures} stage(s) reported problems)"
+  exit 1
+fi
+echo "check.sh: OK"

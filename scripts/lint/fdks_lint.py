@@ -1,0 +1,819 @@
+#!/usr/bin/env python3
+"""fdks_lint — project-specific static checks for the fdks tree.
+
+Token/regex-based (no libclang): every rule is a textual invariant the
+codebase relies on but the compiler cannot see. Run as a whole-tree
+gate (scripts/check.sh, ctest label `lint`) or on explicit paths.
+
+Usage:
+  fdks_lint.py [--root DIR] [--rules R1,R2] [paths...]   lint the tree
+  fdks_lint.py --self-test                               run fixture suite
+  fdks_lint.py --list-rules                              print rule table
+
+Exit codes: 0 clean, 1 findings, 2 internal/usage error.
+
+Rules (see DESIGN.md §4e for the full rationale):
+
+  OBS-KEY          every obs::add / obs::hist / obs::record /
+                   obs::ScopedTimer / obs::trace::instant key literal
+                   (and bench `snap.counters["..."]` stamps) must be
+                   registered in src/obs/keys.hpp; dynamic
+                   (non-literal) keys need a suppression naming their
+                   registered Prefix family.
+  OBS-DEAD         every registry entry must be emitted somewhere in
+                   src/, bench/, or examples/ — or be marked Reserved.
+  MPISIM-DEADLINE  no deadline-less condition-variable waits
+                   (`cv.wait(lock)`): use wait_until/wait_for, or tag
+                   the site `no_deadline:` with a reason.
+  BAN-RAND         std::rand/srand banned — use a seeded std::mt19937.
+  BAN-NEW-ARRAY    raw `new T[n]` banned — use std::vector /
+                   std::make_unique<T[]>.
+  BAN-PARSE        atof/atoi/atol banned, and strtod/strtol-family
+                   calls must pass a real end pointer (not nullptr) —
+                   unchecked parses turn bad input into silent zeros.
+  BAN-PRINTF       bare printf in src/ banned (library code reports
+                   through obs or exceptions; stderr via fprintf).
+                   bench/ and examples/ are exempt (they are tools).
+  CATCH-RETHROW    `catch (...)` must rethrow or capture
+                   std::current_exception() — silently swallowing
+                   unknown exceptions hides rank failures.
+  ERR-CONTEXT      literal messages thrown via std:: exception types
+                   must name their context (`"function: what"` per the
+                   PR 2 error-style convention).
+
+Suppressing a finding: append `// fdks-lint: allow(RULE)` (or
+`allow(RULE1,RULE2)`) to the offending line or the line above it.
+Suppressions are per-line and per-rule by design — there is no
+file-level escape hatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULE_IDS = [
+    "OBS-KEY",
+    "OBS-DEAD",
+    "MPISIM-DEADLINE",
+    "BAN-RAND",
+    "BAN-NEW-ARRAY",
+    "BAN-PARSE",
+    "BAN-PRINTF",
+    "CATCH-RETHROW",
+    "ERR-CONTEXT",
+]
+
+CXX_EXTENSIONS = {".cpp", ".hpp", ".cc", ".h", ".cxx"}
+SCOPE_DIRS = ("src", "bench", "examples")
+
+ALLOW_RE = re.compile(r"fdks-lint:\s*allow\(([A-Z0-9-,\s]+)\)")
+NO_DEADLINE_RE = re.compile(r"\bno_deadline\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+# --------------------------------------------------------------------
+# Source model: raw lines (for suppression comments) plus a
+# comment-stripped copy (for pattern matching) with line structure
+# preserved so findings carry real line numbers.
+# --------------------------------------------------------------------
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments, preserving newlines and string
+    literals (so quoted '//' does not start a comment)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"' or c == "'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                out.append(text[i])
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path, text, display=None):
+        self.path = path
+        self.display = display if display is not None else str(path)
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments(text)
+        self.code_lines = self.code.splitlines()
+        # Byte offset -> line number (1-based) for the stripped text.
+        self._line_starts = [0]
+        for i, ch in enumerate(self.code):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def line_of(self, offset):
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def suppressed(self, line, rule):
+        """allow(RULE) on this raw line or the one above it."""
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[ln - 1])
+                if m:
+                    allowed = {r.strip() for r in m.group(1).split(",")}
+                    if rule in allowed:
+                        return True
+        return False
+
+    def tagged_no_deadline(self, line):
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                if NO_DEADLINE_RE.search(self.raw_lines[ln - 1]):
+                    return True
+        return False
+
+
+def balanced_span(code, open_pos, open_ch="(", close_ch=")"):
+    """Return (inner_text, end_pos) for the balanced group opening at
+    code[open_pos] (which must be open_ch), or (None, open_pos)."""
+    if open_pos >= len(code) or code[open_pos] != open_ch:
+        return None, open_pos
+    depth = 0
+    i = open_pos
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == '"':
+            i += 1
+            while i < n:
+                if code[i] == "\\":
+                    i += 2
+                    continue
+                if code[i] == '"':
+                    break
+                i += 1
+        elif c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return code[open_pos + 1 : i], i
+        i += 1
+    return None, open_pos
+
+
+STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def string_literals(expr):
+    return [m.group(1) for m in STRING_LIT_RE.finditer(expr)]
+
+
+# --------------------------------------------------------------------
+# Registry (src/obs/keys.hpp) parsing
+# --------------------------------------------------------------------
+
+REGISTRY_ENTRY_RE = re.compile(
+    r'^\s*X\(\s*(k\w+)\s*,\s*"([^"]+)"\s*,\s*'
+    r"(Counter|Histogram|Timer|Instant|Prefix|Reserved)\s*\)"
+)
+
+
+class Registry:
+    def __init__(self):
+        self.entries = []  # (constant, key, kind, line)
+        self.exact = {}  # key -> kind
+        self.prefixes = []  # [(prefix, line)]
+
+    @staticmethod
+    def parse(text, path):
+        reg = Registry()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = REGISTRY_ENTRY_RE.match(line)
+            if not m:
+                continue
+            const, key, kind = m.group(1), m.group(2), m.group(3)
+            reg.entries.append((const, key, kind, lineno))
+            if kind == "Prefix":
+                reg.prefixes.append((key, lineno))
+            else:
+                if key in reg.exact:
+                    raise ValueError(
+                        f"{path}:{lineno}: duplicate registry key '{key}'"
+                    )
+                reg.exact[key] = kind
+        return reg
+
+    def covers(self, key):
+        if key in self.exact:
+            return True
+        return any(
+            key.startswith(p) and len(key) > len(p) for p, _ in self.prefixes
+        )
+
+
+# --------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------
+
+# Emitting call heads. ScopedTimer requires a variable name between the
+# type and '(' so class declarations/constructor definitions in
+# src/obs do not match.
+EMIT_CALL_RE = re.compile(
+    r"(?:\bobs::add|\bobs::hist|\bobs::record"
+    r"|\b(?:obs::)?trace::instant"
+    r"|\b(?:obs::)?ScopedTimer\s+\w+)\s*(\()"
+)
+COUNTER_STAMP_RE = re.compile(r"\.counters\s*(\[)")
+KEY_CONSTANT_RE = re.compile(r"\bkeys::k\w+\b")
+
+
+def key_argument(args):
+    """The key is always the first argument of an emit call."""
+    parts = split_args(args)
+    return parts[0] if parts else ""
+
+
+def check_obs_key(src, registry, findings):
+    for m in EMIT_CALL_RE.finditer(src.code):
+        args, _ = balanced_span(src.code, m.start(1))
+        line = src.line_of(m.start())
+        if args is None:
+            continue
+        args = key_argument(args)
+        lits = string_literals(args)
+        if not lits:
+            if KEY_CONSTANT_RE.search(args):
+                continue  # obs::keys constant — registered by construction.
+            if src.suppressed(line, "OBS-KEY"):
+                continue
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "OBS-KEY",
+                    "dynamic obs key (no string literal); register a "
+                    "Prefix family in src/obs/keys.hpp and tag the site "
+                    "`// fdks-lint: allow(OBS-KEY) dynamic: <prefix>*`",
+                )
+            )
+            continue
+        for lit in lits:
+            if "%" in lit:
+                fmt_prefix = lit.split("%", 1)[0]
+                ok = any(
+                    fmt_prefix.startswith(p) for p, _ in registry.prefixes
+                )
+            else:
+                ok = registry.covers(lit)
+            if not ok and not src.suppressed(line, "OBS-KEY"):
+                findings.append(
+                    Finding(
+                        src.display,
+                        line,
+                        "OBS-KEY",
+                        f'obs key "{lit}" is not registered in '
+                        "src/obs/keys.hpp",
+                    )
+                )
+    for m in COUNTER_STAMP_RE.finditer(src.code):
+        idx, _ = balanced_span(src.code, m.start(1), "[", "]")
+        if idx is None:
+            continue
+        line = src.line_of(m.start())
+        for lit in string_literals(idx):
+            if not registry.covers(lit) and not src.suppressed(
+                line, "OBS-KEY"
+            ):
+                findings.append(
+                    Finding(
+                        src.display,
+                        line,
+                        "OBS-KEY",
+                        f'counter stamp "{lit}" is not registered in '
+                        "src/obs/keys.hpp",
+                    )
+                )
+
+
+def collect_emitted(src, emitted, fmt_literals):
+    """Gather every key literal this file emits (for OBS-DEAD)."""
+    for m in EMIT_CALL_RE.finditer(src.code):
+        args, _ = balanced_span(src.code, m.start(1))
+        if args is None:
+            continue
+        for lit in string_literals(key_argument(args)):
+            (fmt_literals if "%" in lit else emitted).add(lit)
+    for m in COUNTER_STAMP_RE.finditer(src.code):
+        idx, _ = balanced_span(src.code, m.start(1), "[", "]")
+        if idx is None:
+            continue
+        for lit in string_literals(idx):
+            (fmt_literals if "%" in lit else emitted).add(lit)
+    # Dynamic-key format strings live in snprintf calls next to tagged
+    # emit sites; collect every %-bearing literal in the file.
+    for lit in string_literals(src.code):
+        if "%" in lit:
+            fmt_literals.add(lit)
+
+
+def check_obs_dead(registry, registry_path, emitted, fmt_literals, findings):
+    for const, key, kind, line in registry.entries:
+        if kind == "Reserved":
+            continue
+        if kind == "Prefix":
+            hit = any(
+                lit.split("%", 1)[0].startswith(key) for lit in fmt_literals
+            ) or any(e.startswith(key) for e in emitted)
+            if not hit:
+                findings.append(
+                    Finding(
+                        registry_path,
+                        line,
+                        "OBS-DEAD",
+                        f'Prefix family "{key}" ({const}) has no '
+                        "emitting format string in src/bench/examples",
+                    )
+                )
+        elif key not in emitted:
+            findings.append(
+                Finding(
+                    registry_path,
+                    line,
+                    "OBS-DEAD",
+                    f'registry key "{key}" ({const}) is never emitted; '
+                    "emit it or mark it Reserved",
+                )
+            )
+
+
+CV_WAIT_RE = re.compile(r"\.wait\(\s*(?:lock|lk|ul|guard)\b[^,)]*\)")
+
+
+def check_mpisim_deadline(src, findings):
+    for m in CV_WAIT_RE.finditer(src.code):
+        line = src.line_of(m.start())
+        if src.tagged_no_deadline(line):
+            continue
+        if src.suppressed(line, "MPISIM-DEADLINE"):
+            continue
+        findings.append(
+            Finding(
+                src.display,
+                line,
+                "MPISIM-DEADLINE",
+                "deadline-less condition-variable wait; use "
+                "wait_until/wait_for with the world deadline, or tag "
+                "the site `// no_deadline: <reason>`",
+            )
+        )
+
+
+BAN_RAND_RE = re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:.>])rand\s*\(")
+
+
+def check_ban_rand(src, findings):
+    for m in BAN_RAND_RE.finditer(src.code):
+        line = src.line_of(m.start())
+        if not src.suppressed(line, "BAN-RAND"):
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "BAN-RAND",
+                    "std::rand/srand banned; use a seeded std::mt19937",
+                )
+            )
+
+
+NEW_ARRAY_RE = re.compile(r"\bnew\s+(?:\([^)]*\)\s*)?[A-Za-z_][\w:<>,\s]*\[")
+
+
+def check_ban_new_array(src, findings):
+    for m in NEW_ARRAY_RE.finditer(src.code):
+        line = src.line_of(m.start())
+        if not src.suppressed(line, "BAN-NEW-ARRAY"):
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "BAN-NEW-ARRAY",
+                    "raw array new banned; use std::vector or "
+                    "std::make_unique<T[]>",
+                )
+            )
+
+
+ATOX_RE = re.compile(r"\b(?:std::)?(atof|atoi|atol|atoll)\s*(\()")
+STRTOX_RE = re.compile(
+    r"\b(?:std::)?(strtod|strtof|strtold|strtol|strtoll|strtoul|strtoull)"
+    r"\s*(\()"
+)
+
+
+def split_args(expr):
+    args, depth, start = [], 0, 0
+    i, n = 0, len(expr)
+    while i < n:
+        c = expr[i]
+        if c == '"':
+            i += 1
+            while i < n:
+                if expr[i] == "\\":
+                    i += 2
+                    continue
+                if expr[i] == '"':
+                    break
+                i += 1
+        elif c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(expr[start:i].strip())
+            start = i + 1
+        i += 1
+    tail = expr[start:].strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def check_ban_parse(src, findings):
+    for m in ATOX_RE.finditer(src.code):
+        line = src.line_of(m.start())
+        if not src.suppressed(line, "BAN-PARSE"):
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "BAN-PARSE",
+                    f"{m.group(1)} cannot report parse errors; use "
+                    "strtol/strtod with an end-pointer check",
+                )
+            )
+    for m in STRTOX_RE.finditer(src.code):
+        args_text, _ = balanced_span(src.code, m.start(2))
+        if args_text is None:
+            continue
+        args = split_args(args_text)
+        if len(args) >= 2 and args[1] in ("nullptr", "NULL", "0"):
+            line = src.line_of(m.start())
+            if not src.suppressed(line, "BAN-PARSE"):
+                findings.append(
+                    Finding(
+                        src.display,
+                        line,
+                        "BAN-PARSE",
+                        f"{m.group(1)} with a null end pointer cannot "
+                        "detect trailing garbage; pass a real end "
+                        "pointer and check it",
+                    )
+                )
+
+
+BARE_PRINTF_RE = re.compile(r"(?<![\w:])(?:std::)?printf\s*\(")
+
+
+def check_ban_printf(src, findings):
+    for m in re.finditer(r"(?<![\w])(?:std::)?printf\s*\(", src.code):
+        # Reject fprintf/snprintf/... by looking at the char before the
+        # optional std:: qualifier.
+        start = m.start()
+        if start > 0 and (src.code[start - 1].isalnum()
+                          or src.code[start - 1] in "_:"):
+            continue
+        line = src.line_of(start)
+        if not src.suppressed(line, "BAN-PRINTF"):
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "BAN-PRINTF",
+                    "printf in library code; report via obs, throw, or "
+                    "fprintf(stderr, ...) (bench/ and examples/ are "
+                    "exempt from this rule)",
+                )
+            )
+
+
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)\s*(\{)")
+RETHROW_RE = re.compile(
+    r"\bthrow\s*;|\bstd::rethrow_exception\b|\bstd::current_exception\b"
+    r"|\brethrow_exception\b|\bcurrent_exception\b"
+)
+
+
+def check_catch_rethrow(src, findings):
+    for m in CATCH_ALL_RE.finditer(src.code):
+        body, _ = balanced_span(src.code, m.start(1), "{", "}")
+        line = src.line_of(m.start())
+        if body is not None and RETHROW_RE.search(body):
+            continue
+        if src.suppressed(line, "CATCH-RETHROW"):
+            continue
+        findings.append(
+            Finding(
+                src.display,
+                line,
+                "CATCH-RETHROW",
+                "catch (...) must rethrow or capture "
+                "std::current_exception(); swallowing unknown "
+                "exceptions hides failures",
+            )
+        )
+
+
+THROW_STD_RE = re.compile(
+    r"\bthrow\s+std::(\w+(?:_error|_argument|_cast|_exception)|logic_error"
+    r"|runtime_error|out_of_range|overflow_error|underflow_error"
+    r"|length_error|domain_error)\s*(\()"
+)
+CONTEXT_MSG_RE = re.compile(r"^[A-Za-z_][\w:.~<>\[\]^]*(\(\))?\s*:( |$)")
+
+
+def check_err_context(src, findings):
+    for m in THROW_STD_RE.finditer(src.code):
+        args, _ = balanced_span(src.code, m.start(2))
+        if args is None:
+            continue
+        stripped = args.strip()
+        # Only judge messages that BEGIN with a literal; computed
+        # messages (what + ": " + path) are assumed to carry context.
+        if not stripped.startswith('"'):
+            continue
+        lit = string_literals(stripped)[0] if string_literals(stripped) else ""
+        line = src.line_of(m.start())
+        if CONTEXT_MSG_RE.match(lit):
+            continue
+        if src.suppressed(line, "ERR-CONTEXT"):
+            continue
+        findings.append(
+            Finding(
+                src.display,
+                line,
+                "ERR-CONTEXT",
+                f'exception message "{lit}" does not name its context; '
+                'use the "function: what happened" convention (PR 2)',
+            )
+        )
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+
+def subtree(path, root):
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return None
+    return rel.parts[0] if rel.parts else None
+
+
+def rules_for(src_path, root):
+    top = subtree(src_path, root)
+    rules = {"OBS-KEY", "BAN-RAND", "BAN-NEW-ARRAY", "BAN-PARSE",
+             "CATCH-RETHROW"}
+    if top == "src":
+        rules |= {"MPISIM-DEADLINE", "BAN-PRINTF", "ERR-CONTEXT"}
+    return rules
+
+
+RULE_CHECKS = {
+    "MPISIM-DEADLINE": check_mpisim_deadline,
+    "BAN-RAND": check_ban_rand,
+    "BAN-NEW-ARRAY": check_ban_new_array,
+    "BAN-PARSE": check_ban_parse,
+    "BAN-PRINTF": check_ban_printf,
+    "CATCH-RETHROW": check_catch_rethrow,
+    "ERR-CONTEXT": check_err_context,
+}
+
+
+def gather_files(root, explicit_paths):
+    if explicit_paths:
+        files = []
+        for p in explicit_paths:
+            p = Path(p)
+            if p.is_dir():
+                files.extend(
+                    f for f in sorted(p.rglob("*"))
+                    if f.suffix in CXX_EXTENSIONS
+                )
+            else:
+                files.append(p)
+        return files
+    files = []
+    for d in SCOPE_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(
+                f for f in sorted(base.rglob("*"))
+                if f.suffix in CXX_EXTENSIONS
+            )
+    return files
+
+
+def lint_tree(root, explicit_paths=None, enabled_rules=None):
+    root = Path(root)
+    registry_path = root / "src" / "obs" / "keys.hpp"
+    if not registry_path.is_file():
+        print(f"fdks_lint: registry not found: {registry_path}",
+              file=sys.stderr)
+        return 2, []
+    registry = Registry.parse(
+        registry_path.read_text(encoding="utf-8"), str(registry_path)
+    )
+
+    findings = []
+    emitted, fmt_literals = set(), set()
+    files = gather_files(root, explicit_paths)
+    full_tree = not explicit_paths
+    for f in files:
+        if f.resolve() == registry_path.resolve():
+            continue
+        try:
+            text = f.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            print(f"fdks_lint: cannot read {f}: {e}", file=sys.stderr)
+            return 2, []
+        try:
+            rel = str(f.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(f)
+        src = SourceFile(f, text, display=rel)
+        active = rules_for(f, root)
+        if enabled_rules is not None:
+            active &= enabled_rules
+        if "OBS-KEY" in active:
+            check_obs_key(src, registry, findings)
+        collect_emitted(src, emitted, fmt_literals)
+        for rule in sorted(active):
+            check = RULE_CHECKS.get(rule)
+            if check:
+                check(src, findings)
+    # The registry completeness check only makes sense over the whole
+    # tree (a single file never emits every key).
+    if full_tree and (enabled_rules is None or "OBS-DEAD" in enabled_rules):
+        check_obs_dead(
+            registry,
+            str(registry_path.resolve().relative_to(root.resolve())),
+            emitted,
+            fmt_literals,
+            findings,
+        )
+    return (1 if findings else 0), findings
+
+
+# --------------------------------------------------------------------
+# Self-test over committed fixtures
+# --------------------------------------------------------------------
+
+
+def self_test(fixtures_dir):
+    """Each fixtures/<RULE>/ dir holds bad_*.cpp (must produce >=1
+    finding of exactly that rule) and good_*.cpp (must produce none).
+    OBS-KEY / OBS-DEAD fixtures embed their own FDKS_OBS_KEYS table,
+    which serves as the registry for that fixture."""
+    failures = []
+    checked = 0
+    for rule in RULE_IDS:
+        rule_dir = fixtures_dir / rule
+        if not rule_dir.is_dir():
+            failures.append(f"{rule}: no fixtures directory {rule_dir}")
+            continue
+        bads = sorted(rule_dir.glob("bad_*"))
+        goods = sorted(rule_dir.glob("good_*"))
+        if not bads or not goods:
+            failures.append(
+                f"{rule}: needs at least one bad_* and one good_* fixture"
+            )
+            continue
+        for fx in bads + goods:
+            checked += 1
+            findings = lint_fixture(fx, rule)
+            expect_bad = fx.name.startswith("bad_")
+            mine = [f for f in findings if f.rule == rule]
+            other = [f for f in findings if f.rule != rule]
+            if other:
+                failures.append(
+                    f"{fx}: unexpected findings from other rules: "
+                    + "; ".join(map(str, other))
+                )
+            if expect_bad and not mine:
+                failures.append(f"{fx}: expected a {rule} finding, got none")
+            if not expect_bad and mine:
+                failures.append(
+                    f"{fx}: expected clean, got: " + "; ".join(map(str, mine))
+                )
+    for line in failures:
+        print(f"self-test FAIL: {line}", file=sys.stderr)
+    if not failures:
+        print(f"fdks_lint --self-test: {checked} fixtures OK "
+              f"({len(RULE_IDS)} rules)")
+    return 1 if failures else 0
+
+
+def lint_fixture(path, rule):
+    text = path.read_text(encoding="utf-8")
+    src = SourceFile(path, text, display=str(path))
+    findings = []
+    if rule in ("OBS-KEY", "OBS-DEAD"):
+        registry = Registry.parse(text, str(path))
+        if rule == "OBS-KEY":
+            check_obs_key(src, registry, findings)
+        else:
+            emitted, fmts = set(), set()
+            collect_emitted(src, emitted, fmts)
+            check_obs_dead(registry, str(path), emitted, fmts, findings)
+        return findings
+    RULE_CHECKS[rule](src, findings)
+    return findings
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="fdks_lint.py",
+        description="fdks project linter (see module docstring)",
+    )
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated rule IDs to run (default: all)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the committed fixture suite and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src bench examples)")
+    args = ap.parse_args(argv)
+
+    script_dir = Path(__file__).resolve().parent
+    root = Path(args.root) if args.root else script_dir.parent.parent
+
+    if args.list_rules:
+        for r in RULE_IDS:
+            print(r)
+        return 0
+    if args.self_test:
+        return self_test(script_dir / "fixtures")
+
+    enabled = None
+    if args.rules:
+        enabled = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = enabled - set(RULE_IDS)
+        if unknown:
+            print(f"fdks_lint: unknown rules: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    rc, findings = lint_tree(root, args.paths or None, enabled)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"fdks_lint: {len(findings)} finding(s)", file=sys.stderr)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,5 @@
+// Fixture: raw owning array allocations.
+double* make_buffer(int n) {
+  double* buf = new double[n];     // -> BAN-NEW-ARRAY
+  return buf;
+}

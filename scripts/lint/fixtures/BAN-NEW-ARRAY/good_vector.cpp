@@ -1,0 +1,10 @@
+// Fixture: owned containers; subscripting and placement-free new of a
+// single object don't trip.
+#include <memory>
+#include <vector>
+std::vector<double> make_buffer(int n) {
+  std::vector<double> buf(static_cast<std::size_t>(n), 0.0);
+  auto owned = std::make_unique<double[]>(static_cast<std::size_t>(n));
+  buf[0] = owned[0];
+  return buf;
+}

@@ -1,0 +1,8 @@
+// Fixture: parses that cannot report failure ("12x" -> 12, "x" -> 0).
+#include <cstdlib>
+double parse(const char* s) {
+  int n = std::atoi(s);                     // -> BAN-PARSE
+  double h = std::atof(s);                  // -> BAN-PARSE
+  long l = std::strtol(s, nullptr, 10);     // -> BAN-PARSE (null endptr)
+  return h + double(n) + double(l);
+}

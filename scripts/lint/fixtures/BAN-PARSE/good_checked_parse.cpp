@@ -1,0 +1,12 @@
+// Fixture: strtol/strtod with a real end pointer that the caller
+// checks.
+#include <cstdlib>
+#include <stdexcept>
+long parse(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    throw std::invalid_argument(std::string("parse: not a number: ") + s);
+  }
+  return v;
+}

@@ -1,0 +1,6 @@
+// Fixture: stdout chatter from library code.
+#include <cstdio>
+void report(double residual) {
+  printf("residual = %g\n", residual);       // -> BAN-PRINTF
+  std::printf("done\n");                     // -> BAN-PRINTF
+}

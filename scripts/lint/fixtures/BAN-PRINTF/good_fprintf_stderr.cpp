@@ -1,0 +1,8 @@
+// Fixture: diagnostics to stderr and formatted-to-buffer calls are
+// fine; only bare printf (stdout) is banned in library code.
+#include <cstdio>
+void report(double residual) {
+  std::fprintf(stderr, "warn: residual = %g\n", residual);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", residual);
+}

@@ -1,0 +1,6 @@
+// Fixture: C PRNG in numerical code.
+#include <cstdlib>
+double noise() {
+  std::srand(42);                                   // -> BAN-RAND
+  return static_cast<double>(std::rand()) / RAND_MAX;  // -> BAN-RAND
+}

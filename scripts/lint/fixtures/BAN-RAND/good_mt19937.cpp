@@ -1,0 +1,7 @@
+// Fixture: seeded engine; identifiers containing "rand" don't trip.
+#include <random>
+double noise(std::mt19937& gen) {
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  double operand = unif(gen);
+  return operand;
+}

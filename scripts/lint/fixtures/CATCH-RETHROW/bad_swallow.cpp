@@ -1,0 +1,8 @@
+// Fixture: catch (...) that silently swallows.
+void run(void (*fn)()) {
+  try {
+    fn();
+  } catch (...) {        // -> CATCH-RETHROW
+    // ignore
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: catch (...) blocks that rethrow or capture the exception
+// for later inspection.
+#include <exception>
+void run(void (*fn)(), std::exception_ptr& out) {
+  try {
+    fn();
+  } catch (...) {
+    out = std::current_exception();
+  }
+  try {
+    fn();
+  } catch (...) {
+    throw;
+  }
+}

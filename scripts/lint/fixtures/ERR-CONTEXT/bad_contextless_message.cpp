@@ -1,0 +1,7 @@
+// Fixture: exception message that names no function/context.
+#include <stdexcept>
+void check(int n) {
+  if (n < 2) {
+    throw std::invalid_argument("need at least 2 points");  // -> ERR-CONTEXT
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: messages follow the "context: what happened" convention;
+// computed messages (variable first) are not judged.
+#include <stdexcept>
+#include <string>
+void check(int n, const std::string& what, const std::string& path) {
+  if (n < 2) {
+    throw std::invalid_argument("approx_knn: need at least 2 points");
+  }
+  if (n < 3) {
+    throw std::invalid_argument("KernelRidge::decision: dimension mismatch");
+  }
+  if (n < 4) {
+    throw std::runtime_error(what + ": " + path);
+  }
+}

@@ -1,0 +1,6 @@
+// Fixture: a condition-variable wait with no deadline and no tag.
+void recv_loop(Mailbox& box, std::unique_lock<std::mutex>& lock) {
+  while (box.queue.empty()) {
+    box.cv.wait(lock);  // -> MPISIM-DEADLINE
+  }
+}

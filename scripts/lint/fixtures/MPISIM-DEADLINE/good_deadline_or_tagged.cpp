@@ -1,0 +1,14 @@
+// Fixture: deadline-carrying waits pass; the deliberate untimed wait
+// carries the no_deadline tag with a reason.
+void recv_loop(Mailbox& box, std::unique_lock<std::mutex>& lock,
+               std::chrono::steady_clock::time_point deadline,
+               bool has_deadline) {
+  while (box.queue.empty()) {
+    if (has_deadline) {
+      box.cv.wait_until(lock, deadline);
+    } else {
+      // no_deadline: user disabled timeouts via FDKS_MPISIM_TIMEOUT_MS<=0.
+      box.cv.wait(lock);
+    }
+  }
+}

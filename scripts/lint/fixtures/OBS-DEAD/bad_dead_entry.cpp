@@ -1,0 +1,8 @@
+// Fixture: "dead.key" is registered but never emitted, and the
+// "unused.prefix." family has no emitting format string.
+#define FDKS_OBS_KEYS(X) \
+  X(kUsed, "used.key", Counter) \
+  X(kDead, "dead.key", Counter) \
+  X(kUnusedPrefix, "unused.prefix.", Prefix)
+
+void f() { obs::add("used.key"); }

@@ -1,0 +1,16 @@
+// Fixture: every entry is emitted, backs a live format string, or is
+// explicitly Reserved.
+#define FDKS_OBS_KEYS(X) \
+  X(kUsed, "used.key", Counter) \
+  X(kStamped, "stamped.key", Counter) \
+  X(kBytesPrefix, "bytes.sent.", Prefix) \
+  X(kFuture, "future.key", Reserved)
+
+void f(int rank, Snapshot& snap) {
+  obs::add("used.key");
+  snap.counters["stamped.key"] = 1.0;
+  char name[32];
+  std::snprintf(name, sizeof(name), "bytes.sent.r%d", rank);
+  // fdks-lint: allow(OBS-KEY) dynamic: bytes.sent.*
+  obs::add(name, 1.0);
+}

@@ -1,0 +1,10 @@
+// Fixture: emits a key missing from the embedded registry, plus a
+// dynamic key with no literal and no suppression.
+#define FDKS_OBS_KEYS(X) \
+  X(kGood, "good.key", Counter)
+
+void f(const char* runtime_name) {
+  obs::add("good.key");
+  obs::add("not.registered");           // -> OBS-KEY
+  obs::hist(runtime_name, 1.0);         // -> OBS-KEY (dynamic, untagged)
+}

@@ -1,0 +1,16 @@
+// Fixture: every emitted key is registered; the dynamic site is
+// suppressed and backed by a Prefix family; a keys:: constant passes.
+#define FDKS_OBS_KEYS(X) \
+  X(kGood, "good.key", Counter) \
+  X(kScope, "phase", Timer) \
+  X(kBytesPrefix, "bytes.sent.", Prefix)
+
+void f(int rank) {
+  obs::add("good.key");
+  obs::ScopedTimer t("phase");
+  obs::add(keys::kGood, 2.0);
+  char name[32];
+  std::snprintf(name, sizeof(name), "bytes.sent.r%d", rank);
+  // fdks-lint: allow(OBS-KEY) dynamic: bytes.sent.*
+  obs::add(name, 1.0);
+}

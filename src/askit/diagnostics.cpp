@@ -1,6 +1,9 @@
 #include "askit/diagnostics.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "kernel/gsks.hpp"
 #include "la/norms.hpp"

@@ -3,6 +3,8 @@
 
 #include "askit/hmatrix.hpp"
 
+#include <cstdint>
+
 namespace fdks::askit {
 
 struct CompressionReport {

@@ -1,7 +1,10 @@
 // Treecode matvecs and skeleton gather/scatter passes for HMatrix.
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "askit/hmatrix.hpp"
 #include "kernel/gsks.hpp"

@@ -16,6 +16,7 @@
 // descendants' skeletons, exactly the expanded blocks of Figure 2.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>

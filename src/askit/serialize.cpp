@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "askit/wire.hpp"
 

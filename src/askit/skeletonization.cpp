@@ -2,9 +2,12 @@
 // sampling, and the bottom-up skeletonization of Algorithm II.1.
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "askit/hmatrix.hpp"
 #include "knn/rp_tree.hpp"

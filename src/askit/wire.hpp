@@ -10,6 +10,7 @@
 // before they touch disk.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <ostream>

@@ -1,9 +1,13 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "askit/wire.hpp"
 #include "obs/obs.hpp"

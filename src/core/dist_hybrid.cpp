@@ -4,6 +4,9 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"

@@ -14,6 +14,8 @@
 #include "core/hybrid.hpp"
 #include "mpisim/runtime.hpp"
 
+#include <vector>
+
 namespace fdks::core {
 
 class DistributedHybridSolver {

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"

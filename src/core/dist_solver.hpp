@@ -22,6 +22,8 @@
 #include "core/factor_tree.hpp"
 #include "mpisim/runtime.hpp"
 
+#include <vector>
+
 namespace fdks::core {
 
 class DistributedSolver {

@@ -1,7 +1,12 @@
 #include "core/factor_tree.hpp"
 
+#include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "la/gemm.hpp"
 

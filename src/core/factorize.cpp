@@ -1,8 +1,11 @@
 // Telescoped O(N log N) factorization (Algorithm II.2) and the shared
 // per-node factorization kernel.
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/factor_tree.hpp"
 #include "la/gemm.hpp"
@@ -28,7 +31,8 @@ bool matrix_finite(const Matrix& m) {
 void FactorTree::factorize_subtree(index_t id, bool compute_phat) {
   if (opts_.compact_w && opts_.algo == FactorizationAlgo::Subtree)
     throw std::invalid_argument(
-        "compact_w requires the telescoped algorithm");
+        "FactorTree::factorize_subtree: compact_w requires the "
+        "telescoped algorithm");
   const tree::Node& nd = h_->tree().node(id);
   if (!nd.is_leaf()) {
     if (opts_.parallel_tree && nd.size() >= 4 * h_->config().leaf_size) {
@@ -52,7 +56,8 @@ void FactorTree::factorize_subtree(index_t id, bool compute_phat) {
 void FactorTree::factorize_subtree_levelwise(index_t id, bool compute_phat) {
   if (opts_.compact_w && opts_.algo == FactorizationAlgo::Subtree)
     throw std::invalid_argument(
-        "compact_w requires the telescoped algorithm");
+        "FactorTree::factorize_subtree_levelwise: compact_w requires "
+        "the telescoped algorithm");
   // Gather the subtree's nodes grouped by level with one pass (children
   // have larger ids than parents, so a forward sweep visits parents
   // first and a per-level bucket sort falls out).

@@ -1,8 +1,12 @@
 #include "core/hybrid.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/checkpoint.hpp"
 #include "kernel/gsks.hpp"

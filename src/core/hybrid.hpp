@@ -17,6 +17,8 @@
 #include "core/factor_tree.hpp"
 #include "iterative/gmres.hpp"
 
+#include <vector>
+
 namespace fdks::core {
 
 struct HybridOptions {

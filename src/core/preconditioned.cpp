@@ -1,7 +1,9 @@
 #include "core/preconditioned.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "kernel/gsks.hpp"
 #include "la/blas1.hpp"

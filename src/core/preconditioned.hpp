@@ -15,6 +15,8 @@
 #include "core/solver.hpp"
 #include "iterative/gmres.hpp"
 
+#include <vector>
+
 namespace fdks::core {
 
 struct ExactSolveResult {

@@ -1,7 +1,11 @@
 #include "core/recovery.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -25,7 +29,7 @@ bool retryable(const std::exception_ptr& ep) {
     return true;
   } catch (const mpisim::MultiRankError&) {
     return true;
-  } catch (...) {
+  } catch (...) {  // fdks-lint: allow(CATCH-RETHROW) classifier only
     return false;
   }
 }
@@ -35,7 +39,7 @@ std::string describe(const std::exception_ptr& ep) {
     std::rethrow_exception(ep);
   } catch (const std::exception& e) {
     return e.what();
-  } catch (...) {
+  } catch (...) {  // fdks-lint: allow(CATCH-RETHROW) classifier only
     return "unknown exception";
   }
 }

@@ -56,13 +56,15 @@ struct RecoveryAttempt {
 /// terminal state. When the budget is exhausted, `error` holds the last
 /// failure (run_with_recovery does not throw for retryable failures —
 /// inspect the report).
-struct RecoveryReport {
+struct [[nodiscard]] RecoveryReport {
   std::vector<RecoveryAttempt> attempts;
   bool succeeded = false;
   std::string error;  ///< Last attempt's failure when !succeeded.
 
-  int attempts_used() const { return static_cast<int>(attempts.size()); }
-  std::string message() const;
+  [[nodiscard]] int attempts_used() const {
+    return static_cast<int>(attempts.size());
+  }
+  [[nodiscard]] std::string message() const;
 };
 
 /// Execute `fn` on `p` simulated ranks under supervision: failures that

@@ -1,6 +1,7 @@
 // Recursive solve (Algorithm II.3): apply (lambda I + K~_αα)^-1 via the
 // stored SMW factors.
 #include <stdexcept>
+#include <vector>
 
 #include "core/factor_tree.hpp"
 #include "la/gemm.hpp"

@@ -6,6 +6,10 @@
 #include "ckpt/checkpoint.hpp"
 #include "obs/obs.hpp"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace fdks::core {
 
 namespace {

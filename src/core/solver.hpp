@@ -13,6 +13,8 @@
 
 #include "core/factor_tree.hpp"
 
+#include <vector>
+
 namespace fdks::core {
 
 class FastDirectSolver {

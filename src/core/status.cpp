@@ -1,6 +1,7 @@
 #include "core/status.hpp"
 
 #include <sstream>
+#include <string>
 
 namespace fdks::core {
 

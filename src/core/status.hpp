@@ -37,7 +37,10 @@ enum class FactorCode {
   NonFinite,        ///< NaN/Inf encountered in blocks being factorized.
 };
 
-struct FactorStatus {
+// [[nodiscard]] on the type: any function returning a status by value
+// is must-check (lint/strict-build contract; discard explicitly with a
+// commented `(void)` cast when a call site genuinely doesn't care).
+struct [[nodiscard]] FactorStatus {
   FactorCode code = FactorCode::Ok;
   double lambda_requested = 0.0;
   /// Largest per-node effective lambda actually factorized
@@ -48,11 +51,11 @@ struct FactorStatus {
   index_t nonfinite_nodes = 0;  ///< Nodes whose blocks held NaN/Inf.
   index_t flagged_nodes = 0;    ///< StabilityReport detector count.
 
-  bool ok() const {
+  [[nodiscard]] bool ok() const {
     return code == FactorCode::Ok || code == FactorCode::ShiftedDiagonal;
   }
-  bool degraded() const { return code != FactorCode::Ok; }
-  std::string message() const;
+  [[nodiscard]] bool degraded() const { return code != FactorCode::Ok; }
+  [[nodiscard]] std::string message() const;
 };
 
 enum class SolveCode {
@@ -65,7 +68,7 @@ enum class SolveCode {
   NonFinite,        ///< NaN/Inf in the right-hand side or the solution.
 };
 
-struct SolveStatus {
+struct [[nodiscard]] SolveStatus {
   SolveCode code = SolveCode::Ok;
   double residual = -1.0;       ///< Relative residual when computed.
   int gmres_iterations = 0;     ///< Krylov iterations spent (all phases).
@@ -74,12 +77,12 @@ struct SolveStatus {
   index_t shifted_nodes = 0;
   std::string detail;           ///< Free-form context for diagnostics.
 
-  bool ok() const {
+  [[nodiscard]] bool ok() const {
     return code == SolveCode::Ok || code == SolveCode::ShiftedDiagonal ||
            code == SolveCode::Escalated;
   }
-  bool degraded() const { return code != SolveCode::Ok; }
-  std::string message() const;
+  [[nodiscard]] bool degraded() const { return code != SolveCode::Ok; }
+  [[nodiscard]] std::string message() const;
 };
 
 const char* to_string(FactorCode c);

@@ -1,8 +1,10 @@
 #include "data/generators.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "data/preprocess.hpp"
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 namespace fdks::data {
 

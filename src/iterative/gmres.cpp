@@ -1,7 +1,9 @@
 #include "iterative/gmres.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <vector>
 
 #include "la/blas1.hpp"
 #include "obs/obs.hpp"

@@ -1,5 +1,6 @@
 #include "kernel/gsks.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "la/gemm.hpp"

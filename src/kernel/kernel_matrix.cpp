@@ -1,6 +1,8 @@
 #include "kernel/kernel_matrix.hpp"
 
 #include <numeric>
+#include <utility>
+#include <vector>
 
 namespace fdks::kernel {
 

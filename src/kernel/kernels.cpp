@@ -1,5 +1,7 @@
 #include "kernel/kernels.hpp"
 
+#include <string>
+
 namespace fdks::kernel {
 
 std::string Kernel::name() const {

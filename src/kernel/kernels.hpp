@@ -7,6 +7,7 @@
 // update (the GSKS trick of §II-D).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 

@@ -1,6 +1,8 @@
 #include "kernel/summation.hpp"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "la/gemm.hpp"
 

@@ -12,6 +12,8 @@
 
 #include "knn/knn.hpp"
 
+#include <cstdint>
+
 namespace fdks::knn {
 
 struct RpTreeConfig {

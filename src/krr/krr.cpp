@@ -1,7 +1,9 @@
 #include "krr/krr.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "data/preprocess.hpp"
 

@@ -8,8 +8,10 @@
 // motivates fast refactorization.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "askit/hmatrix.hpp"
 #include "core/hybrid.hpp"

@@ -1,5 +1,6 @@
 #include "la/chol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>

@@ -1,5 +1,6 @@
 #include "la/gemm.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>

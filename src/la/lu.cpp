@@ -1,9 +1,12 @@
 #include "la/lu.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "la/blas1.hpp"
 #include "la/gemm.hpp"

@@ -1,9 +1,11 @@
 #include "la/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace fdks::la {
 

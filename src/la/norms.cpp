@@ -1,6 +1,11 @@
 #include "la/norms.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "la/blas1.hpp"
 #include "la/gemm.hpp"

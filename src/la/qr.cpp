@@ -1,9 +1,12 @@
 #include "la/qr.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "la/blas1.hpp"
 

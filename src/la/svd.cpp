@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "la/gemm.hpp"
 

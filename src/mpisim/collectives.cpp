@@ -3,6 +3,7 @@
 // reduction order (ascending rank) matters more than log-depth fan-in
 // for reproducible numerics.
 #include <stdexcept>
+#include <vector>
 
 #include "mpisim/runtime.hpp"
 

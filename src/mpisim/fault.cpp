@@ -1,6 +1,11 @@
 #include "mpisim/fault.hpp"
 
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace fdks::mpisim {
 

@@ -4,12 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
 
@@ -72,7 +78,9 @@ std::uint64_t proc_status_kb(const char* key) {
   std::uint64_t kb = 0;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     if (std::strncmp(line, key, klen) == 0) {
-      kb = std::strtoull(line + klen, nullptr, 10);
+      char* end = nullptr;
+      kb = std::strtoull(line + klen, &end, 10);
+      if (end == line + klen) kb = 0;  // "VmRSS:" with no digits.
       break;
     }
   }
@@ -334,7 +342,15 @@ ConfigKV kv(std::string key, bool v) {
 }
 
 ConfigKV kv(std::string key, std::string_view v) {
-  return {std::move(key), "\"" + json_escape(v) + "\""};
+  // Appends instead of `"\"" + s + "\""`: GCC 12's -Wrestrict issues a
+  // false positive on const char* + std::string&& in Release (PR105651).
+  std::string quoted;
+  std::string escaped = json_escape(v);
+  quoted.reserve(escaped.size() + 2);
+  quoted += '"';
+  quoted += escaped;
+  quoted += '"';
+  return {std::move(key), std::move(quoted)};
 }
 
 ConfigKV kv(std::string key, const char* v) {

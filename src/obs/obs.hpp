@@ -34,6 +34,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <map>

@@ -39,6 +39,7 @@
 // and set_capacity() require quiescence like obs::reset().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

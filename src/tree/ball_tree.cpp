@@ -5,6 +5,8 @@
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
 

@@ -111,8 +111,9 @@ TEST(HMatrix, LevelRestrictionForcesFrontierDepth) {
   // No node above level 3 may be skeletonized.
   for (index_t id = 0; id < static_cast<index_t>(h.tree().nodes().size());
        ++id) {
-    if (h.tree().node(id).level < 3 && !h.tree().node(id).is_leaf())
+    if (h.tree().node(id).level < 3 && !h.tree().node(id).is_leaf()) {
       EXPECT_FALSE(h.is_skeletonized(id));
+    }
   }
 }
 

@@ -158,9 +158,10 @@ TEST(ChaosSoak, SweepDropAndCorruptFractionsUnderReliableTransport) {
         EXPECT_TRUE(failure.empty())
             << "drop=" << drop << " corrupt=" << corrupt
             << " must be absorbed: " << failure;
-        if (failure.empty())
+        if (failure.empty()) {
           EXPECT_LE(residual, res_tol)
               << "drop=" << drop << " corrupt=" << corrupt;
+        }
       } else if (!failure.empty()) {
         // Out-of-tolerance cells may fail, but only descriptively.
         EXPECT_NE(failure.find("mpisim"), std::string::npos) << failure;

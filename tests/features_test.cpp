@@ -100,7 +100,9 @@ TEST(CompactW, DensePhatReconstructionMatches) {
     Matrix b = compact.factor_tree().dense_phat(id);
     ASSERT_EQ(a.rows(), b.rows());
     ASSERT_EQ(a.cols(), b.cols());
-    if (a.size() > 0) EXPECT_LT(la::max_abs_diff(a, b), 1e-11);
+    if (a.size() > 0) {
+      EXPECT_LT(la::max_abs_diff(a, b), 1e-11);
+    }
   }
 }
 

@@ -322,8 +322,13 @@ TEST_F(TraceTest, UnmatchedBeginIsCountedAsOrphanNotExported) {
 TEST_F(TraceTest, OverflowDropsNewestKeepsEarliest) {
   trace::set_capacity(16);
   trace::reset();  // Re-register this thread's buffer at the new size.
-  for (int i = 0; i < 40; ++i)
-    trace::instant("e" + std::to_string(i));
+  for (int i = 0; i < 40; ++i) {
+    // Append (not `"e" + ...`): GCC 12 -Wrestrict false positive on
+    // const char* + std::string&& in optimized builds (PR105651).
+    std::string name("e");
+    name += std::to_string(i);
+    trace::instant(name);
+  }
   const trace::TraceData d = trace::collect();
   ASSERT_EQ(d.threads.size(), 1u);
   EXPECT_EQ(d.threads[0].events.size(), 16u);

@@ -64,10 +64,11 @@ TEST_F(SerializeTest, RoundTripPreservesStructure) {
        ++id) {
     EXPECT_EQ(back.is_skeletonized(id), h.is_skeletonized(id));
     EXPECT_EQ(back.skeleton(id).skel, h.skeleton(id).skel);
-    if (h.skeleton(id).proj.size() > 0)
+    if (h.skeleton(id).proj.size() > 0) {
       EXPECT_EQ(la::max_abs_diff(back.skeleton(id).proj,
                                  h.skeleton(id).proj),
                 0.0);
+    }
   }
 }
 

@@ -145,7 +145,9 @@ TEST(FastDirectSolver, PhatFactorsAgreeBetweenAlgorithms) {
     const Matrix& pb = base.factor_tree().factor(id).phat;
     ASSERT_EQ(pt.rows(), pb.rows());
     ASSERT_EQ(pt.cols(), pb.cols());
-    if (pt.size() > 0) EXPECT_LT(la::max_abs_diff(pt, pb), 1e-9);
+    if (pt.size() > 0) {
+      EXPECT_LT(la::max_abs_diff(pt, pb), 1e-9);
+    }
   }
 }
 
