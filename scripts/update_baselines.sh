@@ -16,23 +16,26 @@ cd "$(dirname "$0")/.."
 # Keep in sync with the bench-smoke tests in bench/CMakeLists.txt.
 FIG4_SMOKE_N=4096
 TABLE5_SMOKE_N=2048
+SERVING_SMOKE_N=2048
 
 BUILD_DIR="${FDKS_BUILD_DIR:-build}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake --preset default
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_fig4_scaling bench_table5_hybrid_vs_direct
+  --target bench_fig4_scaling bench_table5_hybrid_vs_direct bench_serving
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 (cd "$workdir" && "$OLDPWD/$BUILD_DIR/bench/bench_fig4_scaling" "$FIG4_SMOKE_N")
 (cd "$workdir" && "$OLDPWD/$BUILD_DIR/bench/bench_table5_hybrid_vs_direct" "$TABLE5_SMOKE_N")
+(cd "$workdir" && "$OLDPWD/$BUILD_DIR/bench/bench_serving" "$SERVING_SMOKE_N")
 
 mkdir -p bench/baselines
 cp "$workdir"/BENCH_fig4_scaling.json \
    "$workdir"/BENCH_table5_hybrid_vs_direct.json \
+   "$workdir"/BENCH_serving.json \
    bench/baselines/
 
 python3 scripts/bench_compare.py --self-test

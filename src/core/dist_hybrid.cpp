@@ -210,4 +210,137 @@ std::vector<double> DistributedHybridSolver::solve(
   return x;
 }
 
+Matrix DistributedHybridSolver::solve(const Matrix& u) {
+  const index_t n = h_->n();
+  if (u.rows() != n)
+    throw std::invalid_argument(
+        "DistributedHybridSolver: block shape mismatch");
+  obs::ScopedTimer t_solve("dist.solve");
+  const index_t nrhs = u.cols();
+  const index_t nloc = local_end_ - local_begin_;
+
+  Matrix w(nloc, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    const std::vector<double> ut = h_->to_tree_order(
+        std::span<const double>(u.col(j), static_cast<size_t>(n)));
+    std::copy(ut.begin() + local_begin_, ut.begin() + local_end_, w.col(j));
+  }
+  la::MatrixView wv(w);
+
+  // Step 1: W = D^-1 U on the locally owned frontier subtrees, in place.
+  for (size_t ai : local_frontier_) {
+    const tree::Node& nd = h_->tree().node(frontier_[ai]);
+    ft_.solve_subtree(frontier_[ai],
+                      wv.block(nd.begin - local_begin_, 0, nd.size(), nrhs));
+  }
+
+  index_t gmres_iters = 0;
+  if (reduced_size_ > 0) {
+    // Step 2: RHS = V W (Algorithm II.8, batched): every rank computes
+    // its fused block contribution for ALL frontier skeletons, one
+    // allreduce assembles the full [S x B] panel everywhere.
+    std::vector<index_t> local_pts(static_cast<size_t>(nloc));
+    std::iota(local_pts.begin(), local_pts.end(), local_begin_);
+    Matrix partial(reduced_size_, nrhs);
+    la::MatrixView pv(partial);
+    for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+      const auto& skel = h_->skeleton(frontier_[ai]).skel;
+      kernel::gsks_apply_block(
+          h_->km(), skel, local_pts, la::ConstMatrixView(wv),
+          pv.block(offsets_[ai], 0, static_cast<index_t>(skel.size()),
+                   nrhs),
+          1.0);
+    }
+    for (size_t ai : local_frontier_) {
+      const tree::Node& nd = h_->tree().node(frontier_[ai]);
+      const auto& skel = h_->skeleton(frontier_[ai]).skel;
+      std::vector<index_t> own(static_cast<size_t>(nd.size()));
+      std::iota(own.begin(), own.end(), nd.begin);
+      kernel::gsks_apply_block(
+          h_->km(), skel, own,
+          la::ConstMatrixView(
+              wv.block(nd.begin - local_begin_, 0, nd.size(), nrhs)),
+          pv.block(offsets_[ai], 0, static_cast<index_t>(skel.size()),
+                   nrhs),
+          -1.0);
+    }
+    std::vector<double> pflat(partial.data(),
+                              partial.data() + partial.size());
+    comm_.allreduce_sum(pflat);
+    std::copy(pflat.begin(), pflat.end(), partial.data());
+
+    // Step 3: replicated per-column GMRES on (I + VW); the collective
+    // matvec keeps ranks in lockstep column by column.
+    Matrix z(reduced_size_, nrhs);
+    std::vector<double> q_local(static_cast<size_t>(nloc), 0.0);
+    for (index_t j = 0; j < nrhs; ++j) {
+      last_ = iter::gmres(
+          reduced_size_,
+          [&](std::span<const double> zc, std::span<double> y) {
+            matvec_w_local(zc, q_local);
+            matvec_v_local(q_local, y);
+            for (size_t i = 0; i < zc.size(); ++i) y[i] += zc[i];
+          },
+          std::span<const double>(partial.col(j),
+                                  static_cast<size_t>(reduced_size_)),
+          opts_.gmres);
+      gmres_iters += last_.iterations;
+      std::copy(last_.x.begin(), last_.x.end(), z.col(j));
+    }
+
+    // Step 4: X = W - W_mat Z, batched P^ applications.
+    const la::ConstMatrixView zv(z);
+    for (size_t ai : local_frontier_) {
+      const tree::Node& nd = h_->tree().node(frontier_[ai]);
+      const index_t sa =
+          static_cast<index_t>(h_->skeleton(frontier_[ai]).skel.size());
+      ft_.apply_phat(frontier_[ai], zv.block(offsets_[ai], 0, sa, nrhs),
+                     wv.block(nd.begin - local_begin_, 0, nd.size(), nrhs),
+                     -1.0);
+    }
+  }
+
+  const std::vector<double> wflat(w.data(), w.data() + w.size());
+  const std::vector<double> gathered = comm_.allgatherv(wflat);
+  Matrix x = gather_tree_order_block(*h_, comm_.size(), gathered, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    const std::vector<double> xo = h_->from_tree_order(
+        std::span<const double>(x.col(j), static_cast<size_t>(n)));
+    std::copy(xo.begin(), xo.end(), x.col(j));
+  }
+
+  // Guardrail summary over the batch: worst column wins (replicated
+  // data, so every rank derives the identical status).
+  SolveStatus st;
+  st.lambda_effective = factor_status_.lambda_effective;
+  st.shifted_nodes = factor_status_.shifted_nodes;
+  st.gmres_iterations = static_cast<int>(gmres_iters);
+  st.residual = 0.0;
+  for (index_t j = 0; j < nrhs && st.code == SolveCode::Ok; ++j) {
+    const std::span<const double> uc(u.col(j), static_cast<size_t>(n));
+    const std::span<const double> xc(x.col(j), static_cast<size_t>(n));
+    if (!all_finite(uc)) {
+      st.code = SolveCode::NonFinite;
+      st.detail = "right-hand side contains NaN/Inf";
+    } else if (!all_finite(xc)) {
+      st.code = SolveCode::NonFinite;
+      st.detail = "solution contains NaN/Inf";
+    } else {
+      st.residual = std::max(
+          st.residual,
+          h_->relative_residual(xc, uc, opts_.direct.lambda));
+    }
+  }
+  if (st.code == SolveCode::Ok) {
+    if (reduced_size_ > 0 && !last_.converged) {
+      st.code = SolveCode::NotConverged;
+      st.detail = "reduced-system GMRES did not converge";
+    } else if (factor_status_.code == FactorCode::ShiftedDiagonal) {
+      st.code = SolveCode::ShiftedDiagonal;
+    }
+  }
+  last_status_ = st;
+  return x;
+}
+
 }  // namespace fdks::core

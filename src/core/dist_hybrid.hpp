@@ -30,6 +30,13 @@ class DistributedHybridSolver {
   /// returns the full solution on every rank.
   std::vector<double> solve(std::span<const double> u);
 
+  /// Collective block solve for B right-hand sides (columns identical
+  /// on all ranks). Local D^-1 runs as in-place block subtree solves,
+  /// V as fused block kernel sweeps with one allreduce per [S x B]
+  /// panel, W as batched P^ GEMMs; the replicated reduced-system GMRES
+  /// (step 3) stays per column. last_gmres() reflects the final column.
+  Matrix solve(const Matrix& u);
+
   index_t reduced_size() const { return reduced_size_; }
   const iter::GmresResult& last_gmres() const { return last_; }
   double factor_seconds() const { return factor_seconds_; }

@@ -350,4 +350,147 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
   return x;
 }
 
+Matrix gather_tree_order_block(const HMatrix& h, int p,
+                               std::span<const double> gathered,
+                               index_t nrhs) {
+  const auto& t = h.tree();
+  int logp = 0;
+  while ((1 << logp) < p) ++logp;
+  std::vector<index_t> owners = t.levels()[static_cast<size_t>(logp)];
+  std::sort(owners.begin(), owners.end(), [&](index_t a, index_t b) {
+    return t.node(a).begin < t.node(b).begin;
+  });
+  Matrix full(h.n(), nrhs);
+  size_t off = 0;
+  for (index_t node : owners) {
+    const tree::Node& nd = t.node(node);
+    const index_t nr = nd.size();
+    for (index_t j = 0; j < nrhs; ++j)
+      std::copy(gathered.begin() + static_cast<std::ptrdiff_t>(off) + j * nr,
+                gathered.begin() + static_cast<std::ptrdiff_t>(off) +
+                    (j + 1) * nr,
+                full.col(j) + nd.begin);
+    off += static_cast<size_t>(nr) * static_cast<size_t>(nrhs);
+  }
+  return full;
+}
+
+Matrix DistributedSolver::solve(const Matrix& u) {
+  const index_t n = h_->n();
+  if (u.rows() != n)
+    throw std::invalid_argument(
+        "DistributedSolver::solve: block shape mismatch");
+  obs::ScopedTimer t_dist("dist.solve");
+  const index_t nrhs = u.cols();
+  const index_t nloc = local_end_ - local_begin_;
+
+  // Local slice of every column, in tree order.
+  Matrix w(nloc, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    const std::vector<double> ut = h_->to_tree_order(
+        std::span<const double>(u.col(j), static_cast<size_t>(n)));
+    std::copy(ut.begin() + local_begin_, ut.begin() + local_end_, w.col(j));
+  }
+
+  // Local block solve (Algorithm II.3 on the owned subtree, in place).
+  {
+    obs::ScopedTimer t_local("local_solve");
+    ft_.solve_subtree(local_root_, w);
+  }
+
+  std::vector<index_t> local_pts(static_cast<size_t>(nloc));
+  std::iota(local_pts.begin(), local_pts.end(), local_begin_);
+
+  // Distributed corrections, bottom-up (Algorithm II.5), with every
+  // level's messages carrying the whole [s x B] panel at once.
+  for (int li = logp_ - 1; li >= 0; --li) {
+    obs::ScopedTimer t_level("dist.level");
+    const DistLevel& dl = dist_[static_cast<size_t>(li)];
+    const int q = dl.comm.size();
+    const bool root_of_half = dl.half_comm.rank() == 0;
+    const index_t s_sib = static_cast<index_t>(dl.sib_skel.size());
+
+    // T_sib = K(sibling~, {x}_i) W_i, fused over the block, reduced
+    // over my half (flattened column-major: ld == rows for Matrix).
+    Matrix tpart(s_sib, nrhs);
+    kernel::gsks_apply_block(h_->km(), dl.sib_skel, local_pts,
+                             la::ConstMatrixView(w), la::MatrixView(tpart),
+                             1.0);
+    std::vector<double> tflat(tpart.data(), tpart.data() + tpart.size());
+    dl.half_comm.reduce_sum(tflat, 0);
+
+    // Assemble [T_l~; T_r~] on comm rank 0, block-solve with Z, ship
+    // the halves back.
+    std::vector<double> zflat;
+    if (dl.comm.rank() == 0) {
+      const std::vector<double> t_l = dl.comm.recv(q / 2, kTagTl);
+      Matrix rhs(dl.s_l + dl.s_r, nrhs);
+      for (index_t j = 0; j < nrhs; ++j) {
+        std::copy(t_l.begin() + j * dl.s_l, t_l.begin() + (j + 1) * dl.s_l,
+                  rhs.col(j));
+        std::copy(tflat.begin() + j * dl.s_r,
+                  tflat.begin() + (j + 1) * dl.s_r, rhs.col(j) + dl.s_l);
+      }
+      la::lu_solve(dl.z_lu, rhs);
+      std::vector<double> z_r(static_cast<size_t>(dl.s_r) *
+                              static_cast<size_t>(nrhs));
+      zflat.resize(static_cast<size_t>(dl.s_l) * static_cast<size_t>(nrhs));
+      for (index_t j = 0; j < nrhs; ++j) {
+        std::copy(rhs.col(j), rhs.col(j) + dl.s_l,
+                  zflat.begin() + j * dl.s_l);
+        std::copy(rhs.col(j) + dl.s_l, rhs.col(j) + dl.s_l + dl.s_r,
+                  z_r.begin() + j * dl.s_r);
+      }
+      dl.comm.send(q / 2, kTagZr, z_r);
+    } else if (root_of_half && !dl.is_left) {
+      dl.comm.send(0, kTagTl, tflat);
+      zflat = dl.comm.recv(0, kTagZr);
+    }
+    dl.half_comm.bcast(zflat, 0);
+
+    // W_i -= (local rows of P^_child) Z_child~: one GEMM per level for
+    // the whole batch.
+    const index_t smine = static_cast<index_t>(dl.own_skel.size());
+    la::gemm(-1.0, la::ConstMatrixView(dl.phat_child_local),
+             la::ConstMatrixView(zflat.data(), smine, nrhs, smine), 1.0,
+             la::MatrixView(w));
+  }
+
+  // Assemble the full solution on every rank and undo the permutation.
+  const std::vector<double> wflat(w.data(), w.data() + w.size());
+  const std::vector<double> gathered = comm_.allgatherv(wflat);
+  Matrix x = gather_tree_order_block(*h_, comm_.size(), gathered, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    const std::vector<double> xo = h_->from_tree_order(
+        std::span<const double>(x.col(j), static_cast<size_t>(n)));
+    std::copy(xo.begin(), xo.end(), x.col(j));
+  }
+
+  // Guardrail summary over the whole batch: worst column wins.
+  SolveStatus st;
+  st.lambda_effective = factor_status_.lambda_effective;
+  st.shifted_nodes = factor_status_.shifted_nodes;
+  st.residual = 0.0;
+  for (index_t j = 0; j < nrhs && st.code == SolveCode::Ok; ++j) {
+    const std::span<const double> uc(u.col(j), static_cast<size_t>(n));
+    const std::span<const double> xc(x.col(j), static_cast<size_t>(n));
+    if (!all_finite(uc)) {
+      st.code = SolveCode::NonFinite;
+      st.detail = "right-hand side contains NaN/Inf";
+    } else if (!all_finite(xc)) {
+      st.code = SolveCode::NonFinite;
+      st.detail = "solution contains NaN/Inf";
+    } else {
+      st.residual = std::max(
+          st.residual,
+          h_->relative_residual(xc, uc, ft_.options().lambda));
+    }
+  }
+  if (st.code == SolveCode::Ok &&
+      factor_status_.code == FactorCode::ShiftedDiagonal)
+    st.code = SolveCode::ShiftedDiagonal;
+  last_status_ = st;
+  return x;
+}
+
 }  // namespace fdks::core

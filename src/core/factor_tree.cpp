@@ -102,6 +102,30 @@ void FactorTree::apply_phat(index_t id, std::span<const double> z,
              y.subspan(static_cast<size_t>(nl)), alpha);
 }
 
+void FactorTree::apply_phat(index_t id, la::ConstMatrixView z,
+                            la::MatrixView y, double alpha) const {
+  const NodeFactor& f = nf_[static_cast<size_t>(id)];
+  const tree::Node& nd = h_->tree().node(id);
+  if (f.phat.size() > 0) {  // Dense factor stored (leaf or non-compact).
+    la::gemm(alpha, la::ConstMatrixView(f.phat), z, 1.0, y);
+    return;
+  }
+  if (nd.is_leaf())
+    throw std::logic_error("apply_phat: leaf without a dense factor");
+  // Compact mode: Z2 = T Z once for the whole batch, then descend into
+  // the children's W rows with column-aligned sub-views.
+  Matrix z2(f.tmat.rows(), z.cols());
+  la::gemm(1.0, la::ConstMatrixView(f.tmat), z, 0.0, la::MatrixView(z2));
+  const index_t sl = static_cast<index_t>(
+      h_->effective_skeleton(nd.left).size());
+  const index_t nl = h_->tree().node(nd.left).size();
+  const la::ConstMatrixView z2v(z2);
+  apply_phat(nd.left, z2v.block(0, 0, sl, z2.cols()),
+             y.block(0, 0, nl, y.cols()), alpha);
+  apply_phat(nd.right, z2v.block(sl, 0, z2.rows() - sl, z2.cols()),
+             y.block(nl, 0, y.rows() - nl, y.cols()), alpha);
+}
+
 Matrix FactorTree::dense_phat(index_t id) const {
   const NodeFactor& f = nf_[static_cast<size_t>(id)];
   if (f.phat.size() > 0) return f.phat;

@@ -183,7 +183,14 @@ class FactorTree {
   /// order, offset relative to node begin).
   void solve_subtree(index_t id, std::span<double> u) const;
 
-  /// Block right-hand-side variant.
+  /// Block right-hand-side variant, fully in place on a strided
+  /// [node-size x B] column view: recursion descends through row
+  /// sub-views (no copies), skeleton corrections are single GEMMs over
+  /// the batch. This is the n_rhs dimension of the serving path — every
+  /// factor matrix is streamed once per batch instead of once per RHS.
+  void solve_subtree(index_t id, la::MatrixView u) const;
+
+  /// Convenience overload: whole-matrix block solve.
   void solve_subtree(index_t id, Matrix& u) const;
 
   /// Dense |α| x s_eff(α) unfactored basis E_α = P_{α,α~}^T expanded to
@@ -196,6 +203,14 @@ class FactorTree {
   /// compact_w is on. |y| = node size, |z| = s_eff(id).
   void apply_phat(index_t id, std::span<const double> z,
                   std::span<double> y, double alpha = 1.0) const;
+
+  /// Block variant: Y += alpha * P^_id * Z with Z an s_eff(id) x B view
+  /// and Y a node-size x B view. Dense factors apply as a single GEMM
+  /// across the batch; in compact_w mode each T stencil is telescoped
+  /// once for all B columns (instead of once per column), which is where
+  /// the multi-RHS solve's factor-traffic saving comes from.
+  void apply_phat(index_t id, la::ConstMatrixView z, la::MatrixView y,
+                  double alpha = 1.0) const;
 
   /// Materialize P^_id (|id| x s_eff) regardless of storage mode.
   Matrix dense_phat(index_t id) const;

@@ -151,6 +151,89 @@ std::vector<double> HybridSolver::solve(std::span<const double> u) const {
   return h_->from_tree_order(w);
 }
 
+Matrix HybridSolver::solve(const Matrix& u) const {
+  const index_t n = h_->n();
+  if (u.rows() != n)
+    throw std::invalid_argument("HybridSolver::solve: block shape mismatch");
+  obs::ScopedTimer t_solve("solve");
+  const index_t nrhs = u.cols();
+
+  Matrix w(n, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    std::vector<double> ut = h_->to_tree_order(
+        std::span<const double>(u.col(j), static_cast<size_t>(n)));
+    std::copy(ut.begin(), ut.end(), w.col(j));
+  }
+  la::MatrixView wv(w);
+
+  if (frontier_.empty()) {  // Single-leaf degenerate case.
+    ft_.solve_subtree(h_->tree().root(), w);
+  } else {
+    // Step 1: W = D^-1 U, one in-place block solve per frontier subtree.
+    for (index_t a : frontier_) {
+      const tree::Node& nd = h_->tree().node(a);
+      ft_.solve_subtree(a, wv.block(nd.begin, 0, nd.size(), nrhs));
+    }
+
+    if (reduced_size_ > 0) {
+      // Step 2: RHS = V W, fused block sweeps (each kernel tile is
+      // evaluated once for all B columns).
+      Matrix rhs(reduced_size_, nrhs);
+      la::MatrixView rhsv(rhs);
+      for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+        const index_t a = frontier_[ai];
+        const tree::Node& nd = h_->tree().node(a);
+        const auto& skel = h_->skeleton(a).skel;
+        const index_t sa = static_cast<index_t>(skel.size());
+        la::MatrixView za = rhsv.block(offsets_[ai], 0, sa, nrhs);
+        kernel::gsks_apply_block(h_->km(), skel, all_ids_,
+                                 la::ConstMatrixView(wv), za, 1.0);
+        std::vector<index_t> own(static_cast<size_t>(nd.size()));
+        std::iota(own.begin(), own.end(), nd.begin);
+        kernel::gsks_apply_block(
+            h_->km(), skel, own,
+            la::ConstMatrixView(wv.block(nd.begin, 0, nd.size(), nrhs)), za,
+            -1.0);
+      }
+
+      // Step 3: (I + VW) z = rhs, one GMRES per column (Krylov spaces
+      // are per-RHS; everything around them is batched).
+      Matrix z(reduced_size_, nrhs);
+      for (index_t j = 0; j < nrhs; ++j) {
+        last_ = iter::gmres(
+            reduced_size_,
+            [this](std::span<const double> zc, std::span<double> y) {
+              reduced_apply(zc, y);
+            },
+            std::span<const double>(rhs.col(j),
+                                    static_cast<size_t>(reduced_size_)),
+            opts_.gmres);
+        std::copy(last_.x.begin(), last_.x.end(), z.col(j));
+      }
+
+      // Step 4: X = W - W_mat Z, batched P^ applications with alpha=-1
+      // accumulating straight into w.
+      const la::ConstMatrixView zv(z);
+      for (size_t ai = 0; ai < frontier_.size(); ++ai) {
+        const index_t a = frontier_[ai];
+        const tree::Node& nd = h_->tree().node(a);
+        const index_t sa =
+            static_cast<index_t>(h_->skeleton(a).skel.size());
+        ft_.apply_phat(a, zv.block(offsets_[ai], 0, sa, nrhs),
+                       wv.block(nd.begin, 0, nd.size(), nrhs), -1.0);
+      }
+    }
+  }
+
+  Matrix x(n, nrhs);
+  for (index_t j = 0; j < nrhs; ++j) {
+    std::vector<double> xo = h_->from_tree_order(
+        std::span<const double>(w.col(j), static_cast<size_t>(n)));
+    std::copy(xo.begin(), xo.end(), x.col(j));
+  }
+  return x;
+}
+
 SolveStatus HybridSolver::solve_with_status(std::span<const double> u,
                                             std::span<double> x) const {
   SolveStatus st;

@@ -42,6 +42,14 @@ class HybridSolver {
   /// Records the reduced-system GMRES trace (last_gmres()).
   std::vector<double> solve(std::span<const double> u) const;
 
+  /// Block solve for B right-hand sides (columns of u). The linear
+  /// stages of Algorithm II.6 are batched — D^-1 as in-place block
+  /// subtree solves, V via fused block kernel summation, W as batched
+  /// P^ applications — while the reduced-system GMRES (step 3) stays
+  /// per column (a Krylov space is per-RHS). last_gmres() reflects the
+  /// final column afterwards.
+  Matrix solve(const Matrix& u) const;
+
   /// Guarded solve with graceful degradation: validates input/output,
   /// measures the true residual, and — when escalate_residual_tol is set
   /// and the direct pass misses it — escalates to an outer GMRES on

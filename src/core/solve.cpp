@@ -51,7 +51,16 @@ void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
              ur, -1.0);
 }
 
-void FactorTree::solve_subtree(index_t id, Matrix& u) const {
+// Block-RHS variant of Algorithm II.3: same recursion as the scalar
+// solve above, but every step operates on all B columns at once through
+// strided views into the caller's storage. Nothing is copied in or out
+// (the old implementation materialized child blocks with u.block()/
+// set_block at every internal node — O(N log N · B) extra traffic — and
+// silently dropped the children's in-place updates if an exception
+// unwound between the copies). Leaf solves stream each factor column
+// across all RHS columns (TRSM-style), and the V / Z / W corrections
+// are single GEMM-width operations over the batch.
+void FactorTree::solve_subtree(index_t id, la::MatrixView u) const {
   const tree::Node& nd = h_->tree().node(id);
   const NodeFactor& f = nf_[static_cast<size_t>(id)];
   if (!f.factored) throw std::logic_error("solve_subtree: not factorized");
@@ -66,39 +75,36 @@ void FactorTree::solve_subtree(index_t id, Matrix& u) const {
     return;
   }
 
-  const tree::Node& l = h_->tree().node(nd.left);
-  const tree::Node& r = h_->tree().node(nd.right);
-  const index_t nl = l.size();
-  const index_t nr = r.size();
+  const index_t nl = h_->tree().node(nd.left).size();
+  const index_t nr = h_->tree().node(nd.right).size();
   const index_t sl = f.v_lr.rows();
   const index_t sr = f.v_rl.rows();
+  const index_t nrhs = u.cols();
 
-  Matrix utop = u.block(0, 0, nl, u.cols());
-  Matrix ubot = u.block(nl, 0, nr, u.cols());
+  la::MatrixView utop = u.block(0, 0, nl, nrhs);
+  la::MatrixView ubot = u.block(nl, 0, nr, nrhs);
+
+  // U' = D^-1 U by recursion on the children, in place.
   solve_subtree(nd.left, utop);
   solve_subtree(nd.right, ubot);
 
-  Matrix t(sl + sr, u.cols());
-  Matrix t_top = f.v_lr.apply_block(ubot);
-  Matrix t_bot = f.v_rl.apply_block(utop);
-  t.set_block(0, 0, t_top);
-  t.set_block(sl, 0, t_bot);
-  la::lu_solve(f.z_lu, t);
+  // T = V U' = [K(l~, X_r) U'_r ; K(r~, X_l) U'_l], then T = Z^-1 T.
+  Matrix t(sl + sr, nrhs);
+  la::MatrixView tv(t);
+  f.v_lr.apply_block(la::ConstMatrixView(ubot), tv.block(0, 0, sl, nrhs));
+  f.v_rl.apply_block(la::ConstMatrixView(utop), tv.block(sl, 0, sr, nrhs));
+  la::lu_solve(f.z_lu, tv);
 
-  for (index_t j = 0; j < u.cols(); ++j) {
-    apply_phat(nd.left,
-               std::span<const double>(t.col(j), static_cast<size_t>(sl)),
-               std::span<double>(utop.col(j), static_cast<size_t>(nl)),
-               -1.0);
-    apply_phat(nd.right,
-               std::span<const double>(t.col(j) + sl,
-                                       static_cast<size_t>(sr)),
-               std::span<double>(ubot.col(j), static_cast<size_t>(nr)),
-               -1.0);
-  }
+  // U <- U' - W T with W = blockdiag(P^_l, P^_r), one batched
+  // apply_phat per child.
+  apply_phat(nd.left, la::ConstMatrixView(tv.block(0, 0, sl, nrhs)), utop,
+             -1.0);
+  apply_phat(nd.right, la::ConstMatrixView(tv.block(sl, 0, sr, nrhs)), ubot,
+             -1.0);
+}
 
-  u.set_block(0, 0, utop);
-  u.set_block(nl, 0, ubot);
+void FactorTree::solve_subtree(index_t id, Matrix& u) const {
+  solve_subtree(id, la::MatrixView(u));
 }
 
 }  // namespace fdks::core

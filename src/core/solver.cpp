@@ -85,11 +85,24 @@ std::vector<double> FastDirectSolver::solve(std::span<const double> u) const {
 }
 
 Matrix FastDirectSolver::solve(const Matrix& u) const {
-  Matrix x(u.rows(), u.cols());
+  // One batched telescoping solve over all B columns: permute the block
+  // into tree order, run the in-place block solve_subtree (factors are
+  // streamed once for the whole batch), permute back. Only the O(N B)
+  // permutations stay per-column.
+  obs::ScopedTimer t("solve");
+  const HMatrix& h = ft_.hmatrix();
+  const index_t n = u.rows();
+  Matrix x(n, u.cols());
   for (index_t j = 0; j < u.cols(); ++j) {
-    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
-    std::span<double> xc(x.col(j), static_cast<size_t>(x.rows()));
-    solve(uc, xc);
+    std::vector<double> ut = h.to_tree_order(
+        std::span<const double>(u.col(j), static_cast<size_t>(n)));
+    std::copy(ut.begin(), ut.end(), x.col(j));
+  }
+  ft_.solve_subtree(h.tree().root(), x);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> xo = h.from_tree_order(
+        std::span<const double>(x.col(j), static_cast<size_t>(n)));
+    std::copy(xo.begin(), xo.end(), x.col(j));
   }
   return x;
 }

@@ -1,6 +1,7 @@
 #include "kernel/gsks.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "la/gemm.hpp"
@@ -110,13 +111,73 @@ void gsks_apply_trans(const KernelMatrix& km, std::span<const index_t> rows,
   gsks_apply(km, cols, rows, u, y, alpha);
 }
 
+namespace {
+
+// Block-RHS row-stripe: evaluate each kernel tile once, then reduce it
+// against ALL B columns of U with one GEMM while the tile is hot. The
+// per-column variant above re-evaluates every kernel entry B times; here
+// the evaluation cost is amortized across the block.
+void fused_row_stripe_block(const KernelMatrix& km,
+                            std::span<const index_t> rows,
+                            std::span<const index_t> cols,
+                            la::ConstMatrixView u, la::MatrixView y,
+                            double alpha, index_t i0, index_t mi) {
+  const Matrix& x = km.points();
+  const index_t d = x.rows();
+  const index_t n = static_cast<index_t>(cols.size());
+  const Kernel& k = km.kernel();
+
+  std::vector<double> arow(static_cast<size_t>(kTm * d));
+  std::vector<double> bcol(static_cast<size_t>(d * kTn));
+  std::vector<double> gram(static_cast<size_t>(kTm * kTn));
+
+  pack_points_rowmajor(x, rows, i0, mi, arow.data());
+
+  for (index_t j0 = 0; j0 < n; j0 += kTn) {
+    const index_t nj = std::min(kTn, n - j0);
+    pack_points_colmajor(x, cols, j0, nj, bcol.data());
+    // Gram tile G = Xr^T Xc (mi x nj, rank-d update).
+    la::gemm_raw(mi, nj, d, 1.0, arow.data(), mi, bcol.data(), d, 0.0,
+                 gram.data(), kTm);
+    // Transform the Gram tile into kernel values in place (one
+    // evaluation per entry, independent of B)...
+    for (index_t j = 0; j < nj; ++j) {
+      const double nj2 = km.sqnorm(cols[j0 + j]);
+      double* gcol = gram.data() + j * kTm;
+      for (index_t i = 0; i < mi; ++i)
+        gcol[i] = k.eval_gram(gcol[i], km.sqnorm(rows[i0 + i]), nj2);
+    }
+    // ...then one GEMM against all B columns of U while the tile is hot:
+    // Y[i0:i0+mi, :] += alpha * Ktile * U[j0:j0+nj, :].
+    la::gemm_raw(mi, u.cols(), nj, alpha, gram.data(), kTm, u.col(0) + j0,
+                 u.ld(), 1.0, y.col(0) + i0, y.ld());
+  }
+}
+
+}  // namespace
+
 void gsks_apply_block(const KernelMatrix& km, std::span<const index_t> rows,
-                      std::span<const index_t> cols, const Matrix& u,
-                      Matrix& y, double alpha) {
-  for (index_t j = 0; j < u.cols(); ++j) {
-    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
-    std::span<double> yc(y.col(j), static_cast<size_t>(y.rows()));
-    gsks_apply(km, rows, cols, uc, yc, alpha);
+                      std::span<const index_t> cols, la::ConstMatrixView u,
+                      la::MatrixView y, double alpha) {
+  const index_t m = static_cast<index_t>(rows.size());
+  if (u.rows() != static_cast<index_t>(cols.size()) || y.rows() != m ||
+      u.cols() != y.cols())
+    throw std::invalid_argument("gsks_apply_block: shape mismatch");
+  if (u.cols() == 1) {  // Single column: the vector kernel's fused
+    gsks_apply(km, rows, cols, u.col_span(0), y.col_span(0), alpha);
+    return;  // reduction avoids the in-place tile transform.
+  }
+  obs::add("gsks.calls");
+  // One evaluation per block entry regardless of B — the whole point of
+  // the fused block apply (B vector applies would pay this B times).
+  obs::add("gsks.kernel_evals", double(m) * double(cols.size()));
+  obs::hist("gsks.evals_per_call", double(m) * double(cols.size()));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (index_t i0 = 0; i0 < m; i0 += kTm) {
+    const index_t mi = std::min(kTm, m - i0);
+    fused_row_stripe_block(km, rows, cols, u, y, alpha, i0, mi);
   }
 }
 

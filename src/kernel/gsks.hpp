@@ -28,9 +28,14 @@ void gsks_apply_trans(const KernelMatrix& km, std::span<const index_t> rows,
                       std::span<const double> u, std::span<double> y,
                       double alpha = 1.0);
 
-/// Y += alpha * K(rows, cols) * U for a block of right-hand sides.
+/// Y += alpha * K(rows, cols) * U for a block of right-hand sides,
+/// fused over the whole block: each kernel tile is evaluated ONCE and
+/// multiplied against all B columns as a GEMM, so the per-apply kernel
+/// evaluation cost is amortized B-fold relative to B vector applies
+/// (the batching win of the multi-RHS serving path). Shapes:
+/// U = |cols| x B, Y = |rows| x B.
 void gsks_apply_block(const KernelMatrix& km, std::span<const index_t> rows,
-                      std::span<const index_t> cols, const Matrix& u,
-                      Matrix& y, double alpha = 1.0);
+                      std::span<const index_t> cols, la::ConstMatrixView u,
+                      la::MatrixView y, double alpha = 1.0);
 
 }  // namespace fdks::kernel

@@ -86,15 +86,39 @@ void KernelBlockOp::apply_trans(std::span<const double> u,
   }
 }
 
+void KernelBlockOp::apply_block(la::ConstMatrixView u, la::MatrixView y,
+                                double alpha, double beta) const {
+  if (u.rows() != cols() || y.rows() != rows() || u.cols() != y.cols())
+    throw std::invalid_argument("KernelBlockOp::apply_block: size mismatch");
+  switch (scheme_) {
+    case Scheme::StoredGemv:
+      la::gemm(alpha, la::ConstMatrixView(stored_), u, beta, y);
+      return;
+    case Scheme::ReevalGemm: {
+      // Materialize the block ONCE for the whole batch (the per-column
+      // apply() path would re-evaluate it B times).
+      const Matrix block = km_->block(rows_, cols_);
+      la::gemm(alpha, la::ConstMatrixView(block), u, beta, y);
+      return;
+    }
+    case Scheme::Gsks: {
+      if (beta != 1.0)
+        for (index_t j = 0; j < y.cols(); ++j) {
+          double* yc = y.col(j);
+          for (index_t i = 0; i < y.rows(); ++i)
+            yc[i] = (beta == 0.0) ? 0.0 : beta * yc[i];
+        }
+      gsks_apply_block(*km_, rows_, cols_, u, y, alpha);
+      return;
+    }
+  }
+}
+
 Matrix KernelBlockOp::apply_block(const Matrix& u) const {
   if (u.rows() != cols())
     throw std::invalid_argument("KernelBlockOp::apply_block: size mismatch");
   Matrix y(rows(), u.cols());
-  for (index_t j = 0; j < u.cols(); ++j) {
-    std::span<const double> uc(u.col(j), static_cast<size_t>(u.rows()));
-    std::span<double> yc(y.col(j), static_cast<size_t>(y.rows()));
-    apply(uc, yc, 1.0, 0.0);
-  }
+  apply_block(la::ConstMatrixView(u), la::MatrixView(y), 1.0, 0.0);
   return y;
 }
 

@@ -58,6 +58,13 @@ class KernelBlockOp {
   void apply_trans(std::span<const double> u, std::span<double> y,
                    double alpha = 1.0, double beta = 0.0) const;
 
+  /// Y = beta*Y + alpha * B * U for a block of right-hand sides, in
+  /// place on views. One GEMM (stored / re-evaluated block) or one fused
+  /// GSKS block apply — the operator's matrices are streamed once for
+  /// the whole batch instead of once per column.
+  void apply_block(la::ConstMatrixView u, la::MatrixView y,
+                   double alpha = 1.0, double beta = 0.0) const;
+
   /// Y = B * U for a block of right-hand sides.
   Matrix apply_block(const Matrix& u) const;
 

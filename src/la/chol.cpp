@@ -102,11 +102,42 @@ void chol_solve(const CholFactor& f, std::span<double> b) {
   }
 }
 
-void chol_solve(const CholFactor& f, Matrix& b) {
-  if (b.rows() != f.n())
+void chol_solve(const CholFactor& f, MatrixView b) {
+  const index_t n = f.n();
+  if (b.rows() != n)
     throw std::invalid_argument("chol_solve: block rhs shape mismatch");
-  for (index_t j = 0; j < b.cols(); ++j)
-    chol_solve(f, std::span<double>(b.col(j), static_cast<size_t>(b.rows())));
+  const index_t nrhs = b.cols();
+  if (nrhs == 1) {
+    chol_solve(f, b.col_span(0));
+    return;
+  }
+  const Matrix& l = f.l;
+  // Forward: L Y = B, each factor column applied to every rhs column.
+  for (index_t k = 0; k < n; ++k) {
+    const double* col = l.col(k);
+    const double inv = 1.0 / col[k];
+    for (index_t j = 0; j < nrhs; ++j) {
+      b(k, j) *= inv;
+      const double bk = b(k, j);
+      if (bk == 0.0) continue;
+      double* bj = b.col(j);
+      for (index_t i = k + 1; i < n; ++i) bj[i] -= col[i] * bk;
+    }
+  }
+  // Backward: L^T X = Y, column-k dot products below the diagonal.
+  for (index_t k = n - 1; k >= 0; --k) {
+    const double* col = l.col(k);
+    for (index_t j = 0; j < nrhs; ++j) {
+      double* bj = b.col(j);
+      double s = bj[k];
+      for (index_t i = k + 1; i < n; ++i) s -= col[i] * bj[i];
+      bj[k] = s / col[k];
+    }
+  }
+}
+
+void chol_solve(const CholFactor& f, Matrix& b) {
+  chol_solve(f, MatrixView(b));
 }
 
 }  // namespace fdks::la

@@ -22,6 +22,10 @@ CholFactor chol_factor(const Matrix& a);
 /// Solve A x = b in place on b.
 void chol_solve(const CholFactor& f, std::span<double> b);
 
+/// Solve A X = B in place on a (possibly strided) view; each factor
+/// column streams once across all right-hand sides (TRSM-style).
+void chol_solve(const CholFactor& f, MatrixView b);
+
 /// Solve A X = B in place on B.
 void chol_solve(const CholFactor& f, Matrix& b);
 

@@ -73,13 +73,16 @@ void micro_kernel(index_t kc, const double* ap, const double* bp, double* c,
 void gemm_raw(index_t m, index_t n, index_t k, double alpha, const double* a,
               index_t lda, const double* b, index_t ldb, double beta,
               double* c, index_t ldc) {
+  // Counting convention (see gemm.hpp): raw routines count the call at
+  // entry — the beta-scale below mutates C even when the multiply is
+  // skipped, and a scale-only call must not be invisible to profiling.
+  obs::add("gemm.calls");
   if (beta != 1.0) {
     for (index_t j = 0; j < n; ++j)
       for (index_t i = 0; i < m; ++i)
         c[i + j * ldc] = (beta == 0.0) ? 0.0 : beta * c[i + j * ldc];
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
-  obs::add("gemm.calls");
   obs::add("flops.gemm", 2.0 * double(m) * double(n) * double(k));
 
   // Small problems: skip the packing machinery entirely.
@@ -131,12 +134,15 @@ void gemv(Trans trans, double alpha, const Matrix& a,
           std::span<const double> x, double beta, std::span<double> y) {
   const index_t m = a.rows();
   const index_t n = a.cols();
-  obs::add("gemv.calls");
-  obs::add("flops.gemv", 2.0 * double(m) * double(n));
+  // Validate before counting (see gemm.hpp): a throwing call must not
+  // inflate gemv.calls / flops.gemv — those feed the bench regression
+  // gate's flop accounting.
   if (trans == Trans::No) {
     if (static_cast<index_t>(x.size()) != n ||
         static_cast<index_t>(y.size()) != m)
       throw std::invalid_argument("gemv: shape mismatch");
+    obs::add("gemv.calls");
+    obs::add("flops.gemv", 2.0 * double(m) * double(n));
     for (index_t i = 0; i < m; ++i) y[i] = (beta == 0.0) ? 0.0 : beta * y[i];
     for (index_t j = 0; j < n; ++j) {
       const double xj = alpha * x[j];
@@ -148,6 +154,8 @@ void gemv(Trans trans, double alpha, const Matrix& a,
     if (static_cast<index_t>(x.size()) != m ||
         static_cast<index_t>(y.size()) != n)
       throw std::invalid_argument("gemv^T: shape mismatch");
+    obs::add("gemv.calls");
+    obs::add("flops.gemv", 2.0 * double(m) * double(n));
     for (index_t j = 0; j < n; ++j) {
       const double* col = a.col(j);
       double s = 0.0;
@@ -207,6 +215,35 @@ void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
 #endif
   gemm_raw(m, n, k, alpha, ap->data(), ap->ld(), bp->data(), bp->ld(), beta,
            c.data(), c.ld());
+}
+
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          MatrixView c) {
+  if (b.rows() != a.cols() || c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("gemm: view shape mismatch");
+  const index_t m = a.rows();
+  const index_t k = a.cols();
+  const index_t n = b.cols();
+#ifdef _OPENMP
+  // Same column-block split as the Matrix overload above: the batched
+  // multi-RHS solve path funnels its big [n x B] panels through this
+  // overload, and a serial gemm here forfeits the batching win.
+  const bool parallel =
+      (m * n * k > 64LL * 64 * 64) && omp_get_max_threads() > 1;
+  if (parallel) {
+    const index_t nthreads = omp_get_max_threads();
+    const index_t chunk = std::max<index_t>(kNr, (n + nthreads - 1) / nthreads);
+#pragma omp parallel for schedule(static)
+    for (index_t j0 = 0; j0 < n; j0 += chunk) {
+      const index_t nc = std::min(chunk, n - j0);
+      gemm_raw(m, nc, k, alpha, a.data(), a.ld(), b.col(j0), b.ld(), beta,
+               c.col(j0), c.ld());
+    }
+    return;
+  }
+#endif
+  gemm_raw(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), beta, c.data(),
+           c.ld());
 }
 
 Matrix matmul(Trans ta, Trans tb, const Matrix& a, const Matrix& b) {

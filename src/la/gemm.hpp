@@ -4,6 +4,17 @@
 // GEMM is cache-blocked with operand packing (a miniature BLIS-style
 // loop nest) and parallelized across column panels with OpenMP; the goal
 // is to keep the factorization compute-bound, not to chase peak FLOPS.
+//
+// Observability counting convention (enforced across la/): a routine
+// bumps its `*.calls` counter exactly once per invocation, AFTER its
+// argument validation — a call that throws on a shape mismatch must not
+// inflate the work counters the bench regression gate compares against.
+// Raw-pointer routines (gemm_raw) have no validation by contract and
+// count at entry, so even a beta-scale-only call (m/n/k zero or
+// alpha == 0 with beta != 1, which still mutates C) is visible to
+// profiling. `flops.*` accumulates only the multiply-add work actually
+// executed (2mnk for GEMM, 2mn for GEMV); scale-only and empty calls
+// therefore contribute a call with zero flops.
 #pragma once
 
 #include <span>
@@ -26,6 +37,13 @@ void gemv_raw(index_t m, index_t n, double alpha, const double* a,
 /// C = beta*C + alpha * op(A) * op(B). Shapes are validated.
 void gemm(Trans ta, Trans tb, double alpha, const Matrix& a, const Matrix& b,
           double beta, Matrix& c);
+
+/// C = beta*C + alpha * A * B on strided column-major views (no
+/// transposes). Shapes are validated. This is the workhorse of the
+/// block (multi-RHS) solve path: skeleton applications on an [n x B]
+/// view become one GEMM instead of B GEMVs.
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          MatrixView c);
 
 /// Convenience: C = op(A)*op(B).
 Matrix matmul(Trans ta, Trans tb, const Matrix& a, const Matrix& b);

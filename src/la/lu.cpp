@@ -133,12 +133,48 @@ void lu_solve(const LuFactor& f, std::span<double> b) {
   }
 }
 
-void lu_solve(const LuFactor& f, Matrix& b) {
-  if (b.rows() != f.n())
+void lu_solve(const LuFactor& f, MatrixView b) {
+  const index_t n = f.n();
+  if (b.rows() != n)
     throw std::invalid_argument("lu_solve: block rhs shape mismatch");
-  for (index_t j = 0; j < b.cols(); ++j)
-    lu_solve(f, std::span<double>(b.col(j), static_cast<size_t>(b.rows())));
+  const index_t nrhs = b.cols();
+  if (nrhs == 1) {  // Single column: the vector kernel already streams well.
+    lu_solve(f, b.col_span(0));
+    return;
+  }
+  const Matrix& lu = f.lu;
+  // Row interchanges across all right-hand sides.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = f.piv[static_cast<size_t>(k)];
+    if (p == k) continue;
+    for (index_t j = 0; j < nrhs; ++j) std::swap(b(k, j), b(p, j));
+  }
+  // Forward substitution with the unit lower triangle: each factor
+  // column is loaded once and applied to every rhs column.
+  for (index_t k = 0; k < n; ++k) {
+    const double* col = lu.col(k);
+    for (index_t j = 0; j < nrhs; ++j) {
+      const double bk = b(k, j);
+      if (bk == 0.0) continue;
+      double* bj = b.col(j);
+      for (index_t i = k + 1; i < n; ++i) bj[i] -= col[i] * bk;
+    }
+  }
+  // Back substitution with the upper triangle.
+  for (index_t k = n - 1; k >= 0; --k) {
+    const double* col = lu.col(k);
+    const double inv = 1.0 / lu(k, k);
+    for (index_t j = 0; j < nrhs; ++j) {
+      b(k, j) *= inv;
+      const double bk = b(k, j);
+      if (bk == 0.0) continue;
+      double* bj = b.col(j);
+      for (index_t i = 0; i < k; ++i) bj[i] -= col[i] * bk;
+    }
+  }
 }
+
+void lu_solve(const LuFactor& f, Matrix& b) { lu_solve(f, MatrixView(b)); }
 
 double norm1(const Matrix& a) {
   double best = 0.0;

@@ -40,6 +40,13 @@ LuFactor lu_factor(const Matrix& a);
 /// Solve A x = b in place on b (single right-hand side).
 void lu_solve(const LuFactor& f, std::span<double> b);
 
+/// Solve A X = B for a block of right-hand sides, in place on a
+/// (possibly strided) view. Unlike a per-column loop, the substitution
+/// sweeps stream each factor column once across ALL right-hand sides
+/// (TRSM-style), so the factor's memory traffic is paid once per solve
+/// instead of once per column.
+void lu_solve(const LuFactor& f, MatrixView b);
+
 /// Solve A X = B for a block of right-hand sides, in place on B.
 void lu_solve(const LuFactor& f, Matrix& b);
 

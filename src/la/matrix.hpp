@@ -94,6 +94,86 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Mutable strided view of a column-major block: element (i,j) lives at
+/// data[i + j*ld]. Views are how the solver threads an n_rhs dimension
+/// through the telescoping recursion without copying row-ranges in and
+/// out of owned Matrix storage — a view of rows [r0, r0+m) of a parent
+/// keeps the parent's leading dimension, so every level of the solve
+/// operates in place on the same [N x B] block. A view never owns; the
+/// viewed storage must outlive it.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+  /// Whole-matrix view (implicit: a Matrix is usable wherever a view is).
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.ld()) {}
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+
+  double* data() const noexcept { return data_; }
+  double* col(index_t j) const noexcept { return data_ + j * ld_; }
+  double& operator()(index_t i, index_t j) const noexcept {
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-view of the [r0, r0+mr) x [c0, c0+nc) block (no copy).
+  MatrixView block(index_t r0, index_t c0, index_t mr, index_t nc) const {
+    return MatrixView(data_ + r0 + c0 * ld_, mr, nc, ld_);
+  }
+
+  /// Column j as a contiguous span (views are column-contiguous).
+  std::span<double> col_span(index_t j) const {
+    return std::span<double>(col(j), static_cast<size_t>(rows_));
+  }
+
+ private:
+  double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
+/// Read-only counterpart of MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.ld()) {}
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t ld() const noexcept { return ld_; }
+
+  const double* data() const noexcept { return data_; }
+  const double* col(index_t j) const noexcept { return data_ + j * ld_; }
+  double operator()(index_t i, index_t j) const noexcept {
+    return data_[i + j * ld_];
+  }
+
+  ConstMatrixView block(index_t r0, index_t c0, index_t mr,
+                        index_t nc) const {
+    return ConstMatrixView(data_ + r0 + c0 * ld_, mr, nc, ld_);
+  }
+
+  std::span<const double> col_span(index_t j) const {
+    return std::span<const double>(col(j), static_cast<size_t>(rows_));
+  }
+
+ private:
+  const double* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+};
+
 /// Max |a(i,j) - b(i,j)|; matrices must have identical shape.
 double max_abs_diff(const Matrix& a, const Matrix& b);
 

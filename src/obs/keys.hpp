@@ -123,6 +123,17 @@
   X(kRecoverAttemptEvent,     "recover.attempt",             Instant)      \
   X(kRecoverRetryEvent,       "recover.retry",               Instant)      \
   X(kRecoverRetryAttemptEvent,"recover.retry_attempt",       Instant)      \
+  /* serving front end (src/serve, bench/bench_serving) */                 \
+  X(kServeBatches,            "serve.batches",               Counter)      \
+  X(kServeBatchSeconds,       "serve.batch_seconds",         Histogram)    \
+  X(kServeBatchSize,          "serve.batch_size",            Histogram)    \
+  X(kServeBatchSpeedup,       "serve.batch_speedup",         Counter)      \
+  X(kServeCacheEvict,         "serve.cache_evict",           Counter)      \
+  X(kServeCacheHit,           "serve.cache_hit",             Counter)      \
+  X(kServeCacheMiss,          "serve.cache_miss",            Counter)      \
+  X(kServeRequests,           "serve.requests",              Counter)      \
+  X(kServeRequestSeconds,     "serve.request_seconds",       Histogram)    \
+  X(kScopeServeBatch,         "serve.batch",                 Timer)        \
   /* bench / tool top-level scopes (bench/, examples/) */                  \
   X(kGflopsRate,              "GFLOPS",                      Counter)      \
   X(kScopeReference,          "reference",                   Timer)        \

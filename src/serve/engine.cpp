@@ -1,0 +1,144 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace fdks::serve {
+
+ServeEngine::ServeEngine(
+    std::shared_ptr<const core::FastDirectSolver> solver, ServeOptions opts)
+    : solver_(std::move(solver)), opts_(opts) {
+  if (!solver_)
+    throw std::invalid_argument("ServeEngine: null solver");
+  if (opts_.batch_max < 1)
+    throw std::invalid_argument("ServeEngine: batch_max must be >= 1");
+  paused_ = opts_.start_paused;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+ServeEngine::~ServeEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    paused_ = false;  // A paused engine must still shut down cleanly.
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Fail any requests the worker never picked up.
+  for (Request& r : queue_)
+    r.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("ServeEngine: engine destroyed before solve")));
+}
+
+index_t ServeEngine::n() const {
+  return solver_->factor_tree().hmatrix().n();
+}
+
+std::future<std::vector<double>> ServeEngine::submit(
+    std::vector<double> rhs) {
+  if (static_cast<index_t>(rhs.size()) != n())
+    throw std::invalid_argument("ServeEngine::submit: rhs size mismatch");
+  Request r;
+  r.rhs = std::move(rhs);
+  r.enqueued = std::chrono::steady_clock::now();
+  std::future<std::vector<double>> fut = r.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_)
+      throw std::logic_error("ServeEngine::submit: engine is stopping");
+    queue_.push_back(std::move(r));
+    ++stats_.requests;
+  }
+  obs::add("serve.requests");
+  cv_.notify_all();
+  return fut;
+}
+
+void ServeEngine::pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void ServeEngine::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!queue_.empty() || busy_)
+    cv_.wait_for(lk, std::chrono::milliseconds(10));
+}
+
+ServeEngine::Stats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ServeEngine::worker_loop() {
+  const index_t nn = n();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    while (!stop_ && (paused_ || queue_.empty()))
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
+    if (stop_) return;
+
+    // Take up to batch_max pending requests as one block.
+    const index_t batch = std::min<index_t>(
+        opts_.batch_max, static_cast<index_t>(queue_.size()));
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<size_t>(batch));
+    for (index_t i = 0; i < batch; ++i) {
+      reqs.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    busy_ = true;
+    lk.unlock();
+
+    la::Matrix u(nn, batch);
+    for (index_t j = 0; j < batch; ++j)
+      std::copy(reqs[static_cast<size_t>(j)].rhs.begin(),
+                reqs[static_cast<size_t>(j)].rhs.end(), u.col(j));
+
+    obs::add("serve.batches");
+    obs::hist("serve.batch_size", static_cast<double>(batch));
+    obs::ScopedTimer t_batch("serve.batch");
+    bool ok = true;
+    la::Matrix x;
+    std::exception_ptr err;
+    try {
+      x = solver_->solve(u);
+    } catch (...) {
+      ok = false;
+      err = std::current_exception();
+    }
+    obs::hist("serve.batch_seconds", t_batch.stop());
+
+    const auto done = std::chrono::steady_clock::now();
+    for (index_t j = 0; j < batch; ++j) {
+      Request& r = reqs[static_cast<size_t>(j)];
+      obs::hist("serve.request_seconds",
+                std::chrono::duration<double>(done - r.enqueued).count());
+      if (ok) {
+        r.promise.set_value(
+            std::vector<double>(x.col(j), x.col(j) + nn));
+      } else {
+        r.promise.set_exception(err);
+      }
+    }
+
+    lk.lock();
+    busy_ = false;
+    stats_.batches += 1;
+    stats_.max_batch = std::max(stats_.max_batch, batch);
+    cv_.notify_all();  // Wake drain() waiters.
+  }
+}
+
+}  // namespace fdks::serve

@@ -1,0 +1,95 @@
+// Admission queue + batched execution for the serving front end.
+//
+// ServeEngine turns independent single-RHS solve requests into blocked
+// multi-RHS solves: submit() enqueues a right-hand side and returns a
+// future; a worker thread drains the queue, packs up to `batch_max`
+// pending requests into one [n x B] block, and runs a single batched
+// solve through the factor tree (FastDirectSolver::solve(Matrix)) —
+// every factor matrix is streamed once per batch instead of once per
+// request, which is the multi-RHS throughput win bench_serving
+// measures.
+//
+// pause()/resume() gate the worker: submissions made while paused are
+// coalesced into maximal batches on resume. This is how tests and the
+// bench's deterministic smoke mode pin down batch composition —
+// without it, batch sizes depend on scheduler timing.
+//
+// Observability (obs/keys.hpp): serve.requests / serve.batches
+// counters, serve.batch_size / serve.batch_seconds /
+// serve.request_seconds histograms, and a serve.batch timer scope.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace fdks::serve {
+
+using core::index_t;
+
+struct ServeOptions {
+  index_t batch_max = 64;  ///< Largest block width one batch may use.
+  bool start_paused = false;  ///< Begin with the admission gate closed.
+};
+
+class ServeEngine {
+ public:
+  /// solver must remain valid for the engine's lifetime (pair with
+  /// FactorCache, whose shared_ptr keeps it alive).
+  ServeEngine(std::shared_ptr<const core::FastDirectSolver> solver,
+              ServeOptions opts = {});
+  ~ServeEngine();
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueue one right-hand side (length n, original point order).
+  /// The future yields the solution, or rethrows the solve's error.
+  std::future<std::vector<double>> submit(std::vector<double> rhs);
+
+  /// Close the admission gate: queued and future submissions are held.
+  void pause();
+  /// Reopen the gate and wake the worker; held requests are drained in
+  /// maximal batches (up to batch_max each).
+  void resume();
+  /// Block until the queue is empty and no batch is in flight.
+  void drain();
+
+  index_t n() const;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    index_t max_batch = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    std::vector<double> rhs;
+    std::promise<std::vector<double>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<const core::FastDirectSolver> solver_;
+  ServeOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stop_ = false;
+  bool busy_ = false;  ///< A batch is being solved right now.
+  Stats stats_;
+  std::thread worker_;
+};
+
+}  // namespace fdks::serve

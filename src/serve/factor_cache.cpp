@@ -1,0 +1,105 @@
+#include "serve/factor_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "ckpt/checkpoint.hpp"
+#include "obs/obs.hpp"
+
+namespace fdks::serve {
+
+FactorCache::FactorCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::string FactorCache::fingerprint(const HMatrix& h,
+                                     const SolverOptions& opts) {
+  // FactorTree construction only sizes the per-node factor table — no
+  // numerical work — so building a throwaway tree for its identity
+  // string is cheap relative to any request.
+  return ckpt::factor_fingerprint(core::FactorTree(h, opts), "serve");
+}
+
+void FactorCache::evict_locked() {
+  // Evict ready entries beyond capacity, least recently used first.
+  // In-flight entries are never evicted: a waiter holds a pointer to
+  // them and the factorizing thread will mark them ready.
+  for (auto it = lru_.rbegin();
+       it != lru_.rend() && entries_.size() > capacity_;) {
+    auto e = entries_.find(*it);
+    if (e != entries_.end() && e->second->ready) {
+      entries_.erase(e);
+      ++stats_.evictions;
+      obs::add("serve.cache_evict");
+      it = std::reverse_iterator(lru_.erase(std::next(it).base()));
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
+    const HMatrix& h, const SolverOptions& opts) {
+  const std::string key = fingerprint(h, opts);
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    std::shared_ptr<Entry> e = it->second;
+    lru_.remove(key);
+    lru_.push_front(key);
+    ++stats_.hits;
+    obs::add("serve.cache_hit");
+    // Coalesce onto an in-flight factorization: wait (with a deadline
+    // so a crashed factorizer cannot park us forever) until ready.
+    while (!e->ready && !e->failed)
+      cv_.wait_for(lk, std::chrono::milliseconds(100));
+    if (e->failed)
+      throw std::runtime_error("FactorCache::get: " + e->error);
+    return e->solver;
+  }
+
+  ++stats_.misses;
+  obs::add("serve.cache_miss");
+  auto e = std::make_shared<Entry>();
+  entries_[key] = e;
+  lru_.push_front(key);
+  evict_locked();
+  lk.unlock();
+
+  std::shared_ptr<const core::FastDirectSolver> solver;
+  std::string error;
+  try {
+    solver = std::make_shared<core::FastDirectSolver>(h, opts);
+  } catch (const std::exception& ex) {
+    error = ex.what();
+  }
+
+  lk.lock();
+  if (solver) {
+    e->solver = solver;
+    e->ready = true;
+  } else {
+    e->failed = true;
+    e->error = error;
+    entries_.erase(key);  // Poisoned entry: let a later call retry.
+    lru_.remove(key);
+  }
+  lk.unlock();
+  cv_.notify_all();
+  if (!solver)
+    throw std::runtime_error("FactorCache::get: " + error);
+  return solver;
+}
+
+size_t FactorCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+FactorCache::Stats FactorCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace fdks::serve

@@ -1,0 +1,77 @@
+// Factorization cache for the serving front end (fdks_serve).
+//
+// A factorization is minutes of work; a solve is milliseconds. A
+// long-lived serving process therefore keys factored solvers by the
+// same identity fingerprint the checkpoint layer uses (points, kernel,
+// tree config, factor-affecting options, lambda — see
+// ckpt::factor_fingerprint) and reuses them across requests. The cache
+// is LRU-bounded, thread-safe, and coalesces concurrent requests for
+// the same key into ONE factorization: the first caller factorizes,
+// the rest block on the in-flight entry and share the result.
+//
+// Observability: serve.cache_hit / serve.cache_miss / serve.cache_evict
+// counters (registered in obs/keys.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/solver.hpp"
+
+namespace fdks::serve {
+
+using core::HMatrix;
+using core::SolverOptions;
+
+class FactorCache {
+ public:
+  /// capacity = maximum number of resident factorizations; the least
+  /// recently used ready entry is evicted beyond it.
+  explicit FactorCache(size_t capacity = 4);
+
+  /// Return the factored solver for (h, opts), factorizing on a miss.
+  /// h must outlive every solver handed out for it. Concurrent calls
+  /// with the same fingerprint share one factorization. Throws (with
+  /// the factorization error) if the underlying factorization throws;
+  /// a failed entry is removed so a later call can retry.
+  std::shared_ptr<const core::FastDirectSolver> get(const HMatrix& h,
+                                                    const SolverOptions& opts);
+
+  /// The cache key: the checkpoint identity fingerprint of a factor
+  /// tree built from (h, opts), under scope "serve".
+  static std::string fingerprint(const HMatrix& h, const SolverOptions& opts);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::FastDirectSolver> solver;
+    bool ready = false;
+    bool failed = false;
+    std::string error;
+  };
+
+  void evict_locked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< Signals in-flight entries turning ready.
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  ///< Most recent first.
+  Stats stats_;
+};
+
+}  // namespace fdks::serve

@@ -12,6 +12,7 @@
 #include "kernel/summation.hpp"
 #include "la/gemm.hpp"
 #include "la/svd.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::kernel {
 namespace {
@@ -204,6 +205,58 @@ TEST(Gsks, BlockApplyMatchesColumnwise) {
   gsks_apply_block(km, rows, cols, u, y);
   Matrix exact = la::matmul(km.block(rows, cols), u);
   EXPECT_LT(la::max_abs_diff(y, exact), 1e-11);
+}
+
+// Counters are globally gated; flip them on for the duration of a test.
+struct ObsOn {
+  bool was = obs::enabled();
+  ObsOn() { obs::set_enabled(true); }
+  ~ObsOn() { obs::set_enabled(was); }
+};
+
+TEST(Gsks, BlockApplyShapeMismatchDoesNotCount) {
+  ObsOn obs_on;
+  // Counting convention (la/gemm.hpp): validate first, count after — a
+  // throwing block apply must leave the gsks.* counters untouched.
+  Matrix pts = random_points(4, 20, 26);
+  KernelMatrix km(pts, Kernel::gaussian(0.7));
+  auto rows = iota_idx(12);
+  auto cols = iota_idx(8, 12);
+  Matrix u(7, 3);  // Wrong row count: needs |cols| = 8.
+  Matrix y(12, 3);
+  const obs::Snapshot before = obs::snapshot();
+  const auto get = [](const obs::Snapshot& s, const char* k) {
+    const auto it = s.counters.find(k);
+    return it != s.counters.end() ? it->second : 0.0;
+  };
+  EXPECT_THROW(gsks_apply_block(km, rows, cols, u, y),
+               std::invalid_argument);
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_DOUBLE_EQ(get(after, "gsks.calls"), get(before, "gsks.calls"));
+  EXPECT_DOUBLE_EQ(get(after, "gsks.kernel_evals"),
+                   get(before, "gsks.kernel_evals"));
+}
+
+TEST(Gsks, BlockApplyCountsKernelEvalsOncePerBatch) {
+  ObsOn obs_on;
+  // The batching win: one block apply of width B evaluates each kernel
+  // tile once, so gsks.kernel_evals grows by m*n — not m*n*B.
+  Matrix pts = random_points(4, 30, 27);
+  KernelMatrix km(pts, Kernel::gaussian(0.7));
+  auto rows = iota_idx(18);
+  auto cols = iota_idx(12, 18);
+  std::mt19937_64 rng(28);
+  Matrix u = Matrix::random_gaussian(12, 5, rng);
+  Matrix y(18, 5);
+  const obs::Snapshot before = obs::snapshot();
+  gsks_apply_block(km, rows, cols, u, y);
+  const obs::Snapshot after = obs::snapshot();
+  const auto get = [](const obs::Snapshot& s, const char* k) {
+    const auto it = s.counters.find(k);
+    return it != s.counters.end() ? it->second : 0.0;
+  };
+  EXPECT_DOUBLE_EQ(get(after, "gsks.kernel_evals"),
+                   get(before, "gsks.kernel_evals") + 18.0 * 12.0);
 }
 
 // ------------------------------------------------------ KernelBlockOp --

@@ -6,6 +6,7 @@
 
 #include "la/gemm.hpp"
 #include "la/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace fdks::la {
 namespace {
@@ -120,6 +121,88 @@ TEST(GemmRaw, StridedSubBlock) {
       EXPECT_NEAR(big(2 + i, 1 + j), exact(i, j), 1e-12);
   EXPECT_EQ(big(0, 0), 0.0);  // Outside the window untouched.
   EXPECT_EQ(big(9, 9), 0.0);
+}
+
+// ---- Counting convention (see gemm.hpp) -----------------------------
+//
+// Validating routines (gemv, gemm, gsks) count AFTER validation: a
+// throwing call must not inflate the flop accounting the bench
+// regression gate compares. Raw-pointer routines (gemm_raw) count the
+// call at entry because the beta-scale mutates C even when the multiply
+// is skipped; flops.* still only counts executed multiply work.
+
+double counter_of(const char* name) {
+  const obs::Snapshot s = obs::snapshot();
+  const auto it = s.counters.find(name);
+  return it != s.counters.end() ? it->second : 0.0;
+}
+
+// Counters are globally gated; flip them on for the duration of a test.
+struct ObsOn {
+  bool was = obs::enabled();
+  ObsOn() { obs::set_enabled(true); }
+  ~ObsOn() { obs::set_enabled(was); }
+};
+
+TEST(Counters, ThrowingGemvDoesNotCount) {
+  ObsOn obs_on;
+  Matrix a(2, 3);
+  std::vector<double> x(2), y(2);  // Wrong x length for NoTrans.
+  const double calls0 = counter_of("gemv.calls");
+  const double flops0 = counter_of("flops.gemv");
+  EXPECT_THROW(gemv(Trans::No, 1.0, a, x, 0.0, y), std::invalid_argument);
+  std::vector<double> yt(2);  // Wrong y length for Trans (needs n = 3).
+  EXPECT_THROW(gemv(Trans::Yes, 1.0, a, x, 0.0, yt),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(counter_of("gemv.calls"), calls0);
+  EXPECT_DOUBLE_EQ(counter_of("flops.gemv"), flops0);
+}
+
+TEST(Counters, ThrowingGemmDoesNotCount) {
+  ObsOn obs_on;
+  Matrix a(2, 3), b(2, 3), c(2, 3);
+  const double calls0 = counter_of("gemm.calls");
+  const double flops0 = counter_of("flops.gemm");
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(counter_of("gemm.calls"), calls0);
+  EXPECT_DOUBLE_EQ(counter_of("flops.gemm"), flops0);
+}
+
+TEST(Counters, GemmRawScaleOnlyCountsCallNotFlops) {
+  ObsOn obs_on;
+  // k == 0: no multiply work, but the beta-scale still runs — the call
+  // is visible in gemm.calls while flops.gemm stays put.
+  Matrix c(3, 2);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 3; ++i) c(i, j) = 4.0;
+  const double calls0 = counter_of("gemm.calls");
+  const double flops0 = counter_of("flops.gemm");
+  gemm_raw(3, 2, 0, 1.0, nullptr, 1, nullptr, 1, 0.5, c.data(), c.ld());
+  EXPECT_DOUBLE_EQ(counter_of("gemm.calls"), calls0 + 1.0);
+  EXPECT_DOUBLE_EQ(counter_of("flops.gemm"), flops0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);  // The scale was applied.
+  EXPECT_DOUBLE_EQ(c(2, 1), 2.0);
+
+  // alpha == 0 with beta == 0: a pure clear, same convention.
+  gemm_raw(3, 2, 5, 0.0, nullptr, 1, nullptr, 1, 0.0, c.data(), c.ld());
+  EXPECT_DOUBLE_EQ(counter_of("gemm.calls"), calls0 + 2.0);
+  EXPECT_DOUBLE_EQ(counter_of("flops.gemm"), flops0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 0.0);
+}
+
+TEST(Counters, ExecutedGemmCountsFlops) {
+  ObsOn obs_on;
+  std::mt19937_64 rng(9);
+  Matrix a = Matrix::random_gaussian(4, 5, rng);
+  Matrix b = Matrix::random_gaussian(5, 3, rng);
+  Matrix c(4, 3);
+  const double calls0 = counter_of("gemm.calls");
+  const double flops0 = counter_of("flops.gemm");
+  gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, c);
+  EXPECT_GE(counter_of("gemm.calls"), calls0 + 1.0);
+  EXPECT_DOUBLE_EQ(counter_of("flops.gemm"),
+                   flops0 + 2.0 * 4.0 * 5.0 * 3.0);
 }
 
 TEST(GemvRaw, MatchesGemv) {
