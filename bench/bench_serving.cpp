@@ -1,5 +1,6 @@
-// Serving-path benchmark: batched multi-RHS throughput and request
-// latency through the factor cache + admission queue (src/serve).
+// Serving-path benchmark: batched multi-RHS throughput, request
+// latency, and overload behavior through the factor cache + admission
+// queue (src/serve).
 //
 //   ./bench_serving [N] [mode] [arrival_us]
 //
@@ -11,20 +12,30 @@
 //
 // Part 2, mode "smoke" (default): deterministic closed-loop serving —
 // the engine starts paused, a fixed burst of requests is enqueued, and
-// resume() drains it in maximal batches. Batch composition is exactly
-// reproducible (ceil(requests/batch_max) batches), which is what makes
-// serve.* counters gateable by scripts/bench_compare.py.
+// resume() drains it in maximal batches. Then a deterministic overload
+// pass: a paused engine with queue_max = 64 is offered 128 requests,
+// so EXACTLY 64 are admitted and 64 shed with ServeError(Overloaded).
+// Batch composition and shed counts are exactly reproducible, which is
+// what makes the serve.* counters (including serve.shed) gateable by
+// scripts/bench_compare.py.
 //
 // Part 2, mode "open": open-loop arrival — requests are submitted with
 // a fixed inter-arrival gap (arrival_us microseconds, default 500)
 // while the engine runs, so batch sizes form from actual queueing.
-// Latency under load, NOT regression-gated (batch composition is
-// scheduling-dependent); run it by hand for the EXPERIMENTS.md
+//
+// Part 2, mode "overload": open-loop arrival against a BOUNDED queue
+// (queue_max = 16, degrade watermark 0.75) at an aggressive default
+// gap (arrival_us default 100), driving the engine past saturation.
+// Reports the shed rate and the p99 latency of the requests that were
+// admitted — the two numbers that characterize behavior at saturation.
+//
+// "open" and "overload" are NOT regression-gated (their composition is
+// scheduling-dependent); run them by hand for the EXPERIMENTS.md
 // serving protocol.
 //
 // Reported: p50/p99 request latency (serve.request_seconds, v2
-// histogram schema), batch-size distribution, and the batched-vs-
-// sequential speedup.
+// histogram schema), batch-size distribution, shed/degraded tallies,
+// and the batched-vs-sequential speedup.
 #include "bench_util.hpp"
 #include "serve/engine.hpp"
 #include "serve/factor_cache.hpp"
@@ -43,8 +54,10 @@ using la::index_t;
 
 int main(int argc, char** argv) {
   const index_t n = bench::arg_n(argc, argv, 4096);
-  const bool open_loop = argc > 2 && std::strcmp(argv[2], "open") == 0;
-  long arrival_us = 500;
+  const char* mode = argc > 2 ? argv[2] : "smoke";
+  const bool open_loop = std::strcmp(mode, "open") == 0;
+  const bool overload = std::strcmp(mode, "overload") == 0;
+  long arrival_us = overload ? 100 : 500;
   if (argc > 3) {
     errno = 0;
     char* end = nullptr;
@@ -62,7 +75,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Serving path: factor cache + batched multi-RHS admission queue.\n"
       "Batched B=64 solve vs 64 sequential solves, then request latency\n"
-      "through the ServeEngine.");
+      "and overload shedding through the ServeEngine.");
 
   data::Dataset ds =
       data::make_synthetic(data::SyntheticKind::Normal, n, 17);
@@ -118,20 +131,65 @@ int main(int argc, char** argv) {
   // ---- Part 2: request latency through the admission queue. ----
   serve::ServeOptions sopts;
   sopts.batch_max = kBatch;
-  sopts.start_paused = !open_loop;
+  sopts.start_paused = !(open_loop || overload);
+  if (overload) {
+    sopts.queue_max = 16;
+    sopts.degrade_watermark = 0.75;
+  }
   serve::ServeEngine engine(solver, sopts);
 
-  std::vector<std::future<std::vector<double>>> futs;
+  std::vector<std::future<serve::ServeResult>> futs;
   futs.reserve(static_cast<size_t>(kRequests));
+  index_t shed = 0;
   for (index_t r = 0; r < kRequests; ++r) {
-    futs.push_back(
-        engine.submit(bench::random_rhs(n, 500 + static_cast<uint64_t>(r))));
-    if (open_loop)
+    try {
+      futs.push_back(engine.submit(
+          bench::random_rhs(n, 500 + static_cast<uint64_t>(r))));
+    } catch (const serve::ServeError&) {
+      ++shed;  // Overloaded: counted, not retried (open-loop client).
+    }
+    if (open_loop || overload)
       std::this_thread::sleep_for(std::chrono::microseconds(arrival_us));
   }
-  if (!open_loop) engine.resume();
-  for (auto& f : futs) f.get();
+  if (sopts.start_paused) engine.resume();
+  index_t degraded = 0;
+  for (auto& f : futs) {
+    try {
+      if (f.get().degraded()) ++degraded;
+    } catch (const serve::ServeError&) {
+      ++shed;  // Expired in queue: also a saturation casualty.
+    }
+  }
   engine.drain();
+
+  // ---- Part 3 (smoke only): deterministic overload shedding. ----
+  // A paused engine with queue_max = 64 offered 128 requests admits
+  // exactly 64 and sheds exactly 64 — a closed-loop fixture that makes
+  // serve.shed a gateable counter rather than a timing artifact.
+  if (!open_loop && !overload) {
+    serve::ServeOptions ov;
+    ov.batch_max = kBatch;
+    ov.queue_max = static_cast<size_t>(kBatch);
+    ov.start_paused = true;
+    serve::ServeEngine bounded(solver, ov);
+    std::vector<std::future<serve::ServeResult>> admitted;
+    index_t rejected = 0;
+    for (index_t r = 0; r < kRequests; ++r) {
+      try {
+        admitted.push_back(bounded.submit(
+            bench::random_rhs(n, 900 + static_cast<uint64_t>(r))));
+      } catch (const serve::ServeError&) {
+        ++rejected;
+      }
+    }
+    bounded.resume();
+    for (auto& f : admitted) (void)f.get();
+    bounded.drain();
+    std::printf(
+        "overload    : offered %td, admitted %zu, shed %td "
+        "(queue_max %td)\n",
+        kRequests, admitted.size(), rejected, kBatch);
+  }
 
   const serve::ServeEngine::Stats es = engine.stats();
   const obs::Snapshot snap = obs::snapshot();
@@ -141,22 +199,29 @@ int main(int argc, char** argv) {
   const double p99 =
       lat != snap.histograms.end() ? lat->second.quantile(0.99) : 0.0;
   std::printf(
-      "%-12s: %llu requests in %llu batches (max width %td)\n",
-      open_loop ? "open-loop" : "closed-loop",
+      "%-12s: %llu requests in %llu batches (max width %td)\n", mode,
       static_cast<unsigned long long>(es.requests),
       static_cast<unsigned long long>(es.batches), es.max_batch);
   std::printf("latency     : p50 %.4fs   p99 %.4fs\n", p50, p99);
-  std::printf(
-      "\nExpected shape: the batched solve amortizes factor traffic "
-      "across the\nblock, so speedup >> 1 (acceptance floor 3x); "
-      "closed-loop batches are\nexactly ceil(%td/%td) = %td.\n",
-      kRequests, kBatch, (kRequests + kBatch - 1) / kBatch);
+  if (overload) {
+    std::printf(
+        "saturation  : shed rate %.1f%% (%td of %td), degraded %td, "
+        "p99 %.4fs at queue_max %zu\n",
+        100.0 * static_cast<double>(shed) / static_cast<double>(kRequests),
+        shed, kRequests, degraded, p99, sopts.queue_max);
+  } else {
+    std::printf(
+        "\nExpected shape: the batched solve amortizes factor traffic "
+        "across the\nblock, so speedup >> 1 (acceptance floor 3x); "
+        "closed-loop batches are\nexactly ceil(%td/%td) = %td.\n",
+        kRequests, kBatch, (kRequests + kBatch - 1) / kBatch);
+  }
 
   bench::write_bench_json(
       "serving",
       {obs::kv("n", static_cast<long long>(n)),
        obs::kv("batch_max", static_cast<long long>(kBatch)),
        obs::kv("requests", static_cast<long long>(kRequests)),
-       obs::kv("mode", open_loop ? "open" : "smoke")});
+       obs::kv("mode", mode)});
   return diff < 1e-10 ? 0 : 1;
 }

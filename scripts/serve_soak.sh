@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Serving soak: run a loaded ServeEngine (bounded queue, deadlines,
+# degraded watermark) while a fault-injected mpisim world churns in the
+# same process (tests/serve_soak_test.cpp). Every admitted request must
+# resolve structurally — value or ServeError — never hang.
+#
+# Duration, problem size, and submitter count are environment knobs,
+# forwarded to the test binary:
+#   FDKS_SERVE_SOAK_SECONDS=30 \
+#   FDKS_SERVE_SOAK_N=512 \
+#   FDKS_SERVE_SOAK_THREADS=8 scripts/serve_soak.sh
+#
+# Defaults (2s at n=256 with 3 submitters) finish in seconds; crank
+# FDKS_SERVE_SOAK_SECONDS for a real soak.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -R serve_soak_test --output-on-failure "$@"

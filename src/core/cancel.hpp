@@ -1,0 +1,108 @@
+// Cooperative cancellation and deadlines for long-running solves.
+//
+// A CancelToken carries an optional wall-clock deadline and an optional
+// shared cancel flag. Compute loops accept a `const CancelToken*`
+// (nullptr = never cancel, the default for every existing caller) and
+// call check() at natural boundaries — internal tree nodes in the
+// telescoping solve, frontier subtrees in the hybrid solver, Arnoldi
+// iterations in GMRES. check() throws CancelledError, which unwinds the
+// solve; the serving layer catches it and fails the affected requests
+// with ServeCode::DeadlineExceeded instead of letting dead work occupy
+// the worker.
+//
+// Tokens are cheap value types: copies share the same cancel flag, so a
+// token handed to a worker can be cancelled from the submitting thread.
+// Deadline is the alias callers use when the token only encodes time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace fdks::core {
+
+/// Thrown by CancelToken::check() when the deadline has passed or the
+/// token was cancelled. Derives from runtime_error so generic handlers
+/// still work, but callers that care catch it specifically.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Default token: never expires, never cancelled. Equivalent to
+  /// passing nullptr; exists so a token member can mean "no limit".
+  CancelToken() = default;
+
+  /// Token that expires at an absolute steady_clock time point.
+  static CancelToken at(clock::time_point deadline) {
+    CancelToken t;
+    t.deadline_ = deadline;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Token that expires `budget` from now.
+  static CancelToken after(clock::duration budget) {
+    return at(clock::now() + budget);
+  }
+
+  /// Token with no deadline that can only be cancelled manually.
+  static CancelToken manual() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Trip the shared cancel flag; every copy of this token observes it.
+  /// No-op on a default-constructed (non-cancellable) token.
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const { return deadline_ != clock::time_point::max(); }
+  clock::time_point deadline() const { return deadline_; }
+
+  /// True once cancelled or past the deadline. Reads the clock, so call
+  /// at work-item granularity (tree nodes, Krylov iterations), not in
+  /// inner arithmetic loops.
+  bool expired() const {
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    return has_deadline() && clock::now() >= deadline_;
+  }
+
+  /// Time left before the deadline (clamped at zero); duration::max()
+  /// when there is no deadline.
+  clock::duration remaining() const {
+    if (!has_deadline()) return clock::duration::max();
+    const clock::time_point now = clock::now();
+    return now >= deadline_ ? clock::duration::zero() : deadline_ - now;
+  }
+
+  /// Throw CancelledError("<context>: ...") if expired. `context`
+  /// names the checking site, matching the project's error-message
+  /// convention.
+  void check(const char* context) const {
+    if (!expired()) return;
+    const bool flagged = flag_ && flag_->load(std::memory_order_relaxed);
+    throw CancelledError(std::string(context) +
+                         (flagged && !has_deadline()
+                              ? ": cancelled"
+                              : ": deadline exceeded"));
+  }
+
+ private:
+  clock::time_point deadline_ = clock::time_point::max();
+  std::shared_ptr<std::atomic<bool>> flag_;  ///< Shared across copies.
+};
+
+/// Naming alias for the common case where the token only encodes a
+/// time budget.
+using Deadline = CancelToken;
+
+}  // namespace fdks::core

@@ -214,6 +214,15 @@ size_t FactorTree::subtree_bytes(index_t id) const {
   return b;
 }
 
+size_t FactorTree::memory_bytes() const {
+  // Flat walk over the node table: counts whatever is resident, whether
+  // the tree was factorized whole (sequential solver), per frontier
+  // subtree (hybrid), or partially (an interrupted factorization).
+  size_t b = 0;
+  for (const NodeFactor& f : nf_) b += f.bytes();
+  return b;
+}
+
 void FactorTree::record_stability(index_t id) {
   const NodeFactor& f = nf_[static_cast<size_t>(id)];
   const tree::Node& nd = h_->tree().node(id);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "askit/hmatrix.hpp"
+#include "core/cancel.hpp"
 #include "core/status.hpp"
 #include "kernel/summation.hpp"
 #include "la/chol.hpp"
@@ -180,18 +181,24 @@ class FactorTree {
   void factorize_subtree_levelwise(index_t id, bool compute_phat);
 
   /// In-place solve (lambda I + K~_αα)^-1 on u (|α| entries, permuted
-  /// order, offset relative to node begin).
-  void solve_subtree(index_t id, std::span<double> u) const;
+  /// order, offset relative to node begin). `cancel` (optional) is
+  /// checked at every internal node on the way down — the level
+  /// boundaries of Algorithm II.3 — and aborts by throwing
+  /// CancelledError, leaving u partially overwritten.
+  void solve_subtree(index_t id, std::span<double> u,
+                     const CancelToken* cancel = nullptr) const;
 
   /// Block right-hand-side variant, fully in place on a strided
   /// [node-size x B] column view: recursion descends through row
   /// sub-views (no copies), skeleton corrections are single GEMMs over
   /// the batch. This is the n_rhs dimension of the serving path — every
   /// factor matrix is streamed once per batch instead of once per RHS.
-  void solve_subtree(index_t id, la::MatrixView u) const;
+  void solve_subtree(index_t id, la::MatrixView u,
+                     const CancelToken* cancel = nullptr) const;
 
   /// Convenience overload: whole-matrix block solve.
-  void solve_subtree(index_t id, Matrix& u) const;
+  void solve_subtree(index_t id, Matrix& u,
+                     const CancelToken* cancel = nullptr) const;
 
   /// Dense |α| x s_eff(α) unfactored basis E_α = P_{α,α~}^T expanded to
   /// point level by telescoping the projections (used by the Subtree
@@ -217,6 +224,12 @@ class FactorTree {
 
   /// Total bytes held by factors in the subtree at `id`.
   size_t subtree_bytes(index_t id) const;
+
+  /// Total bytes held by every factored node in the tree, regardless of
+  /// topology (full-tree, frontier-subtree, or partial factorizations
+  /// all report what is actually resident). This is the figure the
+  /// serving cache budgets against (serve.cache_bytes).
+  size_t memory_bytes() const;
 
   // Checkpoint hooks (src/ckpt). FactorTree is non-movable (it guards
   // its accumulators with a mutex), so restore mutates an existing tree

@@ -112,7 +112,8 @@ void HybridSolver::reduced_apply(std::span<const double> z,
   for (size_t i = 0; i < z.size(); ++i) y[i] += z[i];
 }
 
-std::vector<double> HybridSolver::solve(std::span<const double> u) const {
+std::vector<double> HybridSolver::solve(std::span<const double> u,
+                                        const CancelToken* cancel) const {
   if (static_cast<index_t>(u.size()) != h_->n())
     throw std::invalid_argument("HybridSolver::solve: size mismatch");
   obs::ScopedTimer t_solve("solve");
@@ -120,29 +121,35 @@ std::vector<double> HybridSolver::solve(std::span<const double> u) const {
   std::vector<double> ut = h_->to_tree_order(u);
 
   if (frontier_.empty()) {  // Single-leaf degenerate case.
-    ft_.solve_subtree(h_->tree().root(), ut);
+    ft_.solve_subtree(h_->tree().root(), std::span<double>(ut), cancel);
     return h_->from_tree_order(ut);
   }
 
   // Algorithm II.6. Step 1: w = D^-1 u on every frontier subtree.
   std::vector<double> w = ut;
   for (index_t a : frontier_) {
+    if (cancel) cancel->check("HybridSolver::solve");
     const tree::Node& nd = h_->tree().node(a);
-    ft_.solve_subtree(a, std::span<double>(w.data() + nd.begin,
-                                           static_cast<size_t>(nd.size())));
+    ft_.solve_subtree(a,
+                      std::span<double>(w.data() + nd.begin,
+                                        static_cast<size_t>(nd.size())),
+                      cancel);
   }
 
   if (reduced_size_ == 0) return h_->from_tree_order(w);
 
-  // Step 2: rhs = V w; step 3: solve (I + VW) z = rhs with GMRES.
+  // Step 2: rhs = V w; step 3: solve (I + VW) z = rhs with GMRES. The
+  // token rides into the Krylov loop through GmresOptions.
   std::vector<double> rhs(static_cast<size_t>(reduced_size_), 0.0);
   matvec_v(w, rhs);
+  iter::GmresOptions gopts = opts_.gmres;
+  if (cancel) gopts.cancel = cancel;
   last_ = iter::gmres(
       reduced_size_,
       [this](std::span<const double> z, std::span<double> y) {
         reduced_apply(z, y);
       },
-      rhs, opts_.gmres);
+      rhs, gopts);
 
   // Step 4: x = w - W z.
   std::vector<double> wz(static_cast<size_t>(h_->n()), 0.0);
@@ -151,7 +158,8 @@ std::vector<double> HybridSolver::solve(std::span<const double> u) const {
   return h_->from_tree_order(w);
 }
 
-Matrix HybridSolver::solve(const Matrix& u) const {
+Matrix HybridSolver::solve(const Matrix& u,
+                           const CancelToken* cancel) const {
   const index_t n = h_->n();
   if (u.rows() != n)
     throw std::invalid_argument("HybridSolver::solve: block shape mismatch");
@@ -167,12 +175,13 @@ Matrix HybridSolver::solve(const Matrix& u) const {
   la::MatrixView wv(w);
 
   if (frontier_.empty()) {  // Single-leaf degenerate case.
-    ft_.solve_subtree(h_->tree().root(), w);
+    ft_.solve_subtree(h_->tree().root(), w, cancel);
   } else {
     // Step 1: W = D^-1 U, one in-place block solve per frontier subtree.
     for (index_t a : frontier_) {
+      if (cancel) cancel->check("HybridSolver::solve");
       const tree::Node& nd = h_->tree().node(a);
-      ft_.solve_subtree(a, wv.block(nd.begin, 0, nd.size(), nrhs));
+      ft_.solve_subtree(a, wv.block(nd.begin, 0, nd.size(), nrhs), cancel);
     }
 
     if (reduced_size_ > 0) {
@@ -198,6 +207,8 @@ Matrix HybridSolver::solve(const Matrix& u) const {
 
       // Step 3: (I + VW) z = rhs, one GMRES per column (Krylov spaces
       // are per-RHS; everything around them is batched).
+      iter::GmresOptions gopts = opts_.gmres;
+      if (cancel) gopts.cancel = cancel;
       Matrix z(reduced_size_, nrhs);
       for (index_t j = 0; j < nrhs; ++j) {
         last_ = iter::gmres(
@@ -207,7 +218,7 @@ Matrix HybridSolver::solve(const Matrix& u) const {
             },
             std::span<const double>(rhs.col(j),
                                     static_cast<size_t>(reduced_size_)),
-            opts_.gmres);
+            gopts);
         std::copy(last_.x.begin(), last_.x.end(), z.col(j));
       }
 

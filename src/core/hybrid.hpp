@@ -39,8 +39,12 @@ class HybridSolver {
   HybridSolver(const HMatrix& h, HybridOptions opts);
 
   /// Solve (lambda I + K~) x = u (vectors in original point order).
-  /// Records the reduced-system GMRES trace (last_gmres()).
-  std::vector<double> solve(std::span<const double> u) const;
+  /// Records the reduced-system GMRES trace (last_gmres()). `cancel`
+  /// (optional) is checked between frontier subtrees and at every
+  /// reduced-system GMRES iteration; an expired token aborts with
+  /// core::CancelledError.
+  std::vector<double> solve(std::span<const double> u,
+                            const CancelToken* cancel = nullptr) const;
 
   /// Block solve for B right-hand sides (columns of u). The linear
   /// stages of Algorithm II.6 are batched — D^-1 as in-place block
@@ -48,7 +52,7 @@ class HybridSolver {
   /// P^ applications — while the reduced-system GMRES (step 3) stays
   /// per column (a Krylov space is per-RHS). last_gmres() reflects the
   /// final column afterwards.
-  Matrix solve(const Matrix& u) const;
+  Matrix solve(const Matrix& u, const CancelToken* cancel = nullptr) const;
 
   /// Guarded solve with graceful degradation: validates input/output,
   /// measures the true residual, and — when escalate_residual_tol is set

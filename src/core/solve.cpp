@@ -8,7 +8,8 @@
 
 namespace fdks::core {
 
-void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
+void FactorTree::solve_subtree(index_t id, std::span<double> u,
+                               const CancelToken* cancel) const {
   const tree::Node& nd = h_->tree().node(id);
   const NodeFactor& f = nf_[static_cast<size_t>(id)];
   if (!f.factored) throw std::logic_error("solve_subtree: not factorized");
@@ -23,6 +24,10 @@ void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
     return;
   }
 
+  // Cooperative cancellation at level boundaries: one clock read per
+  // internal node, never inside the dense kernels.
+  if (cancel) cancel->check("FactorTree::solve_subtree");
+
   const tree::Node& l = h_->tree().node(nd.left);
   const index_t nl = l.size();
   const index_t sl = f.v_lr.rows();
@@ -32,8 +37,8 @@ void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
   auto ur = u.subspan(static_cast<size_t>(nl));
 
   // u' = D^-1 u by recursion on the children.
-  solve_subtree(nd.left, ul);
-  solve_subtree(nd.right, ur);
+  solve_subtree(nd.left, ul, cancel);
+  solve_subtree(nd.right, ur, cancel);
 
   // t = V u' = [K(l~, X_r) u'_r ; K(r~, X_l) u'_l], then t = Z^-1 t.
   std::vector<double> t(static_cast<size_t>(sl + sr), 0.0);
@@ -60,7 +65,8 @@ void FactorTree::solve_subtree(index_t id, std::span<double> u) const {
 // unwound between the copies). Leaf solves stream each factor column
 // across all RHS columns (TRSM-style), and the V / Z / W corrections
 // are single GEMM-width operations over the batch.
-void FactorTree::solve_subtree(index_t id, la::MatrixView u) const {
+void FactorTree::solve_subtree(index_t id, la::MatrixView u,
+                               const CancelToken* cancel) const {
   const tree::Node& nd = h_->tree().node(id);
   const NodeFactor& f = nf_[static_cast<size_t>(id)];
   if (!f.factored) throw std::logic_error("solve_subtree: not factorized");
@@ -75,6 +81,8 @@ void FactorTree::solve_subtree(index_t id, la::MatrixView u) const {
     return;
   }
 
+  if (cancel) cancel->check("FactorTree::solve_subtree");
+
   const index_t nl = h_->tree().node(nd.left).size();
   const index_t nr = h_->tree().node(nd.right).size();
   const index_t sl = f.v_lr.rows();
@@ -85,8 +93,8 @@ void FactorTree::solve_subtree(index_t id, la::MatrixView u) const {
   la::MatrixView ubot = u.block(nl, 0, nr, nrhs);
 
   // U' = D^-1 U by recursion on the children, in place.
-  solve_subtree(nd.left, utop);
-  solve_subtree(nd.right, ubot);
+  solve_subtree(nd.left, utop, cancel);
+  solve_subtree(nd.right, ubot, cancel);
 
   // T = V U' = [K(l~, X_r) U'_r ; K(r~, X_l) U'_l], then T = Z^-1 T.
   Matrix t(sl + sr, nrhs);
@@ -103,8 +111,9 @@ void FactorTree::solve_subtree(index_t id, la::MatrixView u) const {
              -1.0);
 }
 
-void FactorTree::solve_subtree(index_t id, Matrix& u) const {
-  solve_subtree(id, la::MatrixView(u));
+void FactorTree::solve_subtree(index_t id, Matrix& u,
+                               const CancelToken* cancel) const {
+  solve_subtree(id, la::MatrixView(u), cancel);
 }
 
 }  // namespace fdks::core

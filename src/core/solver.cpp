@@ -68,23 +68,25 @@ void FastDirectSolver::refactorize(double lambda) {
   factor_seconds_ = t.stop();
 }
 
-void FastDirectSolver::solve(std::span<const double> u,
-                             std::span<double> x) const {
+void FastDirectSolver::solve(std::span<const double> u, std::span<double> x,
+                             const CancelToken* cancel) const {
   obs::ScopedTimer t("solve");
   const HMatrix& h = ft_.hmatrix();
   std::vector<double> ut = h.to_tree_order(u);
-  ft_.solve_subtree(h.tree().root(), ut);
+  ft_.solve_subtree(h.tree().root(), std::span<double>(ut), cancel);
   std::vector<double> xo = h.from_tree_order(ut);
   std::copy(xo.begin(), xo.end(), x.begin());
 }
 
-std::vector<double> FastDirectSolver::solve(std::span<const double> u) const {
+std::vector<double> FastDirectSolver::solve(std::span<const double> u,
+                                            const CancelToken* cancel) const {
   std::vector<double> x(u.size());
-  solve(u, x);
+  solve(u, x, cancel);
   return x;
 }
 
-Matrix FastDirectSolver::solve(const Matrix& u) const {
+Matrix FastDirectSolver::solve(const Matrix& u,
+                               const CancelToken* cancel) const {
   // One batched telescoping solve over all B columns: permute the block
   // into tree order, run the in-place block solve_subtree (factors are
   // streamed once for the whole batch), permute back. Only the O(N B)
@@ -98,7 +100,7 @@ Matrix FastDirectSolver::solve(const Matrix& u) const {
         std::span<const double>(u.col(j), static_cast<size_t>(n)));
     std::copy(ut.begin(), ut.end(), x.col(j));
   }
-  ft_.solve_subtree(h.tree().root(), x);
+  ft_.solve_subtree(h.tree().root(), x, cancel);
   for (index_t j = 0; j < x.cols(); ++j) {
     std::vector<double> xo = h.from_tree_order(
         std::span<const double>(x.col(j), static_cast<size_t>(n)));

@@ -29,12 +29,16 @@ class FastDirectSolver {
   void refactorize(double lambda);
 
   /// Solve (lambda I + K~) x = u. Vectors are in the caller's original
-  /// point order.
-  void solve(std::span<const double> u, std::span<double> x) const;
-  std::vector<double> solve(std::span<const double> u) const;
+  /// point order. `cancel` (optional) is checked at the internal-node
+  /// boundaries of the telescoping recursion; an expired token aborts
+  /// the solve with core::CancelledError (see core/cancel.hpp).
+  void solve(std::span<const double> u, std::span<double> x,
+             const CancelToken* cancel = nullptr) const;
+  std::vector<double> solve(std::span<const double> u,
+                            const CancelToken* cancel = nullptr) const;
 
   /// Block solve for multiple right-hand sides (columns of u).
-  Matrix solve(const Matrix& u) const;
+  Matrix solve(const Matrix& u, const CancelToken* cancel = nullptr) const;
 
   /// Guarded solve: validates the input, solves, validates the output,
   /// and returns a structured outcome including the true relative

@@ -84,6 +84,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
   double rnorm = bnorm;
 
   while (total_it < opts.max_iters) {
+    if (opts.cancel) opts.cancel->check("iter::gmres");
     // Residual r = b - A x (x = 0 on the first cycle keeps this exact).
     a(out.x, w);
     for (index_t i = 0; i < n; ++i)
@@ -105,6 +106,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
 
     int k = 0;
     for (; k < m && total_it < opts.max_iters; ++k, ++total_it) {
+      if (opts.cancel) opts.cancel->check("iter::gmres");
       IterClock iter_clock;
       // Arnoldi step: w = A v_k, orthogonalize against the basis with
       // MGS, then (optionally) run a second CGS-style refinement pass.

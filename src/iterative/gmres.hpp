@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "la/matrix.hpp"
 
 namespace fdks::iter {
@@ -35,6 +36,11 @@ struct GmresOptions {
   /// stagnation_window consecutive iterations. 0 disables.
   int stagnation_window = 0;
   double stagnation_rtol = 0.99;
+  /// Cooperative cancellation: checked at every Arnoldi iteration and
+  /// restart boundary; an expired token aborts the solve by throwing
+  /// core::CancelledError (the serving layer's deadline path). The
+  /// token must outlive the gmres() call. nullptr = never cancel.
+  const core::CancelToken* cancel = nullptr;
 };
 
 struct GmresResult {

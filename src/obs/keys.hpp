@@ -128,11 +128,17 @@
   X(kServeBatchSeconds,       "serve.batch_seconds",         Histogram)    \
   X(kServeBatchSize,          "serve.batch_size",            Histogram)    \
   X(kServeBatchSpeedup,       "serve.batch_speedup",         Counter)      \
+  X(kServeBreakerOpen,        "serve.breaker_open",          Counter)      \
+  X(kServeCacheBytes,         "serve.cache_bytes",           Counter)      \
   X(kServeCacheEvict,         "serve.cache_evict",           Counter)      \
   X(kServeCacheHit,           "serve.cache_hit",             Counter)      \
   X(kServeCacheMiss,          "serve.cache_miss",            Counter)      \
+  X(kServeDegraded,           "serve.degraded",              Counter)      \
+  X(kServeExpired,            "serve.expired",               Counter)      \
+  X(kServePoison,             "serve.poison",                Counter)      \
   X(kServeRequests,           "serve.requests",              Counter)      \
   X(kServeRequestSeconds,     "serve.request_seconds",       Histogram)    \
+  X(kServeShed,               "serve.shed",                  Counter)      \
   X(kScopeServeBatch,         "serve.batch",                 Timer)        \
   /* bench / tool top-level scopes (bench/, examples/) */                  \
   X(kGflopsRate,              "GFLOPS",                      Counter)      \

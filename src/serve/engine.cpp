@@ -1,12 +1,48 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/obs.hpp"
 
 namespace fdks::serve {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+constexpr steady_clock::time_point kNoDeadline =
+    steady_clock::time_point::max();
+
+}  // namespace
+
+ServeResult degraded_gmres_solve(const core::HMatrix& h, double lambda,
+                                 std::span<const double> rhs,
+                                 const iter::GmresOptions& gopts,
+                                 const core::CancelToken* cancel) {
+  iter::GmresOptions g = gopts;
+  if (cancel) g.cancel = cancel;
+  iter::GmresResult r = iter::gmres(
+      h.n(),
+      [&h, lambda](std::span<const double> in, std::span<double> out) {
+        h.apply(in, out, lambda);
+      },
+      rhs, g);
+  if (r.nonfinite)
+    throw ServeError(ServeCode::SolveFailed,
+                     "degraded_gmres_solve: non-finite iteration");
+  ServeResult res;
+  res.code = ServeCode::Degraded;
+  res.x = std::move(r.x);
+  res.residual = r.relative_residual;
+  res.detail = r.converged
+                   ? "gmres-only fallback at relaxed tolerance"
+                   : "gmres-only fallback (tolerance not reached)";
+  return res;
+}
 
 ServeEngine::ServeEngine(
     std::shared_ptr<const core::FastDirectSolver> solver, ServeOptions opts)
@@ -15,11 +51,16 @@ ServeEngine::ServeEngine(
     throw std::invalid_argument("ServeEngine: null solver");
   if (opts_.batch_max < 1)
     throw std::invalid_argument("ServeEngine: batch_max must be >= 1");
+  if (opts_.degrade_watermark < 0.0 || opts_.degrade_watermark > 1.0)
+    throw std::invalid_argument(
+        "ServeEngine: degrade_watermark must be in [0, 1]");
   paused_ = opts_.start_paused;
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-ServeEngine::~ServeEngine() {
+ServeEngine::~ServeEngine() { shutdown(); }
+
+void ServeEngine::shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
@@ -27,32 +68,71 @@ ServeEngine::~ServeEngine() {
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
-  // Fail any requests the worker never picked up.
-  for (Request& r : queue_)
-    r.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("ServeEngine: engine destroyed before solve")));
+  // Fail any requests the worker never picked up. The queue is swapped
+  // out under the lock so a submit() that lost the race to stop_ (it
+  // throws ShuttingDown without enqueueing) can never be dropped.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    leftover.swap(queue_);
+  }
+  for (Request& r : leftover)
+    r.promise.set_exception(std::make_exception_ptr(ServeError(
+        ServeCode::ShuttingDown,
+        "ServeEngine: engine shut down before solve")));
 }
 
 index_t ServeEngine::n() const {
   return solver_->factor_tree().hmatrix().n();
 }
 
-std::future<std::vector<double>> ServeEngine::submit(
-    std::vector<double> rhs) {
+std::future<ServeResult> ServeEngine::submit(std::vector<double> rhs) {
+  const steady_clock::time_point deadline =
+      opts_.default_deadline.count() > 0
+          ? steady_clock::now() + opts_.default_deadline
+          : kNoDeadline;
+  return submit(std::move(rhs), deadline);
+}
+
+std::future<ServeResult> ServeEngine::submit(
+    std::vector<double> rhs, std::chrono::steady_clock::time_point deadline) {
+  // Validate before counting (the src/la convention): a rejected
+  // request must not perturb serve.requests or Stats::requests.
   if (static_cast<index_t>(rhs.size()) != n())
-    throw std::invalid_argument("ServeEngine::submit: rhs size mismatch");
+    throw ServeError(ServeCode::InvalidRhs,
+                     "ServeEngine::submit: rhs size mismatch");
+  if (opts_.validate_rhs &&
+      !core::all_finite(std::span<const double>(rhs.data(), rhs.size()))) {
+    obs::add("serve.poison");
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.poisoned;
+    }
+    throw ServeError(ServeCode::InvalidRhs,
+                     "ServeEngine::submit: rhs contains NaN/Inf");
+  }
   Request r;
   r.rhs = std::move(rhs);
-  r.enqueued = std::chrono::steady_clock::now();
-  std::future<std::vector<double>> fut = r.promise.get_future();
+  r.enqueued = steady_clock::now();
+  r.deadline = deadline;
+  std::future<ServeResult> fut = r.promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stop_)
-      throw std::logic_error("ServeEngine::submit: engine is stopping");
+      throw ServeError(ServeCode::ShuttingDown,
+                       "ServeEngine::submit: engine is stopping");
+    if (opts_.queue_max > 0 && queue_.size() >= opts_.queue_max) {
+      ++stats_.shed;
+      obs::add("serve.shed");
+      throw ServeError(ServeCode::Overloaded,
+                       "ServeEngine::submit: queue full, request shed");
+    }
     queue_.push_back(std::move(r));
+    // Counter and stats field are bumped in the same critical section,
+    // after every rejection path, so they cannot diverge.
     ++stats_.requests;
+    obs::add("serve.requests");
   }
-  obs::add("serve.requests");
   cv_.notify_all();
   return fut;
 }
@@ -72,8 +152,16 @@ void ServeEngine::resume() {
 
 void ServeEngine::drain() {
   std::unique_lock<std::mutex> lk(mu_);
-  while (!queue_.empty() || busy_)
-    cv_.wait_for(lk, std::chrono::milliseconds(10));
+  cv_.wait(lk, [this] {
+    return !busy_ && (queue_.empty() || paused_ || stop_);
+  });
+}
+
+bool ServeEngine::drain_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, timeout, [this] {
+    return !busy_ && (queue_.empty() || paused_ || stop_);
+  });
 }
 
 ServeEngine::Stats ServeEngine::stats() const {
@@ -81,15 +169,147 @@ ServeEngine::Stats ServeEngine::stats() const {
   return stats_;
 }
 
-void ServeEngine::worker_loop() {
+void ServeEngine::solve_range(std::vector<Request>& reqs, size_t lo,
+                              size_t hi, const core::CancelToken& tok,
+                              std::vector<Outcome>& out, BatchTally& tally) {
   const index_t nn = n();
+  const index_t width = static_cast<index_t>(hi - lo);
+  la::Matrix u(nn, width);
+  for (size_t j = lo; j < hi; ++j)
+    std::copy(reqs[j].rhs.begin(), reqs[j].rhs.end(),
+              u.col(static_cast<index_t>(j - lo)));
+
+  la::Matrix x;
+  try {
+    x = solver_->solve(u, &tok);
+  } catch (const core::CancelledError& e) {
+    for (size_t j = lo; j < hi; ++j) {
+      out[j].code = ServeCode::DeadlineExceeded;
+      out[j].detail = e.what();
+      obs::add("serve.expired");
+      ++tally.expired;
+    }
+    return;
+  } catch (const std::exception& e) {
+    if (width == 1) {
+      // Bisection bottomed out: this request alone made the solve
+      // throw — fail it, leaving every batchmate untouched.
+      out[lo].code = ServeCode::SolveFailed;
+      out[lo].detail =
+          std::string("batched solve failed for this request: ") + e.what();
+      obs::add("serve.poison");
+      ++tally.failed;
+      return;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    solve_range(reqs, lo, mid, tok, out, tally);
+    solve_range(reqs, mid, hi, tok, out, tally);
+    return;
+  }
+
+  for (size_t j = lo; j < hi; ++j) {
+    const double* col = x.col(static_cast<index_t>(j - lo));
+    if (!core::all_finite(
+            std::span<const double>(col, static_cast<size_t>(nn)))) {
+      // Block solve columns are arithmetically independent, so NaN/Inf
+      // here indicts exactly this request's right-hand side.
+      out[j].code = ServeCode::PoisonRhs;
+      out[j].detail = "solution column contains NaN/Inf";
+      obs::add("serve.poison");
+      ++tally.poisoned;
+    } else {
+      out[j].code = ServeCode::Ok;
+      out[j].x.assign(col, col + nn);
+    }
+  }
+}
+
+void ServeEngine::run_direct_batch(std::vector<Request>& reqs,
+                                   const core::CancelToken& tok,
+                                   std::vector<Outcome>& out,
+                                   BatchTally& tally) {
+  obs::add("serve.batches");
+  obs::hist("serve.batch_size", static_cast<double>(reqs.size()));
+  obs::ScopedTimer t_batch("serve.batch");
+  solve_range(reqs, 0, reqs.size(), tok, out, tally);
+  obs::hist("serve.batch_seconds", t_batch.stop());
+}
+
+void ServeEngine::run_degraded_batch(std::vector<Request>& reqs,
+                                     const core::CancelToken& tok,
+                                     std::vector<Outcome>& out,
+                                     BatchTally& tally) {
+  obs::add("serve.batches");
+  obs::hist("serve.batch_size", static_cast<double>(reqs.size()));
+  obs::ScopedTimer t_batch("serve.batch");
+  const core::HMatrix& h = solver_->factor_tree().hmatrix();
+  const double lambda = solver_->lambda();
+  for (size_t j = 0; j < reqs.size(); ++j) {
+    if (!core::all_finite(std::span<const double>(reqs[j].rhs.data(),
+                                                  reqs[j].rhs.size()))) {
+      out[j].code = ServeCode::PoisonRhs;
+      out[j].detail = "rhs contains NaN/Inf";
+      obs::add("serve.poison");
+      ++tally.poisoned;
+      continue;
+    }
+    try {
+      ServeResult res =
+          degraded_gmres_solve(h, lambda, reqs[j].rhs,
+                               opts_.degraded_gmres, &tok);
+      out[j].code = res.code;
+      out[j].x = std::move(res.x);
+      out[j].residual = res.residual;
+      out[j].detail = std::move(res.detail);
+      obs::add("serve.degraded");
+      ++tally.degraded;
+    } catch (const core::CancelledError& e) {
+      out[j].code = ServeCode::DeadlineExceeded;
+      out[j].detail = e.what();
+      obs::add("serve.expired");
+      ++tally.expired;
+    } catch (const ServeError& e) {
+      out[j].code = e.code();
+      out[j].detail = e.what();
+      obs::add("serve.poison");
+      ++tally.failed;
+    }
+  }
+  obs::hist("serve.batch_seconds", t_batch.stop());
+}
+
+void ServeEngine::worker_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
-    while (!stop_ && (paused_ || queue_.empty()))
-      cv_.wait_for(lk, std::chrono::milliseconds(50));
+    // Predicate wait (no polling): progress is possible exactly when
+    // we are stopping or unpaused work is queued.
+    cv_.wait(lk, [this] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
     if (stop_) return;
 
-    // Take up to batch_max pending requests as one block.
+    const steady_clock::time_point now = steady_clock::now();
+
+    // Shed already-expired requests first: dead work must never occupy
+    // a batch slot (their promises are failed outside the lock below).
+    std::vector<Request> dead;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->deadline <= now) {
+        dead.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Saturation watermark: with the queue nearly full, serve this
+    // batch through the relaxed-tolerance GMRES-only path to burn down
+    // the backlog (results are marked Degraded).
+    const bool degraded_batch =
+        opts_.queue_max > 0 && opts_.degrade_watermark > 0.0 &&
+        static_cast<double>(queue_.size()) >=
+            opts_.degrade_watermark * static_cast<double>(opts_.queue_max);
+
     const index_t batch = std::min<index_t>(
         opts_.batch_max, static_cast<index_t>(queue_.size()));
     std::vector<Request> reqs;
@@ -101,43 +321,76 @@ void ServeEngine::worker_loop() {
     busy_ = true;
     lk.unlock();
 
-    la::Matrix u(nn, batch);
-    for (index_t j = 0; j < batch; ++j)
-      std::copy(reqs[static_cast<size_t>(j)].rhs.begin(),
-                reqs[static_cast<size_t>(j)].rhs.end(), u.col(j));
-
-    obs::add("serve.batches");
-    obs::hist("serve.batch_size", static_cast<double>(batch));
-    obs::ScopedTimer t_batch("serve.batch");
-    bool ok = true;
-    la::Matrix x;
-    std::exception_ptr err;
-    try {
-      x = solver_->solve(u);
-    } catch (...) {
-      ok = false;
-      err = std::current_exception();
+    BatchTally tally;
+    for (Request& r : dead) {
+      obs::add("serve.expired");
+      ++tally.expired;
+      obs::hist("serve.request_seconds",
+                std::chrono::duration<double>(now - r.enqueued).count());
+      r.promise.set_exception(std::make_exception_ptr(ServeError(
+          ServeCode::DeadlineExceeded,
+          "ServeEngine: deadline expired before the request reached a "
+          "batch")));
     }
-    obs::hist("serve.batch_seconds", t_batch.stop());
 
-    const auto done = std::chrono::steady_clock::now();
-    for (index_t j = 0; j < batch; ++j) {
-      Request& r = reqs[static_cast<size_t>(j)];
+    std::vector<Outcome> out(reqs.size());
+    if (!reqs.empty()) {
+      // The batch runs under the latest deadline of its members: work
+      // keeps going as long as any member could still use the result,
+      // and aborts cooperatively once none can.
+      steady_clock::time_point latest = steady_clock::time_point::min();
+      for (const Request& r : reqs) latest = std::max(latest, r.deadline);
+      const core::CancelToken tok = latest == kNoDeadline
+                                        ? core::CancelToken()
+                                        : core::CancelToken::at(latest);
+      if (degraded_batch)
+        run_degraded_batch(reqs, tok, out, tally);
+      else
+        run_direct_batch(reqs, tok, out, tally);
+    }
+
+    const steady_clock::time_point done = steady_clock::now();
+    for (size_t j = 0; j < reqs.size(); ++j) {
+      Request& r = reqs[j];
+      Outcome& o = out[j];
       obs::hist("serve.request_seconds",
                 std::chrono::duration<double>(done - r.enqueued).count());
-      if (ok) {
-        r.promise.set_value(
-            std::vector<double>(x.col(j), x.col(j) + nn));
+      // A request whose own deadline passed during the solve fails even
+      // if the batch (run under the *latest* member deadline) produced
+      // a value for it.
+      const bool late = r.deadline <= done;
+      if (late &&
+          (o.code == ServeCode::Ok || o.code == ServeCode::Degraded)) {
+        if (o.code == ServeCode::Degraded) --tally.degraded;
+        o.code = ServeCode::DeadlineExceeded;
+        o.detail = "solve finished after the request deadline";
+        obs::add("serve.expired");
+        ++tally.expired;
+      }
+      if (o.code == ServeCode::Ok || o.code == ServeCode::Degraded) {
+        ServeResult res;
+        res.code = o.code;
+        res.x = std::move(o.x);
+        res.residual = o.residual;
+        res.detail = std::move(o.detail);
+        r.promise.set_value(std::move(res));
       } else {
-        r.promise.set_exception(err);
+        r.promise.set_exception(std::make_exception_ptr(
+            ServeError(o.code, "ServeEngine: " + o.detail)));
       }
     }
 
     lk.lock();
     busy_ = false;
-    stats_.batches += 1;
-    stats_.max_batch = std::max(stats_.max_batch, batch);
-    cv_.notify_all();  // Wake drain() waiters.
+    if (!reqs.empty()) {
+      stats_.batches += 1;
+      stats_.max_batch = std::max(stats_.max_batch, batch);
+    }
+    stats_.expired += tally.expired;
+    stats_.degraded += tally.degraded;
+    stats_.poisoned += tally.poisoned;
+    stats_.failed += tally.failed;
+    cv_.notify_all();  // Wake drain()/drain_for() waiters.
   }
 }
 

@@ -9,14 +9,35 @@
 // request, which is the multi-RHS throughput win bench_serving
 // measures.
 //
+// The request lifecycle is hardened end to end (serve/status.hpp holds
+// the outcome vocabulary):
+//   - Admission control: queue_max bounds the queue; submissions past
+//     it are shed with ServeError(Overloaded). validate_rhs rejects
+//     non-finite right-hand sides at the door (InvalidRhs).
+//   - Deadlines: per-request (submit overload) or engine-wide
+//     (default_deadline). Expired requests are shed before packing;
+//     a batch whose every member is expired aborts mid-solve through
+//     the core::CancelToken threaded into the telescoping recursion,
+//     and requests that finish past their deadline still fail with
+//     DeadlineExceeded.
+//   - Poison isolation: block solve columns are arithmetically
+//     independent, so a NaN that survives admission fails only its own
+//     request (PoisonRhs); a solve that throws is bisected until the
+//     offending request(s) fail alone (SolveFailed).
+//   - Degraded mode: when the queue reaches degrade_watermark of
+//     queue_max, batches are served by the GMRES-only treecode path at
+//     relaxed tolerance and marked ServeResult::Degraded — graceful
+//     degradation instead of unbounded queueing.
+//
 // pause()/resume() gate the worker: submissions made while paused are
 // coalesced into maximal batches on resume. This is how tests and the
 // bench's deterministic smoke mode pin down batch composition —
 // without it, batch sizes depend on scheduler timing.
 //
-// Observability (obs/keys.hpp): serve.requests / serve.batches
-// counters, serve.batch_size / serve.batch_seconds /
-// serve.request_seconds histograms, and a serve.batch timer scope.
+// Observability (obs/keys.hpp): serve.requests / serve.batches /
+// serve.shed / serve.expired / serve.degraded / serve.poison counters,
+// serve.batch_size / serve.batch_seconds / serve.request_seconds
+// histograms, and a serve.batch timer scope.
 #pragma once
 
 #include <chrono>
@@ -26,18 +47,63 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/solver.hpp"
+#include "iterative/gmres.hpp"
+#include "serve/status.hpp"
 
 namespace fdks::serve {
 
 using core::index_t;
 
+/// Relaxed-tolerance GMRES settings for the degraded fallback: enough
+/// accuracy to be useful (1e-4 on the treecode operator), cheap enough
+/// to burn down a backlog.
+inline iter::GmresOptions degraded_gmres_defaults() {
+  iter::GmresOptions g;
+  g.rtol = 1e-4;
+  g.max_iters = 200;
+  g.restart = 60;
+  g.record_history = false;
+  return g;
+}
+
+/// Solve (lambda I + K~) x = rhs with GMRES on the treecode matvec
+/// alone — no factorization involved, which is exactly why it serves
+/// as the fallback when the queue saturates or the FactorCache breaker
+/// is open (a tripped breaker means no factorization exists, but the
+/// HMatrix still applies). The result is marked ServeCode::Degraded
+/// and carries the achieved relative residual. Throws
+/// core::CancelledError if `cancel` expires and
+/// ServeError(SolveFailed) if the iteration goes non-finite.
+ServeResult degraded_gmres_solve(const core::HMatrix& h, double lambda,
+                                 std::span<const double> rhs,
+                                 const iter::GmresOptions& gopts,
+                                 const core::CancelToken* cancel = nullptr);
+
 struct ServeOptions {
   index_t batch_max = 64;  ///< Largest block width one batch may use.
   bool start_paused = false;  ///< Begin with the admission gate closed.
+  /// Admission bound: submissions beyond this many queued requests are
+  /// shed with ServeError(Overloaded). 0 = unbounded (no shedding).
+  size_t queue_max = 0;
+  /// Engine-wide deadline applied to submissions that do not carry
+  /// their own (the two-argument submit overload). Zero = none.
+  std::chrono::milliseconds default_deadline{0};
+  /// Reject non-finite right-hand sides at submit (InvalidRhs) instead
+  /// of letting them poison a batch. Tests disable this to exercise
+  /// in-batch poison isolation.
+  bool validate_rhs = true;
+  /// Degraded-mode watermark: when queue_max > 0 and the queue holds at
+  /// least degrade_watermark * queue_max requests at packing time, the
+  /// batch is served by the GMRES-only path (degraded_gmres options)
+  /// and every result is marked Degraded. 0 disables.
+  double degrade_watermark = 0.0;
+  iter::GmresOptions degraded_gmres = degraded_gmres_defaults();
 };
 
 class ServeEngine {
@@ -50,23 +116,59 @@ class ServeEngine {
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
 
-  /// Enqueue one right-hand side (length n, original point order).
-  /// The future yields the solution, or rethrows the solve's error.
-  std::future<std::vector<double>> submit(std::vector<double> rhs);
+  /// Enqueue one right-hand side (length n, original point order) under
+  /// the engine-wide default_deadline (if any). The future yields a
+  /// ServeResult (Ok or Degraded) or rethrows a ServeError whose code()
+  /// says how the request ended (DeadlineExceeded, PoisonRhs,
+  /// SolveFailed, ShuttingDown). Admission failures throw ServeError
+  /// synchronously: Overloaded (queue_max reached), InvalidRhs (wrong
+  /// length or non-finite), ShuttingDown.
+  std::future<ServeResult> submit(std::vector<double> rhs);
+
+  /// Same, with an explicit per-request deadline. A request whose
+  /// deadline passes while queued is shed before ever occupying a batch
+  /// slot; one that expires mid-solve is cancelled cooperatively.
+  std::future<ServeResult> submit(
+      std::vector<double> rhs,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Close the admission gate: queued and future submissions are held.
   void pause();
   /// Reopen the gate and wake the worker; held requests are drained in
   /// maximal batches (up to batch_max each).
   void resume();
-  /// Block until the queue is empty and no batch is in flight.
+
+  /// Wait for in-flight work: blocks until no batch is being solved
+  /// AND the queue cannot make progress without outside help — i.e.
+  /// the queue is empty, or the engine is paused/stopping. On a paused
+  /// engine with queued requests this returns once the current batch
+  /// (if any) finishes; it does NOT wait for a resume() that may never
+  /// come.
   void drain();
+
+  /// drain() with a timeout; returns false if the wait timed out. The
+  /// graceful-shutdown pattern: drain_for(budget), then shutdown() —
+  /// whatever is still queued fails with ShuttingDown.
+  bool drain_for(std::chrono::milliseconds timeout);
+
+  /// Stop the worker and fail every request still queued with
+  /// ServeError(ShuttingDown). Idempotent; called by the destructor.
+  /// Concurrent submit() calls are safe against shutdown() (they either
+  /// enqueue before the cut and get ShuttingDown through the future, or
+  /// throw it synchronously) — but callers must not destroy the engine
+  /// while other threads still hold a reference to it.
+  void shutdown();
 
   index_t n() const;
 
   struct Stats {
-    std::uint64_t requests = 0;
+    std::uint64_t requests = 0;   ///< Accepted into the queue.
     std::uint64_t batches = 0;
+    std::uint64_t shed = 0;       ///< Rejected at admission (Overloaded).
+    std::uint64_t expired = 0;    ///< Failed with DeadlineExceeded.
+    std::uint64_t degraded = 0;   ///< Served by the GMRES-only fallback.
+    std::uint64_t poisoned = 0;   ///< InvalidRhs (non-finite) + PoisonRhs.
+    std::uint64_t failed = 0;     ///< SolveFailed after bisection.
     index_t max_batch = 0;
   };
   Stats stats() const;
@@ -74,11 +176,39 @@ class ServeEngine {
  private:
   struct Request {
     std::vector<double> rhs;
-    std::promise<std::vector<double>> promise;
+    std::promise<ServeResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = none.
+  };
+
+  /// Per-request outcome of one batch execution, staged before the
+  /// promises are fulfilled.
+  struct Outcome {
+    ServeCode code = ServeCode::Ok;
+    std::vector<double> x;
+    double residual = -1.0;
+    std::string detail;
+  };
+
+  /// Local tallies merged into stats_ once per batch (the obs counters
+  /// are emitted at the point of occurrence).
+  struct BatchTally {
+    std::uint64_t expired = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t poisoned = 0;
+    std::uint64_t failed = 0;
   };
 
   void worker_loop();
+  void run_direct_batch(std::vector<Request>& reqs,
+                        const core::CancelToken& tok,
+                        std::vector<Outcome>& out, BatchTally& tally);
+  void solve_range(std::vector<Request>& reqs, size_t lo, size_t hi,
+                   const core::CancelToken& tok, std::vector<Outcome>& out,
+                   BatchTally& tally);
+  void run_degraded_batch(std::vector<Request>& reqs,
+                          const core::CancelToken& tok,
+                          std::vector<Outcome>& out, BatchTally& tally);
 
   std::shared_ptr<const core::FastDirectSolver> solver_;
   ServeOptions opts_;

@@ -10,8 +10,26 @@
 
 namespace fdks::serve {
 
+namespace {
+
+FactorCacheOptions options_for_capacity(size_t capacity) {
+  FactorCacheOptions o;
+  o.capacity = std::max<size_t>(1, capacity);
+  return o;
+}
+
+FactorCacheOptions sanitize(FactorCacheOptions o) {
+  o.capacity = std::max<size_t>(1, o.capacity);
+  return o;
+}
+
+}  // namespace
+
 FactorCache::FactorCache(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
+    : opts_(options_for_capacity(capacity)) {}
+
+FactorCache::FactorCache(FactorCacheOptions opts)
+    : opts_(sanitize(std::move(opts))) {}
 
 std::string FactorCache::fingerprint(const HMatrix& h,
                                      const SolverOptions& opts) {
@@ -22,13 +40,20 @@ std::string FactorCache::fingerprint(const HMatrix& h,
 }
 
 void FactorCache::evict_locked() {
-  // Evict ready entries beyond capacity, least recently used first.
-  // In-flight entries are never evicted: a waiter holds a pointer to
-  // them and the factorizing thread will mark them ready.
-  for (auto it = lru_.rbegin();
-       it != lru_.rend() && entries_.size() > capacity_;) {
+  // Evict ready entries beyond the entry-count capacity or the byte
+  // budget, least recently used first. In-flight entries are never
+  // evicted: a waiter holds a pointer to them and the factorizing
+  // thread will mark them ready (their bytes are accounted, and the
+  // budget re-checked, at that point).
+  for (auto it = lru_.rbegin(); it != lru_.rend();) {
+    const bool over = entries_.size() > opts_.capacity ||
+                      (opts_.max_bytes > 0 && bytes_ > opts_.max_bytes);
+    if (!over) break;
     auto e = entries_.find(*it);
     if (e != entries_.end() && e->second->ready) {
+      bytes_ -= e->second->bytes;
+      obs::add("serve.cache_bytes",
+               -static_cast<double>(e->second->bytes));
       entries_.erase(e);
       ++stats_.evictions;
       obs::add("serve.cache_evict");
@@ -39,10 +64,20 @@ void FactorCache::evict_locked() {
   }
 }
 
+bool FactorCache::breaker_open(const HMatrix& h,
+                               const SolverOptions& opts) const {
+  const std::string key = fingerprint(h, opts);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto b = breakers_.find(key);
+  return b != breakers_.end() &&
+         b->second.open_until > std::chrono::steady_clock::now();
+}
+
 std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
     const HMatrix& h, const SolverOptions& opts) {
   const std::string key = fingerprint(h, opts);
   std::unique_lock<std::mutex> lk(mu_);
+
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     std::shared_ptr<Entry> e = it->second;
@@ -59,6 +94,20 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
     return e->solver;
   }
 
+  // Circuit breaker: a key that keeps failing to factorize fast-fails
+  // during its cooldown instead of re-burning the factorization cost.
+  // Callers fall back to the degraded GMRES-only path meanwhile.
+  if (opts_.breaker_threshold > 0) {
+    auto b = breakers_.find(key);
+    if (b != breakers_.end() &&
+        b->second.open_until > std::chrono::steady_clock::now()) {
+      ++stats_.breaker_rejects;
+      throw ServeError(ServeCode::BreakerOpen,
+                       "FactorCache::get: circuit breaker open after "
+                       "repeated factorization failures for this key");
+    }
+  }
+
   ++stats_.misses;
   obs::add("serve.cache_miss");
   auto e = std::make_shared<Entry>();
@@ -70,7 +119,10 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
   std::shared_ptr<const core::FastDirectSolver> solver;
   std::string error;
   try {
-    solver = std::make_shared<core::FastDirectSolver>(h, opts);
+    solver = opts_.factory
+                 ? opts_.factory(h, opts)
+                 : std::make_shared<core::FastDirectSolver>(h, opts);
+    if (!solver) error = "factory returned null";
   } catch (const std::exception& ex) {
     error = ex.what();
   }
@@ -79,11 +131,27 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
   if (solver) {
     e->solver = solver;
     e->ready = true;
+    e->bytes = solver->factor_tree().memory_bytes();
+    bytes_ += e->bytes;
+    obs::add("serve.cache_bytes", static_cast<double>(e->bytes));
+    breakers_.erase(key);  // Success closes/clears the breaker.
+    evict_locked();        // Byte budget is only known now.
   } else {
     e->failed = true;
     e->error = error;
     entries_.erase(key);  // Poisoned entry: let a later call retry.
     lru_.remove(key);
+    ++stats_.failures;
+    if (opts_.breaker_threshold > 0) {
+      Breaker& b = breakers_[key];
+      ++b.consecutive_failures;
+      if (b.consecutive_failures >= opts_.breaker_threshold) {
+        b.open_until =
+            std::chrono::steady_clock::now() + opts_.breaker_cooldown;
+        ++stats_.breaker_trips;
+        obs::add("serve.breaker_open");
+      }
+    }
   }
   lk.unlock();
   cv_.notify_all();
@@ -95,6 +163,11 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
 size_t FactorCache::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_.size();
+}
+
+size_t FactorCache::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
 }
 
 FactorCache::Stats FactorCache::stats() const {

@@ -5,16 +5,34 @@
 // same identity fingerprint the checkpoint layer uses (points, kernel,
 // tree config, factor-affecting options, lambda — see
 // ckpt::factor_fingerprint) and reuses them across requests. The cache
-// is LRU-bounded, thread-safe, and coalesces concurrent requests for
-// the same key into ONE factorization: the first caller factorizes,
-// the rest block on the in-flight entry and share the result.
+// is thread-safe and coalesces concurrent requests for the same key
+// into ONE factorization: the first caller factorizes, the rest block
+// on the in-flight entry and share the result.
+//
+// Eviction is *memory-budgeted*: every ready entry accounts its factor
+// bytes (FactorTree::memory_bytes()), and the least recently used
+// ready entries are evicted while the cache exceeds max_bytes (and/or
+// the entry-count capacity). The resident total is published as the
+// serve.cache_bytes gauge — emitted as signed deltas on insert/evict
+// so the accumulated counter always equals current residency.
+//
+// Repeated factorization failures trip a per-key circuit breaker:
+// after breaker_threshold consecutive failures, get() for that key
+// fast-fails with ServeError(BreakerOpen) for breaker_cooldown instead
+// of burning minutes re-failing the same factorization. After the
+// cooldown one probe attempt is allowed (half-open); success resets
+// the breaker, failure re-trips it. Callers can fall back to the
+// factorization-free degraded path (serve::degraded_gmres_solve).
 //
 // Observability: serve.cache_hit / serve.cache_miss / serve.cache_evict
-// counters (registered in obs/keys.hpp).
+// / serve.breaker_open counters and the serve.cache_bytes gauge
+// (registered in obs/keys.hpp).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -22,23 +40,44 @@
 #include <unordered_map>
 
 #include "core/solver.hpp"
+#include "serve/status.hpp"
 
 namespace fdks::serve {
 
 using core::HMatrix;
 using core::SolverOptions;
 
+struct FactorCacheOptions {
+  /// Maximum number of resident factorizations (entry-count bound).
+  size_t capacity = 4;
+  /// Byte budget over all resident factors (FactorTree::memory_bytes());
+  /// LRU ready entries are evicted while the total exceeds it. 0 = no
+  /// byte budget (entry count alone bounds the cache).
+  size_t max_bytes = 0;
+  /// Circuit breaker: consecutive factorization failures for one key
+  /// before get() fast-fails with ServeError(BreakerOpen). 0 disables.
+  int breaker_threshold = 3;
+  /// How long a tripped breaker rejects before allowing a probe.
+  std::chrono::milliseconds breaker_cooldown{1000};
+  /// Factorization hook — tests inject failing/instrumented factories;
+  /// null means construct a FastDirectSolver(h, opts) directly.
+  std::function<std::shared_ptr<const core::FastDirectSolver>(
+      const HMatrix&, const SolverOptions&)>
+      factory;
+};
+
 class FactorCache {
  public:
-  /// capacity = maximum number of resident factorizations; the least
-  /// recently used ready entry is evicted beyond it.
+  /// Entry-count-only construction (back-compatible shorthand).
   explicit FactorCache(size_t capacity = 4);
+  explicit FactorCache(FactorCacheOptions opts);
 
   /// Return the factored solver for (h, opts), factorizing on a miss.
   /// h must outlive every solver handed out for it. Concurrent calls
   /// with the same fingerprint share one factorization. Throws (with
-  /// the factorization error) if the underlying factorization throws;
-  /// a failed entry is removed so a later call can retry.
+  /// the factorization error) if the underlying factorization throws —
+  /// a failed entry is removed so a later call can retry — and
+  /// ServeError(BreakerOpen) while the key's breaker is in cooldown.
   std::shared_ptr<const core::FastDirectSolver> get(const HMatrix& h,
                                                     const SolverOptions& opts);
 
@@ -47,12 +86,20 @@ class FactorCache {
   static std::string fingerprint(const HMatrix& h, const SolverOptions& opts);
 
   size_t size() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const { return opts_.capacity; }
+  /// Bytes held by ready entries right now (the serve.cache_bytes gauge).
+  size_t bytes() const;
+
+  /// True while the breaker for (h, opts) would fast-fail a get().
+  bool breaker_open(const HMatrix& h, const SolverOptions& opts) const;
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t failures = 0;         ///< Factorizations that threw.
+    std::uint64_t breaker_trips = 0;    ///< Closed -> open transitions.
+    std::uint64_t breaker_rejects = 0;  ///< get() fast-fails while open.
   };
   Stats stats() const;
 
@@ -62,15 +109,23 @@ class FactorCache {
     bool ready = false;
     bool failed = false;
     std::string error;
+    size_t bytes = 0;  ///< memory_bytes() once ready; 0 in flight.
+  };
+
+  struct Breaker {
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
   };
 
   void evict_locked();
 
-  const size_t capacity_;
+  const FactorCacheOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< Signals in-flight entries turning ready.
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::unordered_map<std::string, Breaker> breakers_;
   std::list<std::string> lru_;  ///< Most recent first.
+  size_t bytes_ = 0;            ///< Sum over ready entries.
   Stats stats_;
 };
 

@@ -1,0 +1,182 @@
+// Serving soak: a loaded ServeEngine (bounded queue, deadlines, degraded
+// watermark) running while a fault-injected mpisim world churns in the
+// same process. The engine must keep every contract under pressure:
+// every admitted future resolves with a value or a structured
+// ServeError — never a hang, never an unstructured exception — and the
+// background chaos must neither starve the serving path nor corrupt a
+// served answer.
+//
+// Wired as the "chaos"-labelled ctest (with serve + fault labels too);
+// scripts/serve_soak.sh builds and runs it. Environment knobs:
+//   FDKS_SERVE_SOAK_SECONDS  submit-loop duration     (default 2)
+//   FDKS_SERVE_SOAK_N        problem size             (default 256)
+//   FDKS_SERVE_SOAK_THREADS  submitter threads        (default 3)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/dist_solver.hpp"
+#include "core/solver.hpp"
+#include "mpisim/runtime.hpp"
+#include "serve/engine.hpp"
+
+namespace fdks::serve {
+namespace {
+
+using askit::AskitConfig;
+using core::FastDirectSolver;
+using kernel::Kernel;
+using la::Matrix;
+using la::index_t;
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  const long v = std::strtol(raw, nullptr, 10);
+  return v > 0 ? v : fallback;
+}
+
+Matrix clustered_points(index_t d, index_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.15);
+  std::uniform_int_distribution<int> cl(0, 3);
+  Matrix centers = Matrix::random_uniform(d, 4, rng, -2.0, 2.0);
+  Matrix p(d, n);
+  for (index_t j = 0; j < n; ++j) {
+    const int c = cl(rng);
+    for (index_t k = 0; k < d; ++k) p(k, j) = centers(k, c) + g(rng);
+  }
+  return p;
+}
+
+TEST(ServeSoak, LoadedEngineSurvivesFaultInjectedNeighbors) {
+  const long seconds = env_long("FDKS_SERVE_SOAK_SECONDS", 2);
+  const index_t n =
+      static_cast<index_t>(env_long("FDKS_SERVE_SOAK_N", 256));
+  const long submitters = env_long("FDKS_SERVE_SOAK_THREADS", 3);
+
+  AskitConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.max_rank = 48;
+  cfg.tol = 1e-8;
+  cfg.num_neighbors = 8;
+  cfg.seed = 7;
+  Matrix pts = clustered_points(3, n, 29);
+  askit::HMatrix h(pts, Kernel::gaussian(1.0), cfg);
+  core::SolverOptions sopts;
+  sopts.lambda = 1.0;
+  auto solver = std::make_shared<const FastDirectSolver>(h, sopts);
+
+  ServeOptions so;
+  so.batch_max = 8;
+  so.queue_max = 32;
+  so.degrade_watermark = 0.75;
+  so.default_deadline = std::chrono::milliseconds(2000);
+  ServeEngine engine(solver, so);
+
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(seconds);
+  std::atomic<bool> stop{false};
+
+  // Background chaos: a fault-injected mpisim world repeatedly runs a
+  // distributed solve in-process, contending for cores and exercising
+  // the timeout/retry machinery while the engine serves.
+  std::atomic<long> chaos_runs{0};
+  std::thread chaos([&] {
+    std::vector<double> u(static_cast<size_t>(n), 1.0);
+    uint64_t seed = 1000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      mpisim::WorldOptions wo;
+      wo.faults.seed = ++seed;
+      wo.faults.drop_fraction = 0.05;
+      wo.faults.corrupt_fraction = 0.02;
+      wo.reliable.enabled = true;
+      wo.reliable.ack_timeout = std::chrono::milliseconds(25);
+      try {
+        mpisim::run(
+            4,
+            [&](mpisim::Comm& comm) {
+              core::DistributedSolver ds(h, sopts, comm);
+              (void)ds.solve(u);
+            },
+            wo);
+      } catch (const std::exception&) {
+        // Out-of-budget chaos cells may fail; the soak only requires
+        // the serving engine next door to stay correct.
+      }
+      chaos_runs.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Foreground load: submitter threads push random right-hand sides as
+  // fast as admission control lets them, tallying every outcome.
+  std::atomic<long> ok{0}, degraded{0}, shed{0}, expired{0}, other{0};
+  std::atomic<long> unstructured{0}, hung{0};
+  std::vector<std::thread> ts;
+  for (long t = 0; t < submitters; ++t) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(77 + t));
+      std::normal_distribution<double> g(0.0, 1.0);
+      while (std::chrono::steady_clock::now() < stop_at) {
+        std::vector<double> rhs(static_cast<size_t>(n));
+        for (auto& v : rhs) v = g(rng);
+        std::future<ServeResult> fut;
+        try {
+          fut = engine.submit(std::move(rhs));
+        } catch (const ServeError& e) {
+          (e.code() == ServeCode::Overloaded ? shed : other)
+              .fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        if (fut.wait_for(std::chrono::seconds(30)) !=
+            std::future_status::ready) {
+          hung.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        try {
+          const ServeResult res = fut.get();
+          (res.degraded() ? degraded : ok)
+              .fetch_add(1, std::memory_order_relaxed);
+        } catch (const ServeError& e) {
+          (e.code() == ServeCode::DeadlineExceeded ? expired : other)
+              .fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          unstructured.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  chaos.join();
+  engine.drain();
+
+  std::printf(
+      "serve soak: %lds, n=%lld, %ld submitters | ok %ld degraded %ld "
+      "shed %ld expired %ld other %ld | chaos runs %ld\n",
+      seconds, static_cast<long long>(n), submitters, ok.load(),
+      degraded.load(), shed.load(), expired.load(), other.load(),
+      chaos_runs.load());
+
+  EXPECT_EQ(hung.load(), 0) << "a future never resolved";
+  EXPECT_EQ(unstructured.load(), 0)
+      << "a request failed without a ServeError";
+  EXPECT_GT(ok.load() + degraded.load(), 0)
+      << "the engine served nothing under load";
+  const ServeEngine::Stats st = engine.stats();
+  EXPECT_EQ(st.requests,
+            static_cast<std::uint64_t>(ok.load() + degraded.load() +
+                                       expired.load() + other.load()));
+}
+
+}  // namespace
+}  // namespace fdks::serve

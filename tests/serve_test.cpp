@@ -271,7 +271,7 @@ TEST(ServeEngine, PausedBurstCoalescesIntoMaximalBatches) {
 
   constexpr index_t kReqs = 10;
   const Matrix u = random_block(fx.h.n(), kReqs, 41);
-  std::vector<std::future<std::vector<double>>> futs;
+  std::vector<std::future<ServeResult>> futs;
   for (index_t r = 0; r < kReqs; ++r)
     futs.push_back(engine.submit(std::vector<double>(
         u.col(r), u.col(r) + fx.h.n())));
@@ -279,9 +279,10 @@ TEST(ServeEngine, PausedBurstCoalescesIntoMaximalBatches) {
 
   const Matrix x_blk = solver->solve(u);
   for (index_t r = 0; r < kReqs; ++r) {
-    const std::vector<double> x = futs[static_cast<size_t>(r)].get();
+    const ServeResult res = futs[static_cast<size_t>(r)].get();
+    EXPECT_EQ(res.code, ServeCode::Ok);
     for (index_t i = 0; i < fx.h.n(); ++i)
-      EXPECT_NEAR(x[static_cast<size_t>(i)], x_blk(i, r), 1e-12);
+      EXPECT_NEAR(res.x[static_cast<size_t>(i)], x_blk(i, r), 1e-12);
   }
   engine.drain();
   const ServeEngine::Stats st = engine.stats();
@@ -296,9 +297,16 @@ TEST(ServeEngine, RejectsWrongLengthRhs) {
   opts.lambda = 1.0;
   FactorCache cache(1);
   ServeEngine engine(cache.get(fx.h, opts));
-  EXPECT_THROW(engine.submit(std::vector<double>(
-                   static_cast<size_t>(fx.h.n()) - 1, 0.0)),
-               std::invalid_argument);
+  try {
+    engine.submit(std::vector<double>(
+        static_cast<size_t>(fx.h.n()) - 1, 0.0));
+    FAIL() << "expected ServeError(InvalidRhs)";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeCode::InvalidRhs);
+  }
+  // A rejected request must not perturb the accepted-request stats
+  // (validate-before-count).
+  EXPECT_EQ(engine.stats().requests, 0u);
 }
 
 // Concurrent submitters against a running (unpaused) engine: every
@@ -328,9 +336,9 @@ TEST(ServeEngine, ConcurrentSubmittersAllGetCorrectAnswers) {
           std::normal_distribution<double> g(0.0, 1.0);
           std::vector<double> rhs(static_cast<size_t>(fx.h.n()));
           for (auto& v : rhs) v = g(rng);
-          std::future<std::vector<double>> fut =
+          std::future<ServeResult> fut =
               engine.submit(std::vector<double>(rhs));
-          const std::vector<double> got = fut.get();
+          const std::vector<double> got = fut.get().x;
           const std::vector<double> want =
               solver->solve(std::span<const double>(rhs));
           for (size_t i = 0; i < rhs.size(); ++i)
