@@ -19,6 +19,16 @@
 // what makes the serve.* counters (including serve.shed) gateable by
 // scripts/bench_compare.py.
 //
+// Part 4, mode "smoke" (gated with Part 2/3): certified serving — a
+// paused engine with VerifyPolicy::Always certifies one deterministic
+// 16-wide batch against the factorization-independent Treecode operator
+// at a target (1e-8) far below the skeleton gap (~5e-3 at tol 1e-5), so
+// every column walks the FULL ladder: first check fails, the default 3
+// refinement steps contract ~12x each (ending ~2e-6, decisively above
+// target), and the GMRES rung certifies. verify.checks/fail (16 each),
+// refine.steps (48) and refine.escalations (16) become exact, gateable
+// counters in BENCH_serving.json.
+//
 // Part 2, mode "open": open-loop arrival — requests are submitted with
 // a fixed inter-arrival gap (arrival_us microseconds, default 500)
 // while the engine runs, so batch sizes form from actual queueing.
@@ -189,6 +199,45 @@ int main(int argc, char** argv) {
         "overload    : offered %td, admitted %zu, shed %td "
         "(queue_max %td)\n",
         kRequests, admitted.size(), rejected, kBatch);
+  }
+
+  // ---- Part 4 (smoke only): certified serving, deterministically. ----
+  // One paused 16-wide batch under VerifyPolicy::Always against the
+  // Treecode operator. The factor inverts apply() to roundoff but sits
+  // ~5e-3 from apply_source() here, and each refinement step contracts
+  // the residual by only ~12x — so every column fails the 1e-8 target,
+  // exhausts the default 3 refinement steps well above it (~2e-6), and
+  // is certified by the GMRES rung. Every rung fires a fixed number of
+  // times: the verify.*/refine.* counters are exact, not timing
+  // artifacts.
+  if (!open_loop && !overload) {
+    constexpr index_t kVerifyBatch = 16;
+    serve::ServeOptions vo;
+    vo.batch_max = kVerifyBatch;
+    vo.start_paused = true;
+    vo.verify.mode = core::VerifyMode::Always;
+    vo.verify.op = core::VerifyPolicy::Operator::Treecode;
+    vo.verify.target_residual = 1e-8;
+    serve::ServeEngine certified(solver, vo);
+    std::vector<std::future<serve::ServeResult>> vfuts;
+    for (index_t r = 0; r < kVerifyBatch; ++r)
+      vfuts.push_back(certified.submit(
+          bench::random_rhs(n, 1300 + static_cast<uint64_t>(r))));
+    certified.resume();
+    double worst = 0.0;
+    for (auto& f : vfuts) {
+      const double r = f.get().residual;
+      if (r > worst) worst = r;
+    }
+    certified.drain();
+    const serve::ServeEngine::Stats vs = certified.stats();
+    std::printf(
+        "verify      : %llu certified (worst residual %.1e), %llu "
+        "refined, %llu escalated, %llu failed\n",
+        static_cast<unsigned long long>(vs.verified), worst,
+        static_cast<unsigned long long>(vs.refined),
+        static_cast<unsigned long long>(vs.escalated),
+        static_cast<unsigned long long>(vs.failed));
   }
 
   const serve::ServeEngine::Stats es = engine.stats();

@@ -1,6 +1,7 @@
 // Long-lived serving front end: factor cache + batched admission queue.
 //
 //   ./fdks_serve [N] [requests] [batch_max] [lambdas] [deadline_ms]
+//               [--verify-sample K]
 //
 // Simulates a serving process: `lambdas` distinct regularization values
 // arrive as interleaved solve requests. Each lambda's factorization is
@@ -11,15 +12,22 @@
 // carries that per-request deadline, so slow batches surface as
 // structured DeadlineExceeded failures instead of unbounded waits.
 // Shutdown is graceful: drain with a timeout, then shutdown() fails any
-// stragglers with ServeError(ShuttingDown). Prints the cache
-// hit/miss/evict tallies, per-engine request-outcome statistics
-// (shed/expired/degraded/poisoned/failed), and the worst residual
-// across all successfully served requests.
+// stragglers with ServeError(ShuttingDown). With --verify-sample K,
+// every K-th batch per engine is certified a posteriori (K = 1 means
+// every batch): measured residuals land in ServeResult::residual and
+// failing answers are refined/escalated before being returned. Prints
+// the cache hit/miss/evict tallies, per-engine request-outcome
+// statistics (shed/expired/degraded/poisoned/failed plus the
+// verified/refined/escalated certification tallies), and the worst
+// residual across all successfully served requests.
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "data/generators.hpp"
@@ -29,6 +37,29 @@
 
 int main(int argc, char** argv) {
   using namespace fdks;
+  // Strip --verify-sample K before the positional arguments are read.
+  long verify_sample = 0;  // 0 = certification off.
+  std::vector<char*> args(argv, argv + argc);
+  for (size_t i = 1; i < args.size();) {
+    if (std::string(args[i]) == "--verify-sample" && i + 1 < args.size()) {
+      errno = 0;
+      char* end = nullptr;
+      verify_sample = std::strtol(args[i + 1], &end, 10);
+      if (end == args[i + 1] || *end != '\0' || errno == ERANGE ||
+          verify_sample < 1) {
+        std::printf("--verify-sample: needs a whole number >= 1, got '%s'\n",
+                    args[i + 1]);
+        return 2;
+      }
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   const la::index_t n = examples::arg_n(argc, argv, 1, 4096);
   const la::index_t requests = examples::arg_n(argc, argv, 2, 256);
   const la::index_t batch_max = examples::arg_n(argc, argv, 3, 64);
@@ -54,6 +85,11 @@ int main(int argc, char** argv) {
     if (deadline_ms > 0)
       so.default_deadline =
           std::chrono::milliseconds(static_cast<long>(deadline_ms));
+    if (verify_sample > 0) {
+      so.verify.mode = verify_sample == 1 ? core::VerifyMode::Always
+                                          : core::VerifyMode::Sample;
+      so.verify.sample_every = static_cast<int>(verify_sample);
+    }
     engines.push_back(std::make_unique<serve::ServeEngine>(
         cache.get(h, opts[static_cast<size_t>(li)]), so));
   }
@@ -125,14 +161,18 @@ int main(int argc, char** argv) {
         engines[static_cast<size_t>(li)]->stats();
     std::printf(
         "engine %td  : %llu requests in %llu batches (max width %td) | "
-        "shed %llu expired %llu degraded %llu poisoned %llu failed %llu\n",
+        "shed %llu expired %llu degraded %llu poisoned %llu failed %llu | "
+        "verified %llu refined %llu escalated %llu\n",
         li, static_cast<unsigned long long>(es.requests),
         static_cast<unsigned long long>(es.batches), es.max_batch,
         static_cast<unsigned long long>(es.shed),
         static_cast<unsigned long long>(es.expired),
         static_cast<unsigned long long>(es.degraded),
         static_cast<unsigned long long>(es.poisoned),
-        static_cast<unsigned long long>(es.failed));
+        static_cast<unsigned long long>(es.failed),
+        static_cast<unsigned long long>(es.verified),
+        static_cast<unsigned long long>(es.refined),
+        static_cast<unsigned long long>(es.escalated));
   }
   std::printf("residual   : worst %.2e over %td served "
               "(%td degraded, %td rejected)\n",

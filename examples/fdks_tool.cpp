@@ -90,6 +90,7 @@ struct Args {
   int ranks = 1;
   std::string trace;
   int metrics_interval_ms = 0;
+  bool verify = false;  ///< Certify the answer (solve command only).
 };
 
 int usage() {
@@ -101,7 +102,7 @@ int usage() {
                "       [--restrict LVL] [--hybrid] [--compact-w] "
                "[--spd-leaves]\n"
                "       [--scheme gemv|gemm|gsks] [--seed X] [--profile]\n"
-               "       [--checkpoint-dir DIR] [--ranks P]\n"
+               "       [--checkpoint-dir DIR] [--ranks P] [--verify]\n"
                "       [--trace FILE.json] [--metrics-interval MS]\n");
   return 2;
 }
@@ -161,6 +162,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.spd_leaves = true;
     } else if (flag == "--profile") {
       a.profile = true;
+    } else if (flag == "--verify") {
+      a.verify = true;
     } else if (flag == "--data") {
       const char* v = need("--data");
       if (!v || !kinds.count(v)) return false;
@@ -313,6 +316,7 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
   double factor_seconds = 0.0;
   index_t reduced = 0;
   int ksp = 0;
+  core::SolveStatus vstat;
   mpisim::run(a.ranks, [&](mpisim::Comm& comm) {
     if (a.hybrid) {
       core::HybridOptions ho;
@@ -320,6 +324,7 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
       ho.direct.compact_w = a.compact_w;
       ho.direct.scheme = a.scheme;
       ho.direct.checkpoint_dir = a.checkpoint_dir;
+      if (a.verify) ho.direct.verify.mode = core::VerifyMode::Always;
       core::DistributedHybridSolver solver(h, ho, comm);
       auto xi = solver.solve(u);
       if (comm.rank() == 0) {
@@ -327,6 +332,7 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
         factor_seconds = solver.factor_seconds();
         reduced = solver.reduced_size();
         ksp = solver.last_gmres().iterations;
+        vstat = solver.last_status();
         warn_if_degraded(solver.factor_status());
         warn_if_degraded(solver.last_status());
       }
@@ -337,11 +343,13 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
       so.spd_leaves = a.spd_leaves;
       so.scheme = a.scheme;
       so.checkpoint_dir = a.checkpoint_dir;
+      if (a.verify) so.verify.mode = core::VerifyMode::Always;
       core::DistributedSolver solver(h, so, comm);
       auto xi = solver.solve(u);
       if (comm.rank() == 0) {
         x = std::move(xi);
         factor_seconds = solver.factor_seconds();
+        vstat = solver.last_status();
         warn_if_degraded(solver.factor_status());
         warn_if_degraded(solver.last_status());
       }
@@ -356,6 +364,10 @@ int run_solve_dist(const Args& a, const askit::HMatrix& h,
     std::printf("dist-direct p=%d: factor %.3fs, residual %.2e\n", a.ranks,
                 factor_seconds, h.relative_residual(x, u, a.lambda));
   }
+  if (a.verify)
+    std::printf("verify: certified residual %.2e (%s), %d escalations\n",
+                vstat.residual, core::to_string(vstat.code),
+                vstat.escalations);
   return 0;
 }
 
@@ -391,10 +403,21 @@ int run_solve(const Args& a) {
     ho.direct.compact_w = a.compact_w;
     ho.direct.scheme = a.scheme;
     ho.direct.checkpoint_dir = a.checkpoint_dir;
+    // --verify: the guarded solve measures the true residual and walks
+    // the refinement/escalation ladder against this target.
+    if (a.verify && ho.escalate_residual_tol <= 0.0)
+      ho.escalate_residual_tol = 1e-6;
     core::HybridSolver solver(h, ho);
     if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
     warn_if_degraded(solver.factor_status());
-    auto x = solver.solve(u);
+    std::vector<double> x(u.size(), 0.0);
+    if (a.verify) {
+      const core::SolveStatus st = solver.solve_with_status(u, x);
+      std::printf("verify: certified residual %.2e (%s), %d escalations\n",
+                  st.residual, core::to_string(st.code), st.escalations);
+    } else {
+      x = solver.solve(u);
+    }
     std::snprintf(summary, sizeof summary,
                   "hybrid: factor %.3fs, reduced %td, ksp %d, residual "
                   "%.2e, mem %.1f MB, %s",
@@ -410,10 +433,21 @@ int run_solve(const Args& a) {
     so.spd_leaves = a.spd_leaves;
     so.scheme = a.scheme;
     so.checkpoint_dir = a.checkpoint_dir;
+    if (a.verify) so.verify.mode = core::VerifyMode::Always;
     core::FastDirectSolver solver(h, so);
     if (ck) ckpt::mark_stage(a.checkpoint_dir, "factorize");
     warn_if_degraded(solver.factor_status());
-    auto x = solver.solve(u);
+    std::vector<double> x(u.size(), 0.0);
+    if (a.verify) {
+      const core::VerifyOutcome vo = solver.solve_verified(u, x);
+      std::printf(
+          "verify: certified residual %.2e (%s), %d refine steps, "
+          "%d escalations\n",
+          vo.residual, vo.certified ? "certified" : "MISSED TARGET",
+          vo.refine_steps, vo.escalations);
+    } else {
+      x = solver.solve(u);
+    }
     std::snprintf(summary, sizeof summary,
                   "direct: factor %.3fs, residual %.2e, mem %.1f MB, %s",
                   solver.factor_seconds(),

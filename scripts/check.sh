@@ -16,6 +16,12 @@
 #                                   CXX_CLANG_TIDY hook, so a tidy
 #                                   diagnostic fails stage 3 already.
 #                                   This stage just reports what ran.
+#   5. verify suite                 ctest -L verify against the default
+#                                   build/ tree (certification ladder,
+#                                   factor-integrity self-healing,
+#                                   certified serving); skipped with a
+#                                   note when build/ hasn't been
+#                                   configured yet.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +46,17 @@ if ! cmake --preset strict >/dev/null; then
   failures=$((failures + 1))
 elif ! cmake --build --preset strict -j "$jobs"; then
   failures=$((failures + 1))
+fi
+
+stage "verify suite (ctest -L verify)"
+if [ -f build/CTestTestfile.cmake ]; then
+  if ! cmake --build build -j "$jobs" --target verify_test >/dev/null; then
+    failures=$((failures + 1))
+  elif ! ctest --test-dir build -L verify --output-on-failure; then
+    failures=$((failures + 1))
+  fi
+else
+  echo "build/ not configured; skipped (cmake -B build -S . first)."
 fi
 
 stage "clang-tidy summary"

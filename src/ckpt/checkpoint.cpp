@@ -23,7 +23,10 @@ namespace fs = std::filesystem;
 constexpr std::uint64_t kMagic = 0x46444b53434b5031ull;  // "FDKSCKP1".
 constexpr std::uint32_t kVersion = 1;
 
-constexpr const char* kKindFactorTree = "fdks.factor_tree.v1";
+// v2 appends the factor-content checksum (FactorTree::content_checksum)
+// after the accumulators; v1 checkpoints are rejected by kind mismatch
+// and simply refactorized.
+constexpr const char* kKindFactorTree = "fdks.factor_tree.v2";
 constexpr const char* kKindStage = "fdks.stage.v1";
 
 [[noreturn]] void reject(const std::string& path, const std::string& why) {
@@ -304,6 +307,12 @@ void save_factor_tree(const std::string& path, const core::FactorTree& ft,
   wire::put<std::int64_t>(payload, acc.nonfinite_nodes);
   wire::put(payload, acc.max_shift);
 
+  // Content checksum: chained FNV-1a over every factored node's numeric
+  // payload, recomputed after the factors are adopted at load time so a
+  // checkpoint that rotted on disk (or a serialization bug) is rejected
+  // instead of silently serving wrong answers.
+  wire::put<std::uint64_t>(payload, ft.content_checksum());
+
   write_blob(path, kKindFactorTree, payload.str());
 }
 
@@ -348,6 +357,20 @@ void load_factor_tree(const std::string& path, core::FactorTree& ft,
   acc.max_shift = wire::get<double>(payload);
   if (!payload) reject(path, "payload shorter than its node table");
   ft.adopt_accumulators(acc);
+
+  // Restore-time integrity: the adopted factors must hash to the same
+  // content checksum the saver sealed. A mismatch means the factor
+  // payload changed between save and load — reject so the caller
+  // refactorizes from scratch (self-healing, like a cache-hit failure).
+  const std::uint64_t want_sum = wire::get<std::uint64_t>(payload);
+  if (!payload) reject(path, "payload missing its content checksum");
+  obs::add("verify.integrity_check");
+  if (ft.content_checksum() != want_sum) {
+    obs::add("verify.integrity_fail");
+    reject(path,
+           "factor content checksum mismatch — the checkpoint payload "
+           "is corrupt");
+  }
 }
 
 bool try_load_factor_tree(const std::string& path, core::FactorTree& ft,

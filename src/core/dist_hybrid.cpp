@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "core/verify.hpp"
 #include "kernel/gsks.hpp"
 #include "obs/obs.hpp"
 
@@ -136,11 +137,8 @@ void DistributedHybridSolver::matvec_w_local(std::span<const double> z,
   }
 }
 
-std::vector<double> DistributedHybridSolver::solve(
+std::vector<double> DistributedHybridSolver::solve_impl(
     std::span<const double> u) {
-  if (static_cast<index_t>(u.size()) != h_->n())
-    throw std::invalid_argument("DistributedHybridSolver: size mismatch");
-
   obs::ScopedTimer t_solve("dist.solve");
   const std::vector<double> ut = h_->to_tree_order(u);
   std::vector<double> w(ut.begin() + local_begin_, ut.begin() + local_end_);
@@ -174,7 +172,14 @@ std::vector<double> DistributedHybridSolver::solve(
   }
 
   const std::vector<double> full_tree = comm_.allgatherv(w);
-  std::vector<double> x = h_->from_tree_order(full_tree);
+  return h_->from_tree_order(full_tree);
+}
+
+std::vector<double> DistributedHybridSolver::solve(
+    std::span<const double> u) {
+  if (static_cast<index_t>(u.size()) != h_->n())
+    throw std::invalid_argument("DistributedHybridSolver: size mismatch");
+  std::vector<double> x = solve_impl(u);
 
   // Guardrail summary (no extra collectives: u and the reduced GMRES
   // are replicated, the solution was just allgathered — every rank
@@ -206,16 +211,45 @@ std::vector<double> DistributedHybridSolver::solve(
       st.code = SolveCode::ShiftedDiagonal;
     }
   }
+
+  // Certification / escalation ladder (collective: u and x are
+  // replicated, so every rank takes the identical branch and each
+  // correction pass through solve_impl stays collective).
+  const VerifyPolicy& vp = opts_.direct.verify;
+  const bool insample = vp.enabled() && should_verify(vp, verify_seq_++);
+  if (insample && st.code != SolveCode::NonFinite) {
+    VerifyOps ops;
+    ops.emit_obs = comm_.rank() == 0;
+    ops.apply = [this, &vp](std::span<const double> in,
+                            std::span<double> y) {
+      if (vp.op == VerifyPolicy::Operator::Treecode)
+        h_->apply_source(in, y, opts_.direct.lambda);
+      else
+        h_->apply(in, y, opts_.direct.lambda);
+    };
+    ops.solve = [this](std::span<const double> in, std::span<double> y) {
+      const std::vector<double> s = solve_impl(in);
+      std::copy(s.begin(), s.end(), y.begin());
+    };
+    const VerifyOutcome vo = certify_and_refine_ops(ops, u, x, vp);
+    st.residual = vo.residual;
+    st.escalations += vo.escalations;
+    if (!vo.certified) {
+      st.code = SolveCode::NotConverged;
+      st.detail =
+          "certified residual misses the verify target after the "
+          "escalation ladder";
+    } else if (vo.escalations > 0) {
+      st.code = SolveCode::Escalated;
+    }
+  }
   last_status_ = st;
   return x;
 }
 
-Matrix DistributedHybridSolver::solve(const Matrix& u) {
-  const index_t n = h_->n();
-  if (u.rows() != n)
-    throw std::invalid_argument(
-        "DistributedHybridSolver: block shape mismatch");
+Matrix DistributedHybridSolver::solve_impl(const Matrix& u) {
   obs::ScopedTimer t_solve("dist.solve");
+  const index_t n = h_->n();
   const index_t nrhs = u.cols();
   const index_t nloc = local_end_ - local_begin_;
 
@@ -234,7 +268,7 @@ Matrix DistributedHybridSolver::solve(const Matrix& u) {
                       wv.block(nd.begin - local_begin_, 0, nd.size(), nrhs));
   }
 
-  index_t gmres_iters = 0;
+  block_gmres_iters_ = 0;
   if (reduced_size_ > 0) {
     // Step 2: RHS = V W (Algorithm II.8, batched): every rank computes
     // its fused block contribution for ALL frontier skeletons, one
@@ -284,7 +318,7 @@ Matrix DistributedHybridSolver::solve(const Matrix& u) {
           std::span<const double>(partial.col(j),
                                   static_cast<size_t>(reduced_size_)),
           opts_.gmres);
-      gmres_iters += last_.iterations;
+      block_gmres_iters_ += last_.iterations;
       std::copy(last_.x.begin(), last_.x.end(), z.col(j));
     }
 
@@ -308,13 +342,23 @@ Matrix DistributedHybridSolver::solve(const Matrix& u) {
         std::span<const double>(x.col(j), static_cast<size_t>(n)));
     std::copy(xo.begin(), xo.end(), x.col(j));
   }
+  return x;
+}
+
+Matrix DistributedHybridSolver::solve(const Matrix& u) {
+  const index_t n = h_->n();
+  if (u.rows() != n)
+    throw std::invalid_argument(
+        "DistributedHybridSolver: block shape mismatch");
+  const index_t nrhs = u.cols();
+  Matrix x = solve_impl(u);
 
   // Guardrail summary over the batch: worst column wins (replicated
   // data, so every rank derives the identical status).
   SolveStatus st;
   st.lambda_effective = factor_status_.lambda_effective;
   st.shifted_nodes = factor_status_.shifted_nodes;
-  st.gmres_iterations = static_cast<int>(gmres_iters);
+  st.gmres_iterations = static_cast<int>(block_gmres_iters_);
   st.residual = 0.0;
   for (index_t j = 0; j < nrhs && st.code == SolveCode::Ok; ++j) {
     const std::span<const double> uc(u.col(j), static_cast<size_t>(n));
@@ -337,6 +381,44 @@ Matrix DistributedHybridSolver::solve(const Matrix& u) {
       st.detail = "reduced-system GMRES did not converge";
     } else if (factor_status_.code == FactorCode::ShiftedDiagonal) {
       st.code = SolveCode::ShiftedDiagonal;
+    }
+  }
+
+  // Collective block certification ladder (see the vector overload).
+  const VerifyPolicy& vp = opts_.direct.verify;
+  const bool insample = vp.enabled() && should_verify(vp, verify_seq_++);
+  if (insample && st.code != SolveCode::NonFinite) {
+    VerifyOps ops;
+    ops.emit_obs = comm_.rank() == 0;
+    ops.apply = [this, &vp](std::span<const double> in,
+                            std::span<double> y) {
+      if (vp.op == VerifyPolicy::Operator::Treecode)
+        h_->apply_source(in, y, opts_.direct.lambda);
+      else
+        h_->apply(in, y, opts_.direct.lambda);
+    };
+    ops.solve = [this](std::span<const double> in, std::span<double> y) {
+      const std::vector<double> s = solve_impl(in);
+      std::copy(s.begin(), s.end(), y.begin());
+    };
+    ops.solve_block = [this](const Matrix& rhs) { return solve_impl(rhs); };
+    const std::vector<VerifyOutcome> vos =
+        certify_and_refine_block_ops(ops, u, x, vp);
+    double worst = 0.0;
+    bool uncertified = false;
+    for (const VerifyOutcome& vo : vos) {
+      worst = std::max(worst, vo.residual);
+      uncertified = uncertified || !vo.certified;
+      st.escalations += vo.escalations;
+    }
+    st.residual = worst;
+    if (uncertified) {
+      st.code = SolveCode::NotConverged;
+      st.detail =
+          "certified residual misses the verify target after the "
+          "escalation ladder";
+    } else if (st.escalations > 0) {
+      st.code = SolveCode::Escalated;
     }
   }
   last_status_ = st;

@@ -27,7 +27,12 @@ class DistributedHybridSolver {
                           mpisim::Comm comm);
 
   /// Collective solve; u identical on all ranks (original order);
-  /// returns the full solution on every rank.
+  /// returns the full solution on every rank. When
+  /// HybridOptions::direct.verify is enabled, the certification /
+  /// refinement ladder (core/verify.hpp) runs collectively afterwards:
+  /// u and x are replicated, so every rank reaches the identical
+  /// per-step decision and each correction pass stays a collective
+  /// Algorithm II.6 solve.
   std::vector<double> solve(std::span<const double> u);
 
   /// Collective block solve for B right-hand sides (columns identical
@@ -50,6 +55,12 @@ class DistributedHybridSolver {
   const SolveStatus& last_status() const { return last_status_; }
 
  private:
+  /// One Algorithm II.6-II.8 pass (local D^-1 + replicated reduced
+  /// GMRES + correction), without status/verification bookkeeping.
+  /// Updates last_ with the reduced-system GMRES result.
+  std::vector<double> solve_impl(std::span<const double> u);
+  Matrix solve_impl(const Matrix& u);
+
   /// z = V q with q the rank-local slice (permuted order); collective.
   void matvec_v_local(std::span<const double> q_local,
                       std::span<double> z) const;
@@ -70,8 +81,10 @@ class DistributedHybridSolver {
   index_t reduced_size_ = 0;
   double factor_seconds_ = 0.0;
   iter::GmresResult last_;
+  index_t block_gmres_iters_ = 0;  ///< Column sum, last Matrix solve_impl.
   FactorStatus factor_status_;
   SolveStatus last_status_;
+  std::uint64_t verify_seq_ = 0;  ///< Sampling counter (replicated).
 };
 
 }  // namespace fdks::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "core/verify.hpp"
 #include "kernel/gsks.hpp"
 #include "la/gemm.hpp"
 #include "obs/obs.hpp"
@@ -263,10 +264,7 @@ void DistributedSolver::factorize() {
   factor_status_ = allreduce_factor_status(ft_.factor_status(), comm_);
 }
 
-std::vector<double> DistributedSolver::solve(std::span<const double> u) {
-  if (static_cast<index_t>(u.size()) != h_->n())
-    throw std::invalid_argument("DistributedSolver::solve: size mismatch");
-
+std::vector<double> DistributedSolver::solve_impl(std::span<const double> u) {
   obs::ScopedTimer t_dist("dist.solve");
 
   // Local slice in tree order.
@@ -324,7 +322,14 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
   // Assemble the full solution on every rank: ranks are ordered by
   // point range, so a rank-ordered allgather is the tree-order vector.
   std::vector<double> full_tree = comm_.allgatherv(w);
-  std::vector<double> x = h_->from_tree_order(full_tree);
+  return h_->from_tree_order(full_tree);
+}
+
+std::vector<double> DistributedSolver::solve(std::span<const double> u) {
+  if (static_cast<index_t>(u.size()) != h_->n())
+    throw std::invalid_argument("DistributedSolver::solve: size mismatch");
+
+  std::vector<double> x = solve_impl(u);
 
   // Guardrail summary. No extra collectives: u is replicated, the full
   // solution was just allgathered, and factor_status_ was agreed during
@@ -345,6 +350,40 @@ std::vector<double> DistributedSolver::solve(std::span<const double> u) {
     st.residual = h_->relative_residual(x, u, ft_.options().lambda);
     if (factor_status_.code == FactorCode::ShiftedDiagonal)
       st.code = SolveCode::ShiftedDiagonal;
+  }
+
+  // Certification ladder (collective): u and x are replicated, so every
+  // rank takes the identical refine/escalate decisions and the
+  // correction solves below stay collective Algorithm II.5 passes. Only
+  // rank 0 emits the verify.*/refine.* keys (one count per event).
+  const VerifyPolicy& vp = ft_.options().verify;
+  const bool insample = vp.enabled() && should_verify(vp, verify_seq_++);
+  if (insample && st.code != SolveCode::NonFinite) {
+    VerifyOps ops;
+    ops.emit_obs = comm_.rank() == 0;
+    const double lambda = ft_.options().lambda;
+    const VerifyPolicy::Operator vop = vp.op;
+    ops.apply = [this, lambda, vop](std::span<const double> in,
+                                    std::span<double> y) {
+      if (vop == VerifyPolicy::Operator::Treecode)
+        h_->apply_source(in, y, lambda);
+      else
+        h_->apply(in, y, lambda);
+    };
+    ops.solve = [this](std::span<const double> in, std::span<double> y) {
+      const std::vector<double> q = solve_impl(in);
+      std::copy(q.begin(), q.end(), y.begin());
+    };
+    const VerifyOutcome vo = certify_and_refine_ops(ops, u, x, vp);
+    st.residual = vo.residual;
+    st.escalations += vo.escalations;
+    if (!vo.certified) {
+      st.code = SolveCode::NotConverged;
+      st.detail = "certified residual misses the verify target after the "
+                  "escalation ladder";
+    } else if (vo.escalations > 0) {
+      st.code = SolveCode::Escalated;
+    }
   }
   last_status_ = st;
   return x;
@@ -375,11 +414,8 @@ Matrix gather_tree_order_block(const HMatrix& h, int p,
   return full;
 }
 
-Matrix DistributedSolver::solve(const Matrix& u) {
+Matrix DistributedSolver::solve_impl(const Matrix& u) {
   const index_t n = h_->n();
-  if (u.rows() != n)
-    throw std::invalid_argument(
-        "DistributedSolver::solve: block shape mismatch");
   obs::ScopedTimer t_dist("dist.solve");
   const index_t nrhs = u.cols();
   const index_t nloc = local_end_ - local_begin_;
@@ -465,6 +501,16 @@ Matrix DistributedSolver::solve(const Matrix& u) {
         std::span<const double>(x.col(j), static_cast<size_t>(n)));
     std::copy(xo.begin(), xo.end(), x.col(j));
   }
+  return x;
+}
+
+Matrix DistributedSolver::solve(const Matrix& u) {
+  const index_t n = h_->n();
+  if (u.rows() != n)
+    throw std::invalid_argument(
+        "DistributedSolver::solve: block shape mismatch");
+  const index_t nrhs = u.cols();
+  Matrix x = solve_impl(u);
 
   // Guardrail summary over the whole batch: worst column wins.
   SolveStatus st;
@@ -489,6 +535,48 @@ Matrix DistributedSolver::solve(const Matrix& u) {
   if (st.code == SolveCode::Ok &&
       factor_status_.code == FactorCode::ShiftedDiagonal)
     st.code = SolveCode::ShiftedDiagonal;
+
+  // Collective certification ladder over the batch: only failing
+  // columns are refined (one narrow blocked Algorithm II.5 correction
+  // per step), per replicated per-column decisions on every rank.
+  const VerifyPolicy& vp = ft_.options().verify;
+  const bool insample = vp.enabled() && should_verify(vp, verify_seq_++);
+  if (insample && st.code != SolveCode::NonFinite) {
+    VerifyOps ops;
+    ops.emit_obs = comm_.rank() == 0;
+    const double lambda = ft_.options().lambda;
+    const VerifyPolicy::Operator vop = vp.op;
+    ops.apply = [this, lambda, vop](std::span<const double> in,
+                                    std::span<double> y) {
+      if (vop == VerifyPolicy::Operator::Treecode)
+        h_->apply_source(in, y, lambda);
+      else
+        h_->apply(in, y, lambda);
+    };
+    ops.solve = [this](std::span<const double> in, std::span<double> y) {
+      const std::vector<double> q = solve_impl(in);
+      std::copy(q.begin(), q.end(), y.begin());
+    };
+    ops.solve_block = [this](const Matrix& rhs) { return solve_impl(rhs); };
+    const std::vector<VerifyOutcome> vos =
+        certify_and_refine_block_ops(ops, u, x, vp);
+    st.residual = 0.0;
+    bool uncertified = false;
+    int escalations = 0;
+    for (const VerifyOutcome& vo : vos) {
+      st.residual = std::max(st.residual, vo.residual);
+      uncertified = uncertified || !vo.certified;
+      escalations += vo.escalations;
+    }
+    st.escalations += escalations;
+    if (uncertified) {
+      st.code = SolveCode::NotConverged;
+      st.detail = "certified residual misses the verify target after the "
+                  "escalation ladder";
+    } else if (escalations > 0) {
+      st.code = SolveCode::Escalated;
+    }
+  }
   last_status_ = st;
   return x;
 }

@@ -35,7 +35,11 @@ class DistributedSolver {
 
   /// Collective solve of (lambda I + K~) x = u. u must be identical on
   /// all ranks (original point order); returns the full solution on
-  /// every rank.
+  /// every rank. When SolverOptions::verify is enabled, the certified
+  /// residual is checked afterwards and the refinement/escalation
+  /// ladder (core/verify.hpp) runs collectively: u and x are replicated,
+  /// so every rank reaches the identical per-step decision and the
+  /// correction solves remain collective Algorithm II.5 passes.
   std::vector<double> solve(std::span<const double> u);
 
   /// Collective block solve for B right-hand sides (columns of u,
@@ -75,6 +79,10 @@ class DistributedSolver {
   };
 
   void factorize();
+  /// One Algorithm II.5 pass (local subtree solve + per-level
+  /// corrections + allgather), without status/verification bookkeeping.
+  std::vector<double> solve_impl(std::span<const double> u);
+  Matrix solve_impl(const Matrix& u);
 
   const HMatrix* h_;
   FactorTree ft_;
@@ -87,6 +95,7 @@ class DistributedSolver {
   double factor_seconds_ = 0.0;
   FactorStatus factor_status_;
   SolveStatus last_status_;
+  std::uint64_t verify_seq_ = 0;  ///< Sampling counter (replicated).
 };
 
 /// Combine per-rank FactorStatus snapshots into one global status every

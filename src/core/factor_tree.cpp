@@ -1,6 +1,7 @@
 #include "core/factor_tree.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "askit/wire.hpp"
 #include "la/gemm.hpp"
 
 namespace fdks::core {
@@ -221,6 +223,85 @@ size_t FactorTree::memory_bytes() const {
   size_t b = 0;
   for (const NodeFactor& f : nf_) b += f.bytes();
   return b;
+}
+
+namespace {
+
+/// Chain one node factor's numerical payload into an FNV-1a hash.
+/// Covers everything a bit flip could land on that would change an
+/// answer: leaf LU/Cholesky blocks + pivots, stored V data, the
+/// reduced-system LU, P^/T matrices, and the diagonal shift.
+std::uint64_t chain_node_factor(const NodeFactor& f, index_t id,
+                                std::uint64_t hsh) {
+  const auto mix = [&hsh](const void* p, size_t n) {
+    hsh = askit::wire::fnv1a(p, n, hsh);
+  };
+  const auto mix_matrix = [&](const Matrix& m) {
+    mix(m.data(), static_cast<size_t>(m.size()) * sizeof(double));
+  };
+  mix(&id, sizeof id);
+  mix(&f.diag_shift, sizeof f.diag_shift);
+  mix_matrix(f.leaf_lu.lu);
+  if (!f.leaf_lu.piv.empty())
+    mix(f.leaf_lu.piv.data(), f.leaf_lu.piv.size() * sizeof(index_t));
+  mix_matrix(f.leaf_chol.l);
+  mix_matrix(f.v_lr.stored_block());
+  mix_matrix(f.v_rl.stored_block());
+  mix_matrix(f.z_lu.lu);
+  if (!f.z_lu.piv.empty())
+    mix(f.z_lu.piv.data(), f.z_lu.piv.size() * sizeof(index_t));
+  mix_matrix(f.phat);
+  mix_matrix(f.tmat);
+  return hsh;
+}
+
+}  // namespace
+
+std::uint64_t FactorTree::content_checksum() const {
+  // Flat walk in node order (same rationale as memory_bytes: hashes
+  // whatever factors are resident, whatever topology produced them).
+  std::uint64_t hsh = askit::wire::fnv1a("fdks-factor-content-v1", 22);
+  for (size_t i = 0; i < nf_.size(); ++i) {
+    if (!nf_[i].factored) continue;
+    hsh = chain_node_factor(nf_[i], static_cast<index_t>(i), hsh);
+  }
+  return hsh;
+}
+
+bool FactorTree::corrupt_factor_bit(std::uint64_t seed) {
+  // Candidate arrays: every mutable double payload a real bit flip
+  // could hit. (V blocks in GSKS mode store no doubles; skip empties.)
+  std::vector<std::span<double>> arrays;
+  for (NodeFactor& f : nf_) {
+    if (!f.factored) continue;
+    const auto push = [&arrays](Matrix& m) {
+      if (m.size() > 0)
+        arrays.emplace_back(m.data(), static_cast<size_t>(m.size()));
+    };
+    push(f.leaf_lu.lu);
+    push(f.leaf_chol.l);
+    push(f.z_lu.lu);
+    push(f.phat);
+    push(f.tmat);
+  }
+  size_t total = 0;
+  for (const auto& a : arrays) total += a.size();
+  if (total == 0) return false;
+  size_t pick = static_cast<size_t>(seed % total);
+  for (auto& a : arrays) {
+    if (pick >= a.size()) {
+      pick -= a.size();
+      continue;
+    }
+    // Flip a high mantissa bit: large relative perturbation, never a
+    // NaN/Inf (sign and exponent stay untouched).
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &a[pick], sizeof bits);
+    bits ^= (std::uint64_t{1} << 51);
+    std::memcpy(&a[pick], &bits, sizeof bits);
+    return true;
+  }
+  return false;
 }
 
 void FactorTree::record_stability(index_t id) {

@@ -19,6 +19,7 @@
 //                solve of K~_αα P^ = E_α over the whole subtree.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <string>
@@ -81,6 +82,10 @@ struct SolverOptions {
   /// re-factorizing — the restart path for the recovery supervisor
   /// (core/recovery.hpp) and `fdks_tool --checkpoint-dir`.
   std::string checkpoint_dir;
+  /// A posteriori certification + escalation ladder (core/verify.hpp).
+  /// Like the traversal knobs, deliberately excluded from the factor
+  /// fingerprint: it changes how answers are checked, not the factors.
+  VerifyPolicy verify;
 };
 
 /// Where factorization time goes (accumulated across nodes; thread-safe
@@ -239,6 +244,21 @@ class FactorTree {
   /// Snapshot / restore the factor-status accumulators.
   FactorAccumulators accumulators() const;
   void adopt_accumulators(const FactorAccumulators& acc);
+
+  /// Content checksum over every factored node's numerical payload
+  /// (chained FNV-1a across LU/Cholesky blocks, stored V data, Z
+  /// factors, P^/T matrices, shifts and node ids). Two trees with
+  /// identical factors hash identically; a single flipped bit anywhere
+  /// changes the hash. Used for lazy integrity verification on
+  /// FactorCache hits and on checkpoint restore (self-healing: a
+  /// mismatch invalidates and refactorizes instead of serving garbage).
+  std::uint64_t content_checksum() const;
+
+  /// Deterministic fault injection for integrity tests: flip one
+  /// mantissa bit in one stored factor double, chosen by `seed` over
+  /// all resident factor entries. Returns false when the tree holds no
+  /// factored payload to corrupt.
+  bool corrupt_factor_bit(std::uint64_t seed);
 
   /// Change lambda and invalidate the lambda-dependent factors; the next
   /// factorize_subtree() reuses the stored V kernel blocks (the dominant

@@ -276,10 +276,54 @@ SolveStatus HybridSolver::solve_with_status(std::span<const double> u,
        res0 > opts_.escalate_residual_tol || reduced_failed);
 
   if (want_escalate) {
+    // Certification-ladder rung 1 (core/verify.hpp): cheap fixed-point
+    // refinement x += M^-1(u − A x) before demoting the factor to a
+    // preconditioner. When the hybrid answer is close, a step or two
+    // reaches the tolerance at a fraction of the outer-Krylov cost.
+    // Skipped when the reduced GMRES failed outright — refinement
+    // through a broken reduced solve would reuse the broken operator.
+    if (x0_finite && std::isfinite(res0) && !reduced_failed) {
+      const VerifyPolicy& vp = opts_.direct.verify;
+      std::vector<double> ax(u.size());
+      double rel = res0;
+      for (int step = 0; step < vp.max_refine_steps; ++step) {
+        h_->apply(x0, ax, lambda);
+        for (size_t i = 0; i < ax.size(); ++i) ax[i] = u[i] - ax[i];
+        std::vector<double> dx = solve(ax);
+        if (!all_finite(std::span<const double>(dx.data(), dx.size())))
+          break;
+        for (size_t i = 0; i < x0.size(); ++i) x0[i] += dx[i];
+        const double prev = rel;
+        rel = h_->relative_residual(x0, u, lambda);
+        obs::add("refine.steps");
+        if (std::isfinite(rel) && rel <= opts_.escalate_residual_tol)
+          break;
+        if (!std::isfinite(rel) || rel >= vp.min_step_improvement * prev) {
+          if (!std::isfinite(rel) || rel > prev) {
+            // The step made things worse: roll it back.
+            for (size_t i = 0; i < x0.size(); ++i) x0[i] -= dx[i];
+            rel = prev;
+          }
+          break;  // Stagnated: fall through to the GMRES rung.
+        }
+      }
+      if (rel < res0) {
+        res0 = rel;
+        st.residual = rel;
+      }
+    }
+  }
+
+  const bool want_outer_gmres =
+      want_escalate && !(std::isfinite(res0) && x0_finite &&
+                         res0 <= opts_.escalate_residual_tol &&
+                         !reduced_failed);
+  if (want_outer_gmres) {
     // Graceful degradation (§II-C discussion): the direct pass becomes a
     // right preconditioner M^-1 for an outer GMRES on A = lambda I + K~,
     // i.e. solve (A M^-1) y = u, then x = M^-1 y.
     obs::add("guardrail.escalations");
+    obs::add("refine.escalations");
     ++st.escalations;
     iter::GmresOptions og;
     og.max_iters = opts_.escalate_max_iters;

@@ -4,6 +4,7 @@
 #include "core/solver.hpp"
 
 #include "ckpt/checkpoint.hpp"
+#include "core/verify.hpp"
 #include "obs/obs.hpp"
 
 #include <algorithm>
@@ -58,6 +59,7 @@ FastDirectSolver::FastDirectSolver(const HMatrix& h, SolverOptions opts)
   obs::ScopedTimer t("factorize");
   run_factorize_ckpt(ft_, h.tree().root(), opts.parallel_tree);
   factor_seconds_ = t.stop();
+  sealed_checksum_ = ft_.content_checksum();
 }
 
 void FastDirectSolver::refactorize(double lambda) {
@@ -66,6 +68,24 @@ void FastDirectSolver::refactorize(double lambda) {
   run_factorize_ckpt(ft_, ft_.hmatrix().tree().root(),
                      ft_.options().parallel_tree);
   factor_seconds_ = t.stop();
+  sealed_checksum_ = ft_.content_checksum();
+}
+
+bool FastDirectSolver::verify_integrity() const {
+  obs::add("verify.integrity_check");
+  if (ft_.content_checksum() == sealed_checksum_) return true;
+  obs::add("verify.integrity_fail");
+  return false;
+}
+
+VerifyOutcome FastDirectSolver::solve_verified(std::span<const double> u,
+                                               std::span<double> x,
+                                               std::uint64_t solve_index,
+                                               const CancelToken* cancel)
+    const {
+  solve(u, x, cancel);
+  return certify_and_refine(*this, u, x, ft_.options().verify, solve_index,
+                            cancel);
 }
 
 void FastDirectSolver::solve(std::span<const double> u, std::span<double> x,

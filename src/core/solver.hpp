@@ -51,6 +51,33 @@ class FastDirectSolver {
   /// Structured factorization outcome (shift retries, NaN detection).
   FactorStatus factor_status() const { return ft_.factor_status(); }
 
+  /// Verified solve: runs solve(), then the certification + escalation
+  /// ladder of `ft_.options().verify` (core/verify.hpp) on the answer.
+  /// `solve_index` feeds the sampling policy (caller-maintained solve
+  /// counter; 0 is always in-sample). x is refined in place.
+  VerifyOutcome solve_verified(std::span<const double> u,
+                               std::span<double> x,
+                               std::uint64_t solve_index = 0,
+                               const CancelToken* cancel = nullptr) const;
+
+  // -- Factor integrity (self-healing cache / checkpoint restore) ------
+
+  /// The content checksum sealed right after the last (re)factorization.
+  std::uint64_t sealed_checksum() const { return sealed_checksum_; }
+
+  /// Recompute the factor checksum and compare against the sealed one.
+  /// Emits verify.integrity_check, and verify.integrity_fail on
+  /// mismatch. False means the resident factors no longer match what
+  /// was factorized — the caller should discard and refactorize.
+  bool verify_integrity() const;
+
+  /// Deterministic fault injection (tests): flip one factor bit chosen
+  /// by `seed`, WITHOUT re-sealing, so the next verify_integrity() must
+  /// report the mismatch. Returns false if nothing could be corrupted.
+  bool corrupt_factor_bit(std::uint64_t seed) {
+    return ft_.corrupt_factor_bit(seed);
+  }
+
   const StabilityReport& stability() const { return ft_.stability(); }
   const FactorTree& factor_tree() const { return ft_; }
   /// Per-phase factorization time breakdown (leaf factors, V assembly,
@@ -63,6 +90,7 @@ class FastDirectSolver {
  private:
   FactorTree ft_;
   double factor_seconds_ = 0.0;
+  std::uint64_t sealed_checksum_ = 0;  ///< content_checksum() at seal time.
 };
 
 }  // namespace fdks::core

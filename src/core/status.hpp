@@ -88,6 +88,67 @@ struct [[nodiscard]] SolveStatus {
 const char* to_string(FactorCode c);
 const char* to_string(SolveCode c);
 
+// ---------------------------------------------------------------------
+// A posteriori certification policy (PR 8).
+//
+// A direct factor is only as good as the blocks it was built from: a
+// loose skeleton tolerance, an aggressive auto-shift, or silent bit rot
+// in a long-lived cache all produce answers that LOOK clean. The
+// VerifyPolicy makes the solver measure the relative residual
+// ‖(λI+K)x − b‖ / ‖b‖ after the fact and walk an escalation ladder
+// (iterative refinement, then factor-preconditioned GMRES) until the
+// answer is certified or declared failed.
+
+enum class VerifyMode {
+  Off,     ///< Never verify (legacy behavior; residual = -1).
+  Sample,  ///< Verify 1-in-`sample_every` solves (cheap steady-state).
+  Always,  ///< Verify every solve.
+};
+
+struct VerifyPolicy {
+  VerifyMode mode = VerifyMode::Off;
+  /// Sampling period for VerifyMode::Sample: solve k is verified iff
+  /// k % sample_every == 0 (the first solve is always in-sample).
+  int sample_every = 16;
+  /// Certification target for the relative residual.
+  double target_residual = 1e-6;
+
+  /// Which operator the residual is measured against. Factorized is
+  /// the target-interpolation treecode apply() the factorization
+  /// inverts — the right check for factor integrity (bit flips,
+  /// marginal pivots, stale shifts). Treecode is the classic ASKIT
+  /// source-skeleton apply_source(), an evaluation path independent of
+  /// the factorization that differs by O(tau) — the right cross-check
+  /// when the skeleton approximation itself is in question.
+  enum class Operator { Factorized, Treecode };
+  Operator op = Operator::Factorized;
+
+  /// Escalation ladder rung 1: fixed-point iterative refinement
+  /// x += F⁻¹(b − A·x), at most this many steps.
+  int max_refine_steps = 3;
+  /// Stagnation detector: a refinement step must shrink the residual
+  /// by at least this factor (new < factor * old) to keep going.
+  double min_step_improvement = 0.5;
+
+  /// Escalation ladder rung 2: factor-preconditioned GMRES on A when
+  /// refinement stagnates above target.
+  bool escalate = true;
+  int escalate_max_iters = 200;
+
+  [[nodiscard]] bool enabled() const { return mode != VerifyMode::Off; }
+};
+
+/// Outcome of one certification pass (per solve, or per column of a
+/// batched solve). `measured == false` means the policy skipped this
+/// solve (sampling) and residual stays -1.
+struct [[nodiscard]] VerifyOutcome {
+  bool measured = false;
+  bool certified = false;   ///< residual <= policy target (post-ladder).
+  double residual = -1.0;   ///< Final certified relative residual.
+  int refine_steps = 0;     ///< Refinement iterations spent.
+  int escalations = 0;      ///< 1 when the GMRES rung ran.
+};
+
 /// Phase-boundary guard: true iff every entry is finite.
 inline bool all_finite(std::span<const double> v) {
   for (double x : v)

@@ -45,6 +45,23 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
   GmresResult out;
   out.x.assign(static_cast<size_t>(n), 0.0);
 
+  // Right preconditioning: iterate on (A M⁻¹) y = b, then map the
+  // Krylov solution back through x = M⁻¹ y before returning. out.x
+  // holds y inside the loop; every residual below is the true residual
+  // of A x = b, so tolerances and histories need no adjustment.
+  std::vector<double> precond_scratch;
+  LinOp aop;
+  if (opts.right_precond) {
+    precond_scratch.assign(static_cast<size_t>(n), 0.0);
+    aop = [&a, &opts, &precond_scratch](std::span<const double> in,
+                                        std::span<double> y) {
+      opts.right_precond(in, precond_scratch);
+      a(precond_scratch, y);
+    };
+  } else {
+    aop = a;
+  }
+
   const double bnorm = nrm2(b);
   if (!std::isfinite(bnorm)) {
     // Guardrail: a poisoned right-hand side cannot be iterated on.
@@ -86,7 +103,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
   while (total_it < opts.max_iters) {
     if (opts.cancel) opts.cancel->check("iter::gmres");
     // Residual r = b - A x (x = 0 on the first cycle keeps this exact).
-    a(out.x, w);
+    aop(out.x, w);
     for (index_t i = 0; i < n; ++i)
       v[0][static_cast<size_t>(i)] = b[static_cast<size_t>(i)] -
                                      w[static_cast<size_t>(i)];
@@ -110,7 +127,7 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
       IterClock iter_clock;
       // Arnoldi step: w = A v_k, orthogonalize against the basis with
       // MGS, then (optionally) run a second CGS-style refinement pass.
-      a(v[static_cast<size_t>(k)], w);
+      aop(v[static_cast<size_t>(k)], w);
       for (int i = 0; i <= k; ++i) {
         const double hik = dot(v[static_cast<size_t>(i)], w);
         H(i, k) = hik;
@@ -222,6 +239,11 @@ GmresResult gmres(index_t n, const LinOp& a, std::span<const double> b,
     }
   }
 
+  if (opts.right_precond) {
+    // Map the preconditioned-space iterate back: x = M⁻¹ y.
+    opts.right_precond(out.x, precond_scratch);
+    out.x = precond_scratch;
+  }
   out.iterations = total_it;
   out.relative_residual = rnorm / bnorm;
   if (!out.breakdown && !out.nonfinite && rnorm <= target)

@@ -41,6 +41,14 @@ struct GmresOptions {
   /// core::CancelledError (the serving layer's deadline path). The
   /// token must outlive the gmres() call. nullptr = never cancel.
   const core::CancelToken* cancel = nullptr;
+  /// Right preconditioner M⁻¹: when set, GMRES iterates on (A M⁻¹) y = b
+  /// and returns x = M⁻¹ y. Because ‖b − (A M⁻¹) y‖ = ‖b − A x‖, the
+  /// reported relative_residual is the TRUE residual of A x = b — which
+  /// is what makes this the escalation rung of the certification ladder
+  /// (core/verify.hpp): an approximate factorization plugged in here
+  /// accelerates convergence without distorting the stopping test.
+  /// Empty = identity (unpreconditioned).
+  LinOp right_precond;
 };
 
 struct GmresResult {

@@ -140,6 +140,15 @@
   X(kServeRequestSeconds,     "serve.request_seconds",       Histogram)    \
   X(kServeShed,               "serve.shed",                  Counter)      \
   X(kScopeServeBatch,         "serve.batch",                 Timer)        \
+  /* answer certification & escalation (src/core/verify, PR 8) */         \
+  X(kRefineEscalations,       "refine.escalations",          Counter)      \
+  X(kRefineSteps,             "refine.steps",                Counter)      \
+  X(kVerifyChecks,            "verify.checks",               Counter)      \
+  X(kVerifyFail,              "verify.fail",                 Counter)      \
+  X(kVerifyIntegrityCheck,    "verify.integrity_check",      Counter)      \
+  X(kVerifyIntegrityFail,     "verify.integrity_fail",       Counter)      \
+  X(kVerifyResidual,          "verify.residual",             Histogram)    \
+  X(kVerifySeconds,           "verify.seconds",              Histogram)    \
   /* bench / tool top-level scopes (bench/, examples/) */                  \
   X(kGflopsRate,              "GFLOPS",                      Counter)      \
   X(kScopeReference,          "reference",                   Timer)        \

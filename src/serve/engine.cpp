@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "core/verify.hpp"
 #include "obs/obs.hpp"
 
 namespace fdks::serve {
@@ -232,7 +234,65 @@ void ServeEngine::run_direct_batch(std::vector<Request>& reqs,
   obs::hist("serve.batch_size", static_cast<double>(reqs.size()));
   obs::ScopedTimer t_batch("serve.batch");
   solve_range(reqs, 0, reqs.size(), tok, out, tally);
+  certify_batch(reqs, tok, out, tally);
   obs::hist("serve.batch_seconds", t_batch.stop());
+}
+
+void ServeEngine::certify_batch(std::vector<Request>& reqs,
+                                const core::CancelToken& tok,
+                                std::vector<Outcome>& out,
+                                BatchTally& tally) {
+  const core::VerifyPolicy& vp = opts_.verify;
+  if (!vp.enabled()) return;
+  if (!core::should_verify(vp, verify_seq_++)) return;
+
+  // Certification covers the answers about to be returned as successes;
+  // columns the solve already failed (poison, bisection) stay failed.
+  std::vector<size_t> idx;
+  for (size_t j = 0; j < out.size(); ++j)
+    if (out[j].code == ServeCode::Ok) idx.push_back(j);
+  if (idx.empty()) return;
+
+  const index_t nn = n();
+  la::Matrix b(nn, static_cast<index_t>(idx.size()));
+  la::Matrix x(nn, static_cast<index_t>(idx.size()));
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const index_t c = static_cast<index_t>(i);
+    std::copy(reqs[idx[i]].rhs.begin(), reqs[idx[i]].rhs.end(), b.col(c));
+    std::copy(out[idx[i]].x.begin(), out[idx[i]].x.end(), x.col(c));
+  }
+
+  std::vector<core::VerifyOutcome> vos;
+  try {
+    // solve_index 0: this batch is already in-sample (decided above).
+    vos = core::certify_and_refine_block(*solver_, b, x, vp, 0, &tok);
+  } catch (const core::CancelledError&) {
+    // Every member deadline has passed (the token runs under the
+    // latest); the late-finish check in worker_loop fails these.
+    return;
+  }
+
+  for (size_t i = 0; i < idx.size(); ++i) {
+    Outcome& o = out[idx[i]];
+    const core::VerifyOutcome& vo = vos[i];
+    o.residual = vo.residual;
+    ++tally.verified;
+    if (vo.refine_steps > 0) ++tally.refined;
+    if (vo.escalations > 0) ++tally.escalated;
+    if (vo.certified) {
+      // The ladder may have improved the column in place.
+      const double* col = x.col(static_cast<index_t>(i));
+      o.x.assign(col, col + nn);
+    } else {
+      std::ostringstream msg;
+      msg << "certified residual " << vo.residual
+          << " misses the verify target " << vp.target_residual
+          << " after the escalation ladder";
+      o.code = ServeCode::SolveFailed;
+      o.detail = msg.str();
+      ++tally.failed;
+    }
+  }
 }
 
 void ServeEngine::run_degraded_batch(std::vector<Request>& reqs,
@@ -390,6 +450,9 @@ void ServeEngine::worker_loop() {
     stats_.degraded += tally.degraded;
     stats_.poisoned += tally.poisoned;
     stats_.failed += tally.failed;
+    stats_.verified += tally.verified;
+    stats_.refined += tally.refined;
+    stats_.escalated += tally.escalated;
     cv_.notify_all();  // Wake drain()/drain_for() waiters.
   }
 }

@@ -28,6 +28,11 @@
 //     queue_max, batches are served by the GMRES-only treecode path at
 //     relaxed tolerance and marked ServeResult::Degraded — graceful
 //     degradation instead of unbounded queueing.
+//   - Certification: under ServeOptions::verify, in-sample batches have
+//     their Ok answers' residuals measured a posteriori through the
+//     treecode matvec; failing columns walk the refinement/escalation
+//     ladder (core/verify.hpp) and an uncertifiable answer fails with
+//     SolveFailed rather than being returned silently wrong.
 //
 // pause()/resume() gate the worker: submissions made while paused are
 // coalesced into maximal batches on resume. This is how tests and the
@@ -104,6 +109,13 @@ struct ServeOptions {
   /// and every result is marked Degraded. 0 disables.
   double degrade_watermark = 0.0;
   iter::GmresOptions degraded_gmres = degraded_gmres_defaults();
+  /// Answer certification (core/verify.hpp): when enabled, each direct
+  /// batch in-sample under the policy has its Ok columns certified —
+  /// the measured residual lands in ServeResult::residual, failing
+  /// columns walk the refinement/escalation ladder (only they are
+  /// re-solved, batched), and a column the ladder cannot certify fails
+  /// with ServeError(SolveFailed) instead of returning silently wrong.
+  core::VerifyPolicy verify;
 };
 
 class ServeEngine {
@@ -168,7 +180,14 @@ class ServeEngine {
     std::uint64_t expired = 0;    ///< Failed with DeadlineExceeded.
     std::uint64_t degraded = 0;   ///< Served by the GMRES-only fallback.
     std::uint64_t poisoned = 0;   ///< InvalidRhs (non-finite) + PoisonRhs.
-    std::uint64_t failed = 0;     ///< SolveFailed after bisection.
+    std::uint64_t failed = 0;     ///< SolveFailed (bisection or an
+                                  ///< uncertifiable residual).
+    std::uint64_t verified = 0;   ///< Answers carrying a certified
+                                  ///< (measured) residual.
+    std::uint64_t refined = 0;    ///< Answers that took >= 1 refinement
+                                  ///< step before certifying.
+    std::uint64_t escalated = 0;  ///< Answers that reached the GMRES
+                                  ///< escalation rung.
     index_t max_batch = 0;
   };
   Stats stats() const;
@@ -197,12 +216,22 @@ class ServeEngine {
     std::uint64_t degraded = 0;
     std::uint64_t poisoned = 0;
     std::uint64_t failed = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t refined = 0;
+    std::uint64_t escalated = 0;
   };
 
   void worker_loop();
   void run_direct_batch(std::vector<Request>& reqs,
                         const core::CancelToken& tok,
                         std::vector<Outcome>& out, BatchTally& tally);
+  /// Certify the batch's Ok columns under opts_.verify (no-op when the
+  /// batch is out of sample): measured residuals land in the outcomes,
+  /// failing columns are refined/escalated in place, and a column the
+  /// ladder cannot certify flips to SolveFailed.
+  void certify_batch(std::vector<Request>& reqs,
+                     const core::CancelToken& tok, std::vector<Outcome>& out,
+                     BatchTally& tally);
   void solve_range(std::vector<Request>& reqs, size_t lo, size_t hi,
                    const core::CancelToken& tok, std::vector<Outcome>& out,
                    BatchTally& tally);
@@ -219,6 +248,7 @@ class ServeEngine {
   bool stop_ = false;
   bool busy_ = false;  ///< A batch is being solved right now.
   Stats stats_;
+  std::uint64_t verify_seq_ = 0;  ///< Batch sampling counter (worker only).
   std::thread worker_;
 };
 

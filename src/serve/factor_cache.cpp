@@ -91,7 +91,32 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
       cv_.wait_for(lk, std::chrono::milliseconds(100));
     if (e->failed)
       throw std::runtime_error("FactorCache::get: " + e->error);
-    return e->solver;
+    // Lazy integrity cadence: first hit, then every Nth. The checksum
+    // walk is lock-free — factors are immutable once sealed, and other
+    // readers may keep solving off this entry meanwhile.
+    const bool check_integrity =
+        opts_.integrity_check_every > 0 &&
+        e->hits % static_cast<std::uint64_t>(opts_.integrity_check_every) ==
+            0;
+    ++e->hits;
+    std::shared_ptr<const core::FastDirectSolver> solver = e->solver;
+    if (!check_integrity) return solver;
+    lk.unlock();
+    const bool intact = solver->verify_integrity();
+    if (intact) return solver;
+    // Self-heal: drop the corrupted entry (if it is still the resident
+    // one) and fall through to a fresh factorization via get().
+    lk.lock();
+    ++stats_.integrity_failures;
+    auto cur = entries_.find(key);
+    if (cur != entries_.end() && cur->second == e) {
+      bytes_ -= e->bytes;
+      obs::add("serve.cache_bytes", -static_cast<double>(e->bytes));
+      entries_.erase(cur);
+      lru_.remove(key);
+    }
+    lk.unlock();
+    return get(h, opts);
   }
 
   // Circuit breaker: a key that keeps failing to factorize fast-fails

@@ -16,6 +16,15 @@
 // serve.cache_bytes gauge — emitted as signed deltas on insert/evict
 // so the accumulated counter always equals current residency.
 //
+// Resident factors are integrity-checked lazily: every FastDirectSolver
+// seals a content checksum (FNV-1a over the factor payload) at
+// factorization, and the cache re-verifies it on the first hit and
+// every integrity_check_every-th hit thereafter. A mismatch — cosmic
+// ray, bad DIMM, stray write — is self-healing: the corrupted entry is
+// dropped (verify.integrity_fail) and the same get() refactorizes from
+// scratch, so the caller still receives a sound factor and never sees
+// the corruption.
+//
 // Repeated factorization failures trip a per-key circuit breaker:
 // after breaker_threshold consecutive failures, get() for that key
 // fast-fails with ServeError(BreakerOpen) for breaker_cooldown instead
@@ -59,6 +68,11 @@ struct FactorCacheOptions {
   int breaker_threshold = 3;
   /// How long a tripped breaker rejects before allowing a probe.
   std::chrono::milliseconds breaker_cooldown{1000};
+  /// Lazy factor-integrity cadence: verify the sealed content checksum
+  /// on an entry's first hit and then every Nth hit. A mismatch drops
+  /// the entry and refactorizes within the same get() (self-healing).
+  /// 0 disables integrity checking.
+  int integrity_check_every = 64;
   /// Factorization hook — tests inject failing/instrumented factories;
   /// null means construct a FastDirectSolver(h, opts) directly.
   std::function<std::shared_ptr<const core::FastDirectSolver>(
@@ -78,6 +92,9 @@ class FactorCache {
   /// the factorization error) if the underlying factorization throws —
   /// a failed entry is removed so a later call can retry — and
   /// ServeError(BreakerOpen) while the key's breaker is in cooldown.
+  /// Hits on the integrity cadence re-verify the solver's sealed
+  /// checksum first; a corrupted entry is dropped and refactorized
+  /// before returning (the caller never sees the corruption).
   std::shared_ptr<const core::FastDirectSolver> get(const HMatrix& h,
                                                     const SolverOptions& opts);
 
@@ -100,6 +117,8 @@ class FactorCache {
     std::uint64_t failures = 0;         ///< Factorizations that threw.
     std::uint64_t breaker_trips = 0;    ///< Closed -> open transitions.
     std::uint64_t breaker_rejects = 0;  ///< get() fast-fails while open.
+    std::uint64_t integrity_failures = 0;  ///< Checksum mismatches healed
+                                           ///< by refactorization.
   };
   Stats stats() const;
 
@@ -110,6 +129,7 @@ class FactorCache {
     bool failed = false;
     std::string error;
     size_t bytes = 0;  ///< memory_bytes() once ready; 0 in flight.
+    std::uint64_t hits = 0;  ///< Hits served; drives the integrity cadence.
   };
 
   struct Breaker {

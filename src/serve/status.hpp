@@ -66,14 +66,16 @@ class ServeError : public std::runtime_error {
 };
 
 /// Successful request payload. code is Ok or Degraded; x is the
-/// solution in the caller's original point order. For degraded results,
-/// residual holds the fallback GMRES's relative residual (so callers
-/// can decide whether a relaxed-tolerance answer is usable) and detail
-/// says why the request was degraded.
+/// solution in the caller's original point order. residual is the
+/// measured relative residual ‖(λI+K)x − b‖/‖b‖ when one was computed:
+/// always for Degraded results (the fallback GMRES reports its own),
+/// and for Ok results whose batch was certified under
+/// ServeOptions::verify (every batch when VerifyMode::Always). detail
+/// says why a request was degraded.
 struct ServeResult {
   ServeCode code = ServeCode::Ok;
   std::vector<double> x;
-  double residual = -1.0;  ///< Degraded path only; -1 = not measured.
+  double residual = -1.0;  ///< -1 = not measured (unverified Ok path).
   std::string detail;
 
   bool degraded() const { return code == ServeCode::Degraded; }
