@@ -39,23 +39,43 @@
 // Reports the shed rate and the p99 latency of the requests that were
 // admitted — the two numbers that characterize behavior at saturation.
 //
+// Part 5, mode "smoke" (gated): the telemetry-overhead row. Three
+// paused 64-request bursts per arm — telemetry off, then on (event
+// log + SLO tracker + tail-trace sampling with tracing live + scrape
+// endpoint) — compared by min-of-3 burst wall time. The on/off ratio
+// is asserted (<= 1.05, relaxed to 1.5 below a 10 ms floor where the
+// clock tick dominates) and stamped, clamped to [0, 10], as
+// serve.telemetry_overhead_pct, locking in the cheap-when-idle claim
+// under the regression gate. The same part scrapes the live exporter
+// and asserts the exposition carries every registered serve.* key,
+// that each on-burst request logged exactly its three lifecycle
+// events, and that a tail-kept trace renders a request_id flow.
+//
 // "open" and "overload" are NOT regression-gated (their composition is
 // scheduling-dependent); run them by hand for the EXPERIMENTS.md
 // serving protocol.
 //
-// Reported: p50/p99 request latency (serve.request_seconds, v2
+// Reported: p50/p99 request latency (serve.request_seconds, v3
 // histogram schema), batch-size distribution, shed/degraded tallies,
-// and the batched-vs-sequential speedup.
+// the batched-vs-sequential speedup, and the telemetry overhead.
 #include "bench_util.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/export.hpp"
+#include "obs/keys.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/factor_cache.hpp"
+#include "serve/slo.hpp"
+#include "serve/tail_trace.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -240,6 +260,140 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(vs.failed));
   }
 
+  // ---- Part 5 (smoke only): telemetry overhead + live scrape. ----
+  // The whole live-telemetry stack (event log, SLO tracker, tail-trace
+  // sampling with tracing enabled, scrape endpoint) against the same
+  // burst with it all off. Deterministic side effects feed the gate:
+  // 3 bursts x 64 requests x 3 lifecycle events = 576 event-log lines,
+  // 4 kept traces per fresh sampler (within one batch latency decreases
+  // with submission order, so after the budget fills no later request
+  // beats the slowest four), and exactly 2 scrapes.
+  bool telemetry_ok = true;
+  if (!open_loop && !overload) {
+    constexpr index_t kBurst = 64;
+    constexpr int kRepeats = 3;
+    auto run_burst = [&](const serve::ServeOptions& topts,
+                         uint64_t seed_base) {
+      serve::ServeEngine e2(solver, topts);
+      std::vector<std::future<serve::ServeResult>> fs;
+      fs.reserve(static_cast<size_t>(kBurst));
+      for (index_t r = 0; r < kBurst; ++r)
+        fs.push_back(e2.submit(
+            bench::random_rhs(n, seed_base + static_cast<uint64_t>(r))));
+      bench::Timer t;
+      e2.resume();
+      for (auto& f : fs) (void)f.get();
+      const double sec = t.seconds();
+      e2.drain();
+      return sec;
+    };
+
+    serve::ServeOptions off;
+    off.batch_max = kBurst;
+    off.start_paused = true;
+    double sec_off = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const double s =
+          run_burst(off, 1700 + 100 * static_cast<uint64_t>(rep));
+      sec_off = rep == 0 ? s : std::min(sec_off, s);
+    }
+
+    auto event_log = std::make_shared<obs::EventLog>();  // Counting sink.
+    auto slo = std::make_shared<serve::SloTracker>([] {
+      serve::SloOptions s;
+      s.p99_target_seconds = 60.0;  // Generous: never degrades the arm.
+      return s;
+    }());
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+    obs::Sampler sampler([] {
+      obs::SamplerOptions s;
+      s.interval = std::chrono::milliseconds(200);
+      return s;
+    }());
+    obs::MetricsExporterOptions mo;
+    mo.render.sampler = &sampler;
+    obs::MetricsExporter exporter(mo);
+
+    double sec_on = 0.0;
+    std::shared_ptr<serve::TailTraceSampler> last_tail;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      serve::ServeOptions on = off;
+      on.event_log = event_log;
+      on.slo = slo;
+      // Fresh tail budget per repeat: exactly 4 keeps each.
+      last_tail = std::make_shared<serve::TailTraceSampler>();
+      on.tail_trace = last_tail;
+      const double s =
+          run_burst(on, 2300 + 100 * static_cast<uint64_t>(rep));
+      sec_on = rep == 0 ? s : std::min(sec_on, s);
+    }
+
+    // Live scrape while the process serves: every registered serve.*
+    // key must be in the exposition, and the timer tree must carry the
+    // serve.batch scope.
+    const std::string body = obs::http_get_metrics(exporter.port());
+    (void)obs::http_get_metrics(exporter.port());  // scrape #2 (gated).
+    for (const obs::keys::KeyInfo& k : obs::keys::kAll) {
+      if (k.key.substr(0, 6) != "serve.") continue;
+      if (k.kind != obs::keys::Kind::Counter &&
+          k.kind != obs::keys::Kind::Gauge &&
+          k.kind != obs::keys::Kind::Histogram)
+        continue;
+      if (body.find(obs::prometheus_metric_name(k.key)) == std::string::npos) {
+        std::printf("TELEMETRY FAIL: scrape is missing %.*s\n",
+                    static_cast<int>(k.key.size()), k.key.data());
+        telemetry_ok = false;
+      }
+    }
+    if (body.find("scope=\"serve.batch\"") == std::string::npos) {
+      std::printf("TELEMETRY FAIL: scrape is missing the serve.batch scope\n");
+      telemetry_ok = false;
+    }
+
+    // Every on-arm request logged admitted + batched + solved.
+    const std::uint64_t want_lines =
+        static_cast<std::uint64_t>(kRepeats) *
+        static_cast<std::uint64_t>(kBurst) * 3;
+    if (event_log->lines() != want_lines) {
+      std::printf("TELEMETRY FAIL: %llu event lines, expected %llu\n",
+                  static_cast<unsigned long long>(event_log->lines()),
+                  static_cast<unsigned long long>(want_lines));
+      telemetry_ok = false;
+    }
+
+    // At least one tail-kept trace whose export renders the request_id
+    // flow arrow stamped at submit().
+    if (last_tail->kept_count() == 0) {
+      std::printf("TELEMETRY FAIL: tail sampler kept no traces\n");
+      telemetry_ok = false;
+    } else {
+      const std::string json =
+          obs::trace::chrome_trace_json(last_tail->kept().front().data);
+      if (json.find("\"ph\":\"s\"") == std::string::npos) {
+        std::printf("TELEMETRY FAIL: kept trace has no flow event\n");
+        telemetry_ok = false;
+      }
+    }
+    obs::trace::set_enabled(false);
+
+    const double ratio = sec_off > 0.0 ? sec_on / sec_off : 1.0;
+    // Below a 10 ms burst the ratio measures the scheduler, not the
+    // telemetry; relax the bound there.
+    const double bound = sec_off >= 0.010 ? 1.05 : 1.50;
+    const double pct =
+        std::clamp((ratio - 1.0) * 100.0, 0.0, 10.0);
+    obs::add("serve.telemetry_overhead_pct", pct);
+    std::printf(
+        "telemetry   : off %8.4fs   on %8.4fs   ratio %.3f (bound %.2f)\n",
+        sec_off, sec_on, ratio, bound);
+    if (ratio > bound) {
+      std::printf("TELEMETRY FAIL: overhead ratio %.3f exceeds %.2f\n",
+                  ratio, bound);
+      telemetry_ok = false;
+    }
+  }
+
   const serve::ServeEngine::Stats es = engine.stats();
   const obs::Snapshot snap = obs::snapshot();
   const auto lat = snap.histograms.find("serve.request_seconds");
@@ -272,5 +426,5 @@ int main(int argc, char** argv) {
        obs::kv("batch_max", static_cast<long long>(kBatch)),
        obs::kv("requests", static_cast<long long>(kRequests)),
        obs::kv("mode", mode)});
-  return diff < 1e-10 ? 0 : 1;
+  return (diff < 1e-10 && telemetry_ok) ? 0 : 1;
 }

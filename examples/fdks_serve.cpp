@@ -1,7 +1,9 @@
 // Long-lived serving front end: factor cache + batched admission queue.
 //
 //   ./fdks_serve [N] [requests] [batch_max] [lambdas] [deadline_ms]
-//               [--verify-sample K]
+//               [--verify-sample K] [--metrics-port P]
+//               [--metrics-interval MS] [--event-log FILE]
+//               [--slo-p99-ms MS] [--trace-tail K]
 //
 // Simulates a serving process: `lambdas` distinct regularization values
 // arrive as interleaved solve requests. Each lambda's factorization is
@@ -20,6 +22,21 @@
 // statistics (shed/expired/degraded/poisoned/failed plus the
 // verified/refined/escalated certification tallies), and the worst
 // residual across all successfully served requests.
+//
+// Live telemetry (obs/export.hpp, obs/eventlog.hpp, serve/slo.hpp,
+// serve/tail_trace.hpp):
+//   --metrics-port P       Prometheus scrape endpoint on 127.0.0.1:P
+//                          (P = 0 picks an ephemeral port, printed at
+//                          startup): curl http://127.0.0.1:P/metrics
+//   --metrics-interval MS  background obs::Sampler printing interval
+//                          counter rates to stderr (and feeding
+//                          fdks_counter_rate in the scrape).
+//   --event-log FILE       request-lifecycle events, one JSON per line.
+//   --slo-p99-ms MS        rolling-window SLO objective; an exhausted
+//                          error budget triggers degraded batches.
+//   --trace-tail K         keep the trace slices of the K slowest (or
+//                          failed) requests; written per request to
+//                          serve_trace_req<id>.json on exit.
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -32,30 +49,67 @@
 
 #include "data/generators.hpp"
 #include "example_util.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/factor_cache.hpp"
+#include "serve/slo.hpp"
+#include "serve/tail_trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace fdks;
-  // Strip --verify-sample K before the positional arguments are read.
-  long verify_sample = 0;  // 0 = certification off.
+  // Strip the long options before the positional arguments are read.
+  long verify_sample = 0;      // 0 = certification off.
+  long metrics_port = -1;      // -1 = exporter off; 0 = ephemeral port.
+  long metrics_interval_ms = 0;
+  long slo_p99_ms = 0;
+  long trace_tail = 0;
+  std::string event_log_path;
   std::vector<char*> args(argv, argv + argc);
   for (size_t i = 1; i < args.size();) {
-    if (std::string(args[i]) == "--verify-sample" && i + 1 < args.size()) {
-      errno = 0;
-      char* end = nullptr;
-      verify_sample = std::strtol(args[i + 1], &end, 10);
-      if (end == args[i + 1] || *end != '\0' || errno == ERANGE ||
-          verify_sample < 1) {
-        std::printf("--verify-sample: needs a whole number >= 1, got '%s'\n",
-                    args[i + 1]);
+    const std::string flag(args[i]);
+    const bool has_value = i + 1 < args.size();
+    long* num = nullptr;
+    long minv = 1;
+    if (flag == "--verify-sample") {
+      num = &verify_sample;
+    } else if (flag == "--metrics-port") {
+      num = &metrics_port;
+      minv = 0;
+    } else if (flag == "--metrics-interval") {
+      num = &metrics_interval_ms;
+    } else if (flag == "--slo-p99-ms") {
+      num = &slo_p99_ms;
+    } else if (flag == "--trace-tail") {
+      num = &trace_tail;
+    } else if (flag == "--event-log") {
+      if (!has_value) {
+        std::printf("--event-log: needs a file path\n");
         return 2;
       }
+      event_log_path = args[i + 1];
       args.erase(args.begin() + static_cast<long>(i),
                  args.begin() + static_cast<long>(i) + 2);
+      continue;
     } else {
       ++i;
+      continue;
     }
+    errno = 0;
+    char* end = nullptr;
+    const long v = has_value ? std::strtol(args[i + 1], &end, 10) : 0;
+    if (!has_value || end == args[i + 1] || *end != '\0' ||
+        errno == ERANGE || v < minv) {
+      std::printf("%s: needs a whole number >= %ld%s%s\n", flag.c_str(),
+                  minv, has_value ? ", got " : "",
+                  has_value ? args[i + 1] : "");
+      return 2;
+    }
+    *num = v;
+    args.erase(args.begin() + static_cast<long>(i),
+               args.begin() + static_cast<long>(i) + 2);
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
@@ -65,6 +119,60 @@ int main(int argc, char** argv) {
   const la::index_t batch_max = examples::arg_n(argc, argv, 3, 64);
   const la::index_t lambdas = examples::arg_n(argc, argv, 4, 2);
   const la::index_t deadline_ms = examples::arg_n(argc, argv, 5, 0);
+
+  // Live telemetry. Any telemetry flag flips the obs registry on (the
+  // exporter and sampler would otherwise scrape an empty registry).
+  const bool telemetry = metrics_port >= 0 || metrics_interval_ms > 0 ||
+                         !event_log_path.empty() || slo_p99_ms > 0 ||
+                         trace_tail > 0;
+  if (telemetry) {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  if (trace_tail > 0) {
+    obs::trace::set_enabled(true);
+    obs::trace::reset();
+  }
+  std::shared_ptr<obs::EventLog> event_log;
+  if (!event_log_path.empty()) {
+    event_log = obs::EventLog::to_file(event_log_path);
+  }
+  std::shared_ptr<serve::SloTracker> slo;
+  if (slo_p99_ms > 0) {
+    serve::SloOptions so;
+    so.p99_target_seconds = static_cast<double>(slo_p99_ms) / 1000.0;
+    so.window = 256;
+    slo = std::make_shared<serve::SloTracker>(so);
+  }
+  std::shared_ptr<serve::TailTraceSampler> tail;
+  if (trace_tail > 0) {
+    serve::TailTraceOptions to;
+    to.keep = static_cast<size_t>(trace_tail);
+    tail = std::make_shared<serve::TailTraceSampler>(to);
+  }
+  std::unique_ptr<obs::Sampler> sampler;
+  if (metrics_interval_ms > 0) {
+    obs::SamplerOptions so;
+    so.interval = std::chrono::milliseconds(metrics_interval_ms);
+    so.on_sample = [](const obs::Sample& s) {
+      double reqs = 0.0;
+      const auto it = s.counter_deltas.find("serve.requests");
+      if (it != s.counter_deltas.end() && s.interval_seconds > 0.0)
+        reqs = it->second / s.interval_seconds;
+      std::fprintf(stderr, "[metrics] rss=%.1fMB requests/s=%.1f\n",
+                   double(s.rss_bytes) / 1048576.0, reqs);
+    };
+    sampler = std::make_unique<obs::Sampler>(std::move(so));
+  }
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (metrics_port >= 0) {
+    obs::MetricsExporterOptions mo;
+    mo.port = static_cast<std::uint16_t>(metrics_port);
+    mo.render.sampler = sampler.get();
+    exporter = std::make_unique<obs::MetricsExporter>(mo);
+    std::printf("metrics    : http://127.0.0.1:%u/metrics\n",
+                unsigned{exporter->port()});
+  }
 
   data::Dataset ds = data::make_synthetic(data::SyntheticKind::Normal, n, 17);
   askit::AskitConfig acfg;
@@ -90,6 +198,12 @@ int main(int argc, char** argv) {
                                           : core::VerifyMode::Sample;
       so.verify.sample_every = static_cast<int>(verify_sample);
     }
+    // All engines feed the same telemetry objects: request_ids are
+    // process-global, so one event stream / SLO / tail budget covers
+    // the whole process.
+    so.event_log = event_log;
+    so.slo = slo;
+    so.tail_trace = tail;
     engines.push_back(std::make_unique<serve::ServeEngine>(
         cache.get(h, opts[static_cast<size_t>(li)]), so));
   }
@@ -177,5 +291,27 @@ int main(int argc, char** argv) {
   std::printf("residual   : worst %.2e over %td served "
               "(%td degraded, %td rejected)\n",
               worst, served, degraded, rejected);
+  if (slo) {
+    const serve::SloTracker::Status st = slo->status();
+    std::printf("slo        : p99 %.1fms (target %ldms), error rate %.3f, "
+                "budget %.2f%s\n",
+                st.p99_seconds * 1e3, slo_p99_ms, st.error_rate,
+                st.budget_remaining, st.breached ? " [BREACHED]" : "");
+  }
+  if (event_log) {
+    std::printf("event log  : %llu lines -> %s\n",
+                static_cast<unsigned long long>(event_log->lines()),
+                event_log_path.c_str());
+  }
+  if (tail) {
+    const size_t wrote = tail->write_all("serve_trace_");
+    std::printf("tail trace : kept %zu request traces, wrote %zu files "
+                "(serve_trace_req<id>.json)\n",
+                tail->kept_count(), wrote);
+  }
+  if (exporter) {
+    std::printf("metrics    : served %llu scrapes\n",
+                static_cast<unsigned long long>(exporter->scrapes()));
+  }
   return (worst < 1e-4 && !unstructured) ? 0 : 1;
 }

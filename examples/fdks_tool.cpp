@@ -36,7 +36,6 @@
 //                          restriction is raised to log2(P) so the
 //                          frontier does not span ranks.
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -45,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -61,6 +61,7 @@
 #include "data/preprocess.hpp"
 #include "krr/krr.hpp"
 #include "mpisim/runtime.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 
@@ -611,29 +612,27 @@ int main(int argc, char** argv) {
     obs::trace::reset();
   }
 
-  // Periodic memory/trace-volume sampler. It deliberately reads only
-  // /proc and the trace buffers' published state — obs::snapshot() is
-  // not safe concurrently with emission.
-  std::atomic<bool> sampler_stop{false};
-  std::thread sampler;
+  // Periodic metrics sampler (obs::Sampler): each tick prints the RSS /
+  // trace-volume line plus the interval's counter-delta count. The
+  // sampler's own snapshot diffs are safe concurrently with emission.
+  std::unique_ptr<obs::Sampler> sampler;
   if (a.metrics_interval_ms > 0) {
-    sampler = std::thread([&] {
-      const auto interval = std::chrono::milliseconds(a.metrics_interval_ms);
-      while (!sampler_stop.load(std::memory_order_relaxed)) {
-        size_t events = 0, dropped = 0;
-        for (const auto& t : obs::trace::collect().threads) {
-          events += t.events.size();
-          dropped += t.dropped;
-        }
-        std::fprintf(stderr,
-                     "[metrics] rss=%.1fMB peak=%.1fMB trace_events=%zu "
-                     "dropped=%zu\n",
-                     double(obs::current_rss_bytes()) / 1048576.0,
-                     double(obs::peak_rss_bytes()) / 1048576.0, events,
-                     dropped);
-        std::this_thread::sleep_for(interval);
+    obs::SamplerOptions sopts;
+    sopts.interval = std::chrono::milliseconds(a.metrics_interval_ms);
+    sopts.on_sample = [](const obs::Sample& s) {
+      size_t events = 0, dropped = 0;
+      for (const auto& t : obs::trace::collect().threads) {
+        events += t.events.size();
+        dropped += t.dropped;
       }
-    });
+      std::fprintf(stderr,
+                   "[metrics] rss=%.1fMB peak=%.1fMB trace_events=%zu "
+                   "dropped=%zu counters_active=%zu\n",
+                   double(s.rss_bytes) / 1048576.0,
+                   double(s.peak_rss_bytes) / 1048576.0, events, dropped,
+                   s.counter_deltas.size());
+    };
+    sampler = std::make_unique<obs::Sampler>(std::move(sopts));
   }
 
   int rc = 0;
@@ -643,16 +642,10 @@ int main(int argc, char** argv) {
     else if (a.cmd == "gen") rc = run_gen(a);
     else rc = run_info(a);
   } catch (...) {
-    if (sampler.joinable()) {
-      sampler_stop.store(true);
-      sampler.join();
-    }
+    sampler.reset();  // Join the sampler before the exception escapes.
     throw;
   }
-  if (sampler.joinable()) {
-    sampler_stop.store(true);
-    sampler.join();
-  }
+  sampler.reset();
   if (a.profile) obs::print_tree(stdout, obs::snapshot());
   if (!a.trace.empty()) export_trace(a);
   return rc;

@@ -27,6 +27,11 @@ What is gated, and how:
              both fail: a counter collapsing to ~0 usually means the
              code path stopped running, which is a bug the gate should
              catch, not a win.
+  gauges     last-value levels (cache residency, SLO budget): gated on
+             presence plus a 2x magnitude band like "mem." counters —
+             levels wobble with timing, but a gauge that vanishes or
+             changes order of magnitude means its feeder stopped
+             running or broke.
   histograms sample counts gated like counters; quantiles not gated
              (they are timing-shaped).
   timers     presence-only by default — wall-clock on shared CI
@@ -101,6 +106,18 @@ def compare(base, obs, timing_factor=None):
         if not (lo <= octr[name] <= hi):
             yield ("counters." + name, bval, octr[name],
                    "[%g, %g]" % (lo, hi))
+
+    bg, og = base.get("gauges", {}), obs.get("gauges", {})
+    for name, bval in sorted(bg.items()):
+        if name not in og:
+            yield ("gauges." + name, bval, "missing", "present")
+            continue
+        # Magnitude band, like mem.* counters: levels are timing-shaped,
+        # so only order-of-magnitude drift (or disappearance) fails.
+        lo = bval / MEM_FACTOR - COUNTER_ABS_SLACK
+        hi = bval * MEM_FACTOR + COUNTER_ABS_SLACK
+        if not (lo <= og[name] <= hi):
+            yield ("gauges." + name, bval, og[name], "[%g, %g]" % (lo, hi))
 
     bh, oh = base.get("histograms", {}), obs.get("histograms", {})
     for name, bhist in sorted(bh.items()):

@@ -22,6 +22,12 @@
 #                                   certified serving); skipped with a
 #                                   note when build/ hasn't been
 #                                   configured yet.
+#   6. telemetry suite              ctest -L telemetry (Prometheus
+#                                   exposition conformance, scrape
+#                                   endpoint, event-log terminal-event
+#                                   invariant, tail tracing, SLO
+#                                   tracker); same build/ precondition
+#                                   as stage 5.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,6 +59,17 @@ if [ -f build/CTestTestfile.cmake ]; then
   if ! cmake --build build -j "$jobs" --target verify_test >/dev/null; then
     failures=$((failures + 1))
   elif ! ctest --test-dir build -L verify --output-on-failure; then
+    failures=$((failures + 1))
+  fi
+else
+  echo "build/ not configured; skipped (cmake -B build -S . first)."
+fi
+
+stage "telemetry suite (ctest -L telemetry)"
+if [ -f build/CTestTestfile.cmake ]; then
+  if ! cmake --build build -j "$jobs" --target telemetry_test >/dev/null; then
+    failures=$((failures + 1))
+  elif ! ctest --test-dir build -L telemetry --output-on-failure; then
     failures=$((failures + 1))
   fi
 else

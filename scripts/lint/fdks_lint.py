@@ -22,6 +22,11 @@ Rules (see DESIGN.md §4e for the full rationale):
                    registered Prefix family.
   OBS-DEAD         every registry entry must be emitted somewhere in
                    src/, bench/, or examples/ — or be marked Reserved.
+  OBS-EVENT        every EventLog::emit event-name argument must be a
+                   literal registered in the FDKS_EVENT_NAMES table
+                   (src/obs/eventlog.hpp) or one of its generated
+                   events::kEv* constants — the static twin of the
+                   runtime check in EventLog::emit.
   MPISIM-DEADLINE  no deadline-less condition-variable waits
                    (`cv.wait(lock)`): use wait_until/wait_for, or tag
                    the site `no_deadline:` with a reason.
@@ -57,6 +62,7 @@ from pathlib import Path
 RULE_IDS = [
     "OBS-KEY",
     "OBS-DEAD",
+    "OBS-EVENT",
     "MPISIM-DEADLINE",
     "BAN-RAND",
     "BAN-NEW-ARRAY",
@@ -215,7 +221,7 @@ def string_literals(expr):
 
 REGISTRY_ENTRY_RE = re.compile(
     r'^\s*X\(\s*(k\w+)\s*,\s*"([^"]+)"\s*,\s*'
-    r"(Counter|Histogram|Timer|Instant|Prefix|Reserved)\s*\)"
+    r"(Counter|Gauge|Histogram|Timer|Instant|Prefix|Reserved)\s*\)"
 )
 
 
@@ -224,6 +230,7 @@ class Registry:
         self.entries = []  # (constant, key, kind, line)
         self.exact = {}  # key -> kind
         self.prefixes = []  # [(prefix, line)]
+        self.by_constant = {}  # constant -> key
 
     @staticmethod
     def parse(text, path):
@@ -234,6 +241,7 @@ class Registry:
                 continue
             const, key, kind = m.group(1), m.group(2), m.group(3)
             reg.entries.append((const, key, kind, lineno))
+            reg.by_constant[const] = key
             if kind == "Prefix":
                 reg.prefixes.append((key, lineno))
             else:
@@ -260,7 +268,7 @@ class Registry:
 # type and '(' so class declarations/constructor definitions in
 # src/obs do not match.
 EMIT_CALL_RE = re.compile(
-    r"(?:\bobs::add|\bobs::hist|\bobs::record"
+    r"(?:\bobs::add|\bobs::hist|\bobs::gauge|\bobs::record"
     r"|\b(?:obs::)?trace::instant"
     r"|\b(?:obs::)?ScopedTimer\s+\w+)\s*(\()"
 )
@@ -336,14 +344,20 @@ def check_obs_key(src, registry, findings):
                 )
 
 
-def collect_emitted(src, emitted, fmt_literals):
-    """Gather every key literal this file emits (for OBS-DEAD)."""
+def collect_emitted(src, registry, emitted, fmt_literals):
+    """Gather every key this file emits (for OBS-DEAD): string literals
+    plus keys:: registry constants resolved through the table."""
     for m in EMIT_CALL_RE.finditer(src.code):
         args, _ = balanced_span(src.code, m.start(1))
         if args is None:
             continue
-        for lit in string_literals(key_argument(args)):
+        key_arg = key_argument(args)
+        for lit in string_literals(key_arg):
             (fmt_literals if "%" in lit else emitted).add(lit)
+        for cm in KEY_CONSTANT_RE.finditer(key_arg):
+            const = cm.group(0).split("::")[-1]
+            if const in registry.by_constant:
+                emitted.add(registry.by_constant[const])
     for m in COUNTER_STAMP_RE.finditer(src.code):
         idx, _ = balanced_span(src.code, m.start(1), "[", "]")
         if idx is None:
@@ -383,6 +397,90 @@ def check_obs_dead(registry, registry_path, emitted, fmt_literals, findings):
                     "OBS-DEAD",
                     f'registry key "{key}" ({const}) is never emitted; '
                     "emit it or mark it Reserved",
+                )
+            )
+
+
+# --------------------------------------------------------------------
+# OBS-EVENT: EventLog::emit event names against FDKS_EVENT_NAMES
+# --------------------------------------------------------------------
+
+EVENT_TABLE_ENTRY_RE = re.compile(r'^\s*X\(\s*(kEv\w+)\s*,\s*"([a-z_]+)"\s*\)')
+# Member calls only (log.emit / log->emit): the EventLog::emit
+# definition and trace buffer emits do not look like member calls with
+# two or more arguments.
+EVENT_EMIT_RE = re.compile(r"(?:\.|->)\s*emit\s*(\()")
+EVENT_CONSTANT_RE = re.compile(r"^(?:fdks::)?(?:obs::)?events::(kEv\w+)$")
+
+
+class EventTable:
+    def __init__(self):
+        self.names = set()      # registered event-name literals
+        self.constants = set()  # generated events::kEv* constants
+
+    @staticmethod
+    def parse(text):
+        table = EventTable()
+        for line in text.splitlines():
+            m = EVENT_TABLE_ENTRY_RE.match(line)
+            if m:
+                table.constants.add(m.group(1))
+                table.names.add(m.group(2))
+        return table
+
+
+def check_obs_event(src, events, findings):
+    for m in EVENT_EMIT_RE.finditer(src.code):
+        args, _ = balanced_span(src.code, m.start(1))
+        if args is None:
+            continue
+        parts = split_args(args)
+        if len(parts) < 2:
+            continue  # Not EventLog::emit(request_id, event, ...).
+        line = src.line_of(m.start())
+        name_arg = parts[1]
+        lits = string_literals(name_arg)
+        if lits:
+            if lits[0] not in events.names and not src.suppressed(
+                line, "OBS-EVENT"
+            ):
+                findings.append(
+                    Finding(
+                        src.display,
+                        line,
+                        "OBS-EVENT",
+                        f'event name "{lits[0]}" is not registered in '
+                        "the FDKS_EVENT_NAMES table "
+                        "(src/obs/eventlog.hpp)",
+                    )
+                )
+            continue
+        cm = EVENT_CONSTANT_RE.match(name_arg)
+        if cm:
+            if cm.group(1) not in events.constants and not src.suppressed(
+                line, "OBS-EVENT"
+            ):
+                findings.append(
+                    Finding(
+                        src.display,
+                        line,
+                        "OBS-EVENT",
+                        f"event constant {name_arg} is not generated by "
+                        "the FDKS_EVENT_NAMES table "
+                        "(src/obs/eventlog.hpp)",
+                    )
+                )
+            continue
+        if not src.suppressed(line, "OBS-EVENT"):
+            findings.append(
+                Finding(
+                    src.display,
+                    line,
+                    "OBS-EVENT",
+                    "dynamic event name (neither a literal nor an "
+                    "events::kEv* constant); the event registry cannot "
+                    "vouch for it — use a registered constant, or tag "
+                    "the site `// fdks-lint: allow(OBS-EVENT)`",
                 )
             )
 
@@ -614,8 +712,8 @@ def subtree(path, root):
 
 def rules_for(src_path, root):
     top = subtree(src_path, root)
-    rules = {"OBS-KEY", "BAN-RAND", "BAN-NEW-ARRAY", "BAN-PARSE",
-             "CATCH-RETHROW"}
+    rules = {"OBS-KEY", "OBS-EVENT", "BAN-RAND", "BAN-NEW-ARRAY",
+             "BAN-PARSE", "CATCH-RETHROW"}
     if top == "src":
         rules |= {"MPISIM-DEADLINE", "BAN-PRINTF", "ERR-CONTEXT"}
     return rules
@@ -666,6 +764,11 @@ def lint_tree(root, explicit_paths=None, enabled_rules=None):
     registry = Registry.parse(
         registry_path.read_text(encoding="utf-8"), str(registry_path)
     )
+    events_path = root / "src" / "obs" / "eventlog.hpp"
+    events = EventTable.parse(
+        events_path.read_text(encoding="utf-8")
+        if events_path.is_file() else ""
+    )
 
     findings = []
     emitted, fmt_literals = set(), set()
@@ -689,7 +792,9 @@ def lint_tree(root, explicit_paths=None, enabled_rules=None):
             active &= enabled_rules
         if "OBS-KEY" in active:
             check_obs_key(src, registry, findings)
-        collect_emitted(src, emitted, fmt_literals)
+        if "OBS-EVENT" in active and f.resolve() != events_path.resolve():
+            check_obs_event(src, events, findings)
+        collect_emitted(src, registry, emitted, fmt_literals)
         for rule in sorted(active):
             check = RULE_CHECKS.get(rule)
             if check:
@@ -766,8 +871,12 @@ def lint_fixture(path, rule):
             check_obs_key(src, registry, findings)
         else:
             emitted, fmts = set(), set()
-            collect_emitted(src, emitted, fmts)
+            collect_emitted(src, registry, emitted, fmts)
             check_obs_dead(registry, str(path), emitted, fmts, findings)
+        return findings
+    if rule == "OBS-EVENT":
+        # Fixtures embed their own FDKS_EVENT_NAMES table.
+        check_obs_event(src, EventTable.parse(text), findings)
         return findings
     RULE_CHECKS[rule](src, findings)
     return findings

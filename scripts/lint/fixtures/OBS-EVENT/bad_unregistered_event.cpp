@@ -1,0 +1,12 @@
+// Fixture: unregistered event names must be flagged — a literal the
+// table does not know, a constant the table does not generate, and an
+// unsuppressed dynamic name.
+#define FDKS_EVENT_NAMES(X) \
+  X(kEvAdmitted, "admitted") \
+  X(kEvSolved,   "solved")
+
+void f(EventLog& log, std::string_view chosen) {
+  log.emit(1, "solvedd");
+  log.emit(2, obs::events::kEvVaporized);
+  log.emit(3, chosen);
+}

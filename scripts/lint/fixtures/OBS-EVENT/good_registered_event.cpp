@@ -1,0 +1,17 @@
+// Fixture: every emitted event name is registered — as a literal, as a
+// generated events:: constant, and via a suppressed dynamic site. The
+// one-argument trace-buffer emit is out of scope (not an EventLog
+// call shape).
+#define FDKS_EVENT_NAMES(X) \
+  X(kEvAdmitted, "admitted") \
+  X(kEvSolved,   "solved")
+
+void f(EventLog& log, TraceBuffer& buf, const Event& ev,
+       std::string_view chosen) {
+  log.emit(1, "admitted");
+  log.emit(2, obs::events::kEvSolved, {{"residual", 1e-9}});
+  log.emit(3, events::kEvAdmitted);
+  buf.emit(ev);
+  // fdks-lint: allow(OBS-EVENT)
+  log.emit(4, chosen);
+}

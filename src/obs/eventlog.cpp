@@ -1,0 +1,103 @@
+#include "obs/eventlog.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/keys.hpp"
+#include "obs/obs.hpp"
+
+namespace fdks::obs {
+
+bool is_registered_event(std::string_view name) {
+#define FDKS_EVENT_NAME_CHECK(cname, literal) \
+  if (name == std::string_view{literal}) return true;
+  FDKS_EVENT_NAMES(FDKS_EVENT_NAME_CHECK)
+#undef FDKS_EVENT_NAME_CHECK
+  return false;
+}
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> g_next{1};
+  return g_next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void append_json_field(std::string& line, const Field& f) {
+  line += ",\"";
+  line += json_escape(f.key);
+  line += "\":";
+  switch (f.type) {
+    case Field::Type::Num: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", f.num);
+      line += buf;
+      break;
+    }
+    case Field::Type::Str:
+      line += '"';
+      line += json_escape(f.str);
+      line += '"';
+      break;
+    case Field::Type::Bool:
+      line += f.flag ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace
+
+void EventLog::emit(std::uint64_t request_id, std::string_view event,
+                    std::initializer_list<Field> fields) {
+  if (!is_registered_event(event)) {
+    throw std::invalid_argument("obs::EventLog: unregistered event name \"" +
+                                std::string(event) + "\"");
+  }
+  // Format outside the lock; only the sink call is serialized.
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::string line;
+  line.reserve(128);
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"ts\":%.6f,\"request_id\":%llu",
+                ts, static_cast<unsigned long long>(request_id));
+  line += head;
+  line += ",\"event\":\"";
+  line += event;
+  line += '"';
+  for (const Field& f : fields) append_json_field(line, f);
+  line += "}\n";
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++lines_;
+    if (sink_) sink_(line);
+  }
+  obs::add(keys::kObsEventlogLines);
+}
+
+std::uint64_t EventLog::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::shared_ptr<EventLog> EventLog::to_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw std::runtime_error("obs::EventLog: cannot open " + path);
+  }
+  // The file handle rides in the sink closure; closing happens when the
+  // EventLog (and with it the sink) is destroyed.
+  auto file = std::shared_ptr<std::FILE>(f, [](std::FILE* fp) {
+    if (fp != nullptr) std::fclose(fp);
+  });
+  return std::make_shared<EventLog>([file](std::string_view line) {
+    std::fwrite(line.data(), 1, line.size(), file.get());
+    std::fflush(file.get());
+  });
+}
+
+}  // namespace fdks::obs

@@ -1,0 +1,135 @@
+// Structured request-lifecycle event log: one JSON object per line to
+// a pluggable sink.
+//
+// Metrics (obs/obs.hpp) answer "how many / how fast in aggregate";
+// the event log answers "what happened to request 4217". The serving
+// engine (serve/engine.hpp) mints a monotonic request_id at submit()
+// and emits lifecycle events against it:
+//
+//   admitted                     — passed validation, queued
+//   shed                         — rejected at admission (queue full)
+//   batched{batch_id,width}      — packed into a solve batch
+//   solved{residual,verified}    — answer delivered (terminal)
+//   expired                      — deadline passed (terminal)
+//   degraded                     — answered via the degraded path
+//                                  (terminal)
+//   failed{code}                 — any other terminal error: poison
+//                                  RHS, solver failure, shutdown
+//
+// Every submitted request gets exactly one terminal event
+// (solved / expired / degraded / failed / shed) — tested in
+// tests/telemetry_test.cpp.
+//
+// Event names are registered in the FDKS_EVENT_NAMES table below —
+// the same discipline as obs/keys.hpp for metric keys, enforced both
+// at runtime (emit() throws on an unregistered name) and statically
+// (lint rule OBS-EVENT in scripts/lint/fdks_lint.py).
+//
+// Line format (one line per emit, lexical field order after the fixed
+// prefix):
+//
+//   {"ts":1754659200.123456,"request_id":17,"event":"solved",
+//    "residual":3.1e-09,"verified":true}
+//
+// ts is wall-clock seconds (system_clock) so lines can be joined
+// against external logs; request_id is process-unique, never reused.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+// clang-format off
+#define FDKS_EVENT_NAMES(X) \
+  X(kEvAdmitted, "admitted")  \
+  X(kEvShed,     "shed")      \
+  X(kEvBatched,  "batched")   \
+  X(kEvSolved,   "solved")    \
+  X(kEvExpired,  "expired")   \
+  X(kEvDegraded, "degraded")  \
+  X(kEvFailed,   "failed")
+// clang-format on
+
+namespace fdks::obs {
+
+namespace events {
+#define FDKS_EVENT_NAME_CONSTANT(name, literal) \
+  inline constexpr std::string_view name{literal};
+FDKS_EVENT_NAMES(FDKS_EVENT_NAME_CONSTANT)
+#undef FDKS_EVENT_NAME_CONSTANT
+}  // namespace events
+
+/// True iff `name` appears in the FDKS_EVENT_NAMES table.
+bool is_registered_event(std::string_view name);
+
+/// Process-global monotonic id, starting at 1. Minted once per
+/// submitted request (ServeEngine::submit) and stamped into every
+/// event and trace flow for that request.
+std::uint64_t next_request_id();
+
+/// One typed key/value attached to an event line.
+struct Field {
+  enum class Type { Num, Str, Bool };
+
+  Field(std::string_view k, double v) : key(k), type(Type::Num), num(v) {}
+  Field(std::string_view k, std::uint64_t v)
+      : key(k), type(Type::Num), num(static_cast<double>(v)) {}
+  Field(std::string_view k, int v)
+      : key(k), type(Type::Num), num(static_cast<double>(v)) {}
+  Field(std::string_view k, std::string_view v)
+      : key(k), type(Type::Str), str(v) {}
+  /// Without this, string literals would prefer the bool overload.
+  Field(std::string_view k, const char* v)
+      : key(k), type(Type::Str), str(v) {}
+  Field(std::string_view k, bool v) : key(k), type(Type::Bool), flag(v) {}
+
+  std::string_view key;
+  Type type;
+  double num = 0.0;
+  std::string_view str;
+  bool flag = false;
+};
+
+/// Thread-safe newline-delimited JSON writer. The sink is any
+/// line consumer — a file (to_file), a test vector, a pipe to a log
+/// shipper. Lines are formatted outside the sink lock; the sink call
+/// itself is serialized. A default-constructed EventLog counts lines
+/// but writes nowhere (cheap no-op sink for tests and benches that
+/// only assert counts).
+class EventLog {
+ public:
+  /// Receives each complete line including its trailing '\n', ready to
+  /// write verbatim to a JSONL stream.
+  using Sink = std::function<void(std::string_view line)>;
+
+  EventLog() = default;
+  explicit EventLog(Sink sink) : sink_(std::move(sink)) {}
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Open `path` for appending and return an EventLog that writes
+  /// (and flushes) each line to it; the file closes with the log.
+  /// Throws std::runtime_error when the file cannot be opened.
+  static std::shared_ptr<EventLog> to_file(const std::string& path);
+
+  /// Emit one event line. `event` must be a registered name
+  /// (FDKS_EVENT_NAMES) — throws std::invalid_argument otherwise, so
+  /// unregistered names fail loudly in tests rather than polluting
+  /// production logs. Bumps the obs.eventlog_lines counter.
+  void emit(std::uint64_t request_id, std::string_view event,
+            std::initializer_list<Field> fields = {});
+
+  /// Lines emitted through this log (independent of the sink).
+  std::uint64_t lines() const;
+
+ private:
+  Sink sink_;
+  mutable std::mutex mu_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace fdks::obs

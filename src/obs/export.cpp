@@ -1,0 +1,468 @@
+#include "obs/export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/keys.hpp"
+
+namespace fdks::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Upper bound of histogram bucket `i` (see obs.hpp): bucket 0 holds
+/// non-positive samples (le="0"), bucket i in 1..95 holds
+/// [2^(i-49), 2^(i-48)) so its inclusive upper edge is 2^(i-48).
+double bucket_upper(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 48);
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& labels, double v) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += fmt_double(v);
+  out += '\n';
+}
+
+void append_family_header(std::string& out, const std::string& name,
+                          std::string_view help, std::string_view type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += prometheus_escape_help(help);
+  out += '\n';
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Flatten the merged timer tree into "a/b/c" scope paths.
+void flatten_timers(const TraceNode& node, const std::string& prefix,
+                    std::vector<std::pair<std::string, const TraceNode*>>& out) {
+  for (const TraceNode& child : node.children) {
+    std::string path = prefix.empty() ? child.name : prefix + "/" + child.name;
+    out.emplace_back(path, &child);
+    flatten_timers(child, path, out);
+  }
+}
+
+void collect_node_names(const TraceNode& node, std::set<std::string>& names) {
+  for (const TraceNode& child : node.children) {
+    names.insert(child.name);
+    collect_node_names(child, names);
+  }
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view key) {
+  std::string name = "fdks_";
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    name += ok ? c : '_';
+  }
+  return name;
+}
+
+std::string prometheus_escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_render(const Snapshot& s,
+                              const PrometheusOptions& opts) {
+  std::string out;
+  out.reserve(1 << 14);
+
+  // Counters and gauges: start from registry defaults (stable key set
+  // across the process lifetime) and overlay observed values, which may
+  // include dynamic Prefix-family keys the registry only knows by stem.
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  if (opts.registry_defaults) {
+    for (const keys::KeyInfo& k : keys::kAll) {
+      switch (k.kind) {
+        case keys::Kind::Counter: counters[std::string(k.key)] = 0.0; break;
+        case keys::Kind::Gauge: gauges[std::string(k.key)] = 0.0; break;
+        case keys::Kind::Histogram:
+          histograms.emplace(std::string(k.key), HistogramSnapshot{});
+          break;
+        default: break;
+      }
+    }
+  }
+  for (const auto& [key, v] : s.counters) counters[key] = v;
+  for (const auto& [key, v] : s.gauges) gauges[key] = v;
+  for (const auto& [key, h] : s.histograms) histograms[key] = h;
+
+  for (const auto& [key, v] : counters) {
+    const std::string name = prometheus_metric_name(key);
+    append_family_header(out, name, "obs counter " + key, "counter");
+    append_sample(out, name, "", v);
+  }
+
+  for (const auto& [key, v] : gauges) {
+    const std::string name = prometheus_metric_name(key);
+    append_family_header(out, name, "obs gauge " + key, "gauge");
+    append_sample(out, name, "", v);
+  }
+
+  for (const auto& [key, h] : histograms) {
+    const std::string name = prometheus_metric_name(key);
+    append_family_header(out, name, "obs histogram " + key, "histogram");
+    // Cumulative `le` series. Boundaries with no samples are omitted
+    // (Prometheus does not require every edge), except +Inf which is
+    // mandatory and must equal _count.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += h.buckets[i];
+      const std::string le =
+          i == 0 ? std::string("0") : fmt_double(bucket_upper(i));
+      append_sample(out, name, "_bucket{le=\"" + le + "\"}",
+                    static_cast<double>(cum));
+    }
+    append_sample(out, name, "_bucket{le=\"+Inf\"}",
+                  static_cast<double>(h.count));
+    append_sample(out, name, "_sum", h.sum);
+    append_sample(out, name, "_count", static_cast<double>(h.count));
+    // Interpolated quantiles alongside, as a gauge family — scrapers
+    // get tail latency without re-deriving it from the buckets.
+    const std::string qname = name + "_quantile";
+    append_family_header(out, qname, "interpolated quantiles of " + key,
+                         "gauge");
+    for (const char* q : {"0.5", "0.9", "0.99"}) {
+      append_sample(out, qname, std::string("{quantile=\"") + q + "\"}",
+                    h.quantile(std::stod(q)));
+    }
+  }
+
+  // Timer tree, flattened to scope paths. Registered Timer keys that
+  // have not opened yet render as zero-valued top-level scopes so the
+  // exposition's key set is stable.
+  std::vector<std::pair<std::string, const TraceNode*>> timers;
+  flatten_timers(s.root, "", timers);
+  const std::string tsec = "fdks_timer_seconds_total";
+  const std::string tcalls = "fdks_timer_calls_total";
+  append_family_header(out, tsec, "cumulative seconds per timer scope path",
+                       "counter");
+  for (const auto& [path, node] : timers) {
+    append_sample(out, tsec, "{scope=\"" + prometheus_escape_label(path) + "\"}",
+                  node->seconds);
+  }
+  std::set<std::string> seen_names;
+  if (opts.registry_defaults) {
+    collect_node_names(s.root, seen_names);
+    for (const keys::KeyInfo& k : keys::kAll) {
+      if (k.kind != keys::Kind::Timer) continue;
+      if (seen_names.count(std::string(k.key)) != 0) continue;
+      append_sample(out, tsec,
+                    "{scope=\"" + prometheus_escape_label(k.key) + "\"}", 0.0);
+    }
+  }
+  append_family_header(out, tcalls, "cumulative calls per timer scope path",
+                       "counter");
+  for (const auto& [path, node] : timers) {
+    append_sample(out, tcalls,
+                  "{scope=\"" + prometheus_escape_label(path) + "\"}",
+                  static_cast<double>(node->count));
+  }
+  if (opts.registry_defaults) {
+    for (const keys::KeyInfo& k : keys::kAll) {
+      if (k.kind != keys::Kind::Timer) continue;
+      if (seen_names.count(std::string(k.key)) != 0) continue;
+      append_sample(out, tcalls,
+                    "{scope=\"" + prometheus_escape_label(k.key) + "\"}", 0.0);
+    }
+  }
+
+  if (opts.sampler != nullptr) {
+    const std::map<std::string, double> rates = opts.sampler->latest_rates();
+    const std::string rname = "fdks_counter_rate";
+    append_family_header(
+        out, rname, "per-second counter increments over the last interval",
+        "gauge");
+    for (const auto& [key, r] : rates) {
+      append_sample(out, rname,
+                    "{key=\"" + prometheus_escape_label(key) + "\"}", r);
+    }
+  }
+
+  return out;
+}
+
+// ---- Sampler ---------------------------------------------------------
+
+Sampler::Sampler(SamplerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.capacity == 0) opts_.capacity = 1;
+  start_ = std::chrono::steady_clock::now();
+  prev_time_ = start_;
+  prev_counters_ = obs::snapshot().counters;
+  thread_ = std::thread([this] { run(); });
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+void Sampler::run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, opts_.interval, [this] { return stop_; });
+      if (stop_) break;
+    }
+    take_sample(std::chrono::steady_clock::now());
+  }
+  // Final sample at stop so a run shorter than one interval is still
+  // observed.
+  take_sample(std::chrono::steady_clock::now());
+}
+
+void Sampler::take_sample(std::chrono::steady_clock::time_point now) {
+  const Snapshot snap = obs::snapshot();
+  Sample sample;
+  sample.t_seconds = std::chrono::duration<double>(now - start_).count();
+  sample.interval_seconds =
+      std::chrono::duration<double>(now - prev_time_).count();
+  for (const auto& [key, v] : snap.counters) {
+    const auto it = prev_counters_.find(key);
+    const double d = v - (it == prev_counters_.end() ? 0.0 : it->second);
+    if (d != 0.0) sample.counter_deltas[key] = d;
+  }
+  sample.gauges = snap.gauges;
+  sample.rss_bytes = current_rss_bytes();
+  sample.peak_rss_bytes = peak_rss_bytes();
+  prev_counters_ = snap.counters;
+  prev_time_ = now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(sample);
+    while (ring_.size() > opts_.capacity) ring_.pop_front();
+    ++ticks_;
+  }
+  if (opts_.on_sample) opts_.on_sample(sample);
+}
+
+std::vector<Sample> Sampler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Sample>(ring_.begin(), ring_.end());
+}
+
+bool Sampler::latest(Sample& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return false;
+  out = ring_.back();
+  return true;
+}
+
+std::map<std::string, double> Sampler::latest_rates() const {
+  Sample s;
+  if (!latest(s) || s.interval_seconds <= 0.0) return {};
+  std::map<std::string, double> rates;
+  for (const auto& [key, d] : s.counter_deltas) {
+    rates[key] = d / s.interval_seconds;
+  }
+  return rates;
+}
+
+std::uint64_t Sampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+// ---- MetricsExporter -------------------------------------------------
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions opts)
+    : opts_(std::move(opts)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("obs::MetricsExporter: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        std::string("obs::MetricsExporter: cannot bind 127.0.0.1:") +
+        std::to_string(opts_.port) + ": " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = opts_.port;
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Unblock the accept() so the serve thread can observe stopped_.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::uint64_t MetricsExporter::scrapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scrapes_;
+}
+
+void MetricsExporter::serve_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener broken some other way; give up quietly.
+    }
+    // Drain (one read of) the request; we serve the same document for
+    // any path, so the contents only matter as a liveness signal.
+    char req[1024];
+    (void)::recv(fd, req, sizeof(req), 0);
+    // Count the scrape BEFORE rendering: the scrape observes itself,
+    // and the counter is committed before the client sees any byte of
+    // the response (a snapshot taken after a scrape returns can never
+    // miss its count).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++scrapes_;
+    }
+    obs::add(keys::kObsScrapes);
+    const std::string body = prometheus_render(obs::snapshot(), opts_.render);
+    char header[256];
+    const int hlen = std::snprintf(
+        header, sizeof(header),
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        body.size());
+    if (hlen > 0) {
+      (void)::send(fd, header, static_cast<std::size_t>(hlen), MSG_NOSIGNAL);
+      std::size_t sent = 0;
+      while (sent < body.size()) {
+        const ssize_t n = ::send(fd, body.data() + sent, body.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    ::close(fd);
+  }
+}
+
+// ---- http_get_metrics ------------------------------------------------
+
+std::string http_get_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(sizeof(req) - 1)) {
+    ::close(fd);
+    return {};
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos) return {};
+  return resp.substr(split + 4);
+}
+
+}  // namespace fdks::obs

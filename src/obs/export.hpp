@@ -1,0 +1,176 @@
+// Live metrics exposition for a running process: Prometheus text
+// rendering of the obs registry, a minimal embedded HTTP listener that
+// serves it, and a background sampler that turns lifetime totals into
+// interval deltas (rates).
+//
+// The registry (obs/obs.hpp) was built batch-shaped — counters
+// materialize as BENCH_*.json when the process exits. A serving process
+// (serve/engine.hpp, examples/fdks_serve) needs the same numbers while
+// it runs:
+//
+//   prometheus_render() — the merged Snapshot in Prometheus text
+//     exposition format v0.0.4: counters and gauges as scalar samples,
+//     histograms as cumulative `le` bucket series (+Inf, _sum, _count)
+//     with interpolated p50/p90/p99 alongside as a gauge family, and
+//     the flattened timer tree as two labeled counter families
+//     (fdks_timer_seconds_total / fdks_timer_calls_total by scope
+//     path). Every registered Counter/Gauge/Histogram key renders even
+//     before its first emission (value 0), so a scrape's key set is
+//     stable from the first request to the last.
+//
+//   MetricsExporter — a blocking-accept TCP listener on 127.0.0.1
+//     (port 0 = ephemeral, see port()) serving every request one
+//     render; one scrape thread, connection-per-request, no HTTP
+//     parsing beyond draining the request. Depends on snapshot() being
+//     safe concurrently with emission, which obs.cpp guarantees via
+//     the per-thread-state mutexes.
+//
+//   Sampler — a background thread that snapshots every `interval`,
+//     diffs counters against the previous tick, and keeps the last
+//     `capacity` delta samples in a ring. Rates, not lifetime totals:
+//     at minute 40 of a serving run, "serve.requests = 1.2M" says
+//     nothing — "+450/s over the last 2s" does. The exporter renders
+//     the newest sample as a fdks_counter_rate gauge family when one
+//     is attached.
+//
+// Threading: MetricsExporter and Sampler each own one std::thread,
+// joined by stop()/destructor. http_get_metrics() is a test/bench
+// convenience client, not production plumbing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+namespace fdks::obs {
+
+/// One interval-delta observation produced by the Sampler.
+struct Sample {
+  double t_seconds = 0.0;         ///< Since the sampler started.
+  double interval_seconds = 0.0;  ///< Measured, not configured.
+  /// Counter increments over this interval (absent = no change).
+  std::map<std::string, double> counter_deltas;
+  std::map<std::string, double> gauges;  ///< Levels at sample time.
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+struct SamplerOptions {
+  std::chrono::milliseconds interval{1000};
+  std::size_t capacity = 128;  ///< Ring depth (oldest samples dropped).
+  /// Optional per-tick hook (runs on the sampler thread): print a
+  /// status line, push to a collector, etc.
+  std::function<void(const Sample&)> on_sample;
+};
+
+/// Background delta-snapshot thread. Construction starts it; stop()
+/// (or the destructor) joins it. One final sample is taken at stop so
+/// short runs still observe their tail.
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions opts = {});
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void stop();
+
+  /// Ring contents, oldest first.
+  std::vector<Sample> samples() const;
+  /// Copy of the newest sample; false when none have been taken yet.
+  bool latest(Sample& out) const;
+  /// Per-second rates from the newest sample (empty before the first
+  /// tick or when its interval was degenerate).
+  std::map<std::string, double> latest_rates() const;
+  std::uint64_t ticks() const;
+
+ private:
+  void run();
+  void take_sample(std::chrono::steady_clock::time_point now);
+
+  SamplerOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point prev_time_;
+  std::map<std::string, double> prev_counters_;
+  std::deque<Sample> ring_;
+  std::uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+struct PrometheusOptions {
+  /// Render every registered Counter/Gauge/Histogram key (obs/keys.hpp)
+  /// even when the snapshot has not seen it yet, so scrapers get a
+  /// stable key set. Off for ad-hoc snapshots in tests.
+  bool registry_defaults = true;
+  /// When set, the newest sample's counter deltas render as a
+  /// fdks_counter_rate{key="..."} gauge family (per second).
+  const Sampler* sampler = nullptr;
+};
+
+/// Prometheus text exposition format v0.0.4 of the snapshot. Metric
+/// names are "fdks_" + the obs key with every non-[a-zA-Z0-9_] mapped
+/// to '_'; HELP/TYPE lines precede each family exactly once.
+std::string prometheus_render(const Snapshot& s,
+                              const PrometheusOptions& opts = {});
+
+/// "serve.request_seconds" -> "fdks_serve_request_seconds".
+std::string prometheus_metric_name(std::string_view key);
+/// Label-value escaping: backslash, double quote, newline.
+std::string prometheus_escape_label(std::string_view v);
+/// HELP-text escaping: backslash, newline.
+std::string prometheus_escape_help(std::string_view v);
+
+struct MetricsExporterOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port()).
+  PrometheusOptions render;
+};
+
+/// Embedded scrape endpoint: binds 127.0.0.1:<port>, then serves each
+/// accepted connection one prometheus_render() of a fresh snapshot
+/// (HTTP/1.1 200, Content-Type text/plain; version=0.0.4) and closes.
+/// Blocking accept on a dedicated thread; stop() shuts the listener
+/// down to unblock it. Throws std::runtime_error when the port cannot
+/// be bound. Each scrape bumps the obs.scrapes counter.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsExporterOptions opts = {});
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t scrapes() const;
+  void stop();
+
+ private:
+  void serve_loop();
+
+  MetricsExporterOptions opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  mutable std::mutex mu_;
+  bool stopped_ = false;
+  std::uint64_t scrapes_ = 0;
+  std::thread thread_;
+};
+
+/// Minimal HTTP GET of http://127.0.0.1:<port>/metrics; returns the
+/// response body, or an empty string on any failure. A test/bench
+/// client (the real consumer is curl/Prometheus).
+std::string http_get_metrics(std::uint16_t port);
+
+}  // namespace fdks::obs

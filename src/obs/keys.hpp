@@ -7,7 +7,7 @@
 // src/, bench/, or examples/ (or be explicitly marked Reserved).
 // scripts/lint/fdks_lint.py parses this table (rules OBS-KEY /
 // OBS-DEAD) and proves both directions on every `scripts/check.sh`
-// run, so the fdks-bench-v2 schema the regression gate
+// run, so the fdks-bench-v3 schema the regression gate
 // (scripts/bench_compare.py) compares against cannot silently drift
 // from what the code emits.
 //
@@ -17,6 +17,8 @@
 //
 // Kinds:
 //   Counter   — obs::add() accumulation.
+//   Gauge     — obs::gauge() last-value level (cache residency, error
+//               budget); exported under the Prometheus `gauge` type.
 //   Histogram — obs::hist() log-bucketed samples.
 //   Timer     — obs::ScopedTimer / obs::record scope name.
 //   Instant   — obs::trace::instant event name.
@@ -112,6 +114,9 @@
   X(kMpisimWaitSeconds,       "mpisim.wait_seconds",         Histogram)    \
   X(kScopeMpisimRecv,         "mpisim.recv",                 Timer)        \
   X(kScopeMpisimSend,         "mpisim.send",                 Timer)        \
+  /* live telemetry plumbing (src/obs/export, src/obs/eventlog) */         \
+  X(kObsEventlogLines,        "obs.eventlog_lines",          Counter)      \
+  X(kObsScrapes,              "obs.scrapes",                 Counter)      \
   /* process memory (stamped by bench_util / fdks_tool) */                 \
   X(kMemPeakRssBytes,         "mem.peak_rss_bytes",          Counter)      \
   X(kMemCurrentRssBytes,      "mem.current_rss_bytes",       Reserved)     \
@@ -129,7 +134,7 @@
   X(kServeBatchSize,          "serve.batch_size",            Histogram)    \
   X(kServeBatchSpeedup,       "serve.batch_speedup",         Counter)      \
   X(kServeBreakerOpen,        "serve.breaker_open",          Counter)      \
-  X(kServeCacheBytes,         "serve.cache_bytes",           Counter)      \
+  X(kServeCacheBytes,         "serve.cache_bytes",           Gauge)        \
   X(kServeCacheEvict,         "serve.cache_evict",           Counter)      \
   X(kServeCacheHit,           "serve.cache_hit",             Counter)      \
   X(kServeCacheMiss,          "serve.cache_miss",            Counter)      \
@@ -139,6 +144,11 @@
   X(kServeRequests,           "serve.requests",              Counter)      \
   X(kServeRequestSeconds,     "serve.request_seconds",       Histogram)    \
   X(kServeShed,               "serve.shed",                  Counter)      \
+  X(kServeSloBreach,          "serve.slo_breach",            Counter)      \
+  X(kServeSloBudget,          "serve.slo_budget",            Gauge)        \
+  X(kServeSloP99Seconds,      "serve.slo_p99_seconds",       Gauge)        \
+  X(kServeTelemetryOverheadPct, "serve.telemetry_overhead_pct", Counter)   \
+  X(kServeTraceKept,          "serve.trace_kept",            Counter)      \
   X(kScopeServeBatch,         "serve.batch",                 Timer)        \
   /* answer certification & escalation (src/core/verify, PR 8) */         \
   X(kRefineEscalations,       "refine.escalations",          Counter)      \
@@ -158,7 +168,7 @@
 
 namespace fdks::obs::keys {
 
-enum class Kind { Counter, Histogram, Timer, Instant, Prefix, Reserved };
+enum class Kind { Counter, Gauge, Histogram, Timer, Instant, Prefix, Reserved };
 
 /// Named constants: obs::keys::kGmresSolves == "gmres.solves".
 #define FDKS_OBS_KEY_CONSTANT(name, literal, kind) \

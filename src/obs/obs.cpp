@@ -55,12 +55,29 @@ struct TimerNode {
   }
 };
 
+/// Last value a thread set for a gauge, plus the global sequence stamp
+/// of that set (snapshot() keeps the largest stamp across threads).
+struct GaugeCell {
+  double value = 0.0;
+  std::uint64_t seq = 0;
+};
+
 struct ThreadState {
+  /// Taken by every emission on this thread and by snapshot() while it
+  /// merges this state. Emission is the only contender on its own
+  /// mutex, so the hot path is an uncontended lock (~tens of ns) —
+  /// cheap enough for per-call counters, and what makes live scraping
+  /// (obs/export.hpp) race-free against in-flight instrumentation.
+  std::mutex mu;
   TimerNode root;        ///< name "": synthetic per-thread root.
   TimerNode* current = &root;
   std::unordered_map<std::string, double> counters;
+  std::unordered_map<std::string, GaugeCell> gauges;
   std::unordered_map<std::string, HistogramSnapshot> hists;
 };
+
+/// Orders concurrent gauge sets across threads ("most recent wins").
+std::atomic<std::uint64_t> g_gauge_seq{0};
 
 /// Bucket 0: non-positive. Bucket i in 1..95: [2^(i-49), 2^(i-48)).
 std::size_t hist_bucket(double v) {
@@ -175,6 +192,7 @@ void reset() {
 void add(std::string_view counter, double v) {
   if (!enabled()) return;
   ThreadState& st = thread_state();
+  std::lock_guard<std::mutex> lock(st.mu);
   auto it = st.counters.find(std::string(counter));
   if (it == st.counters.end())
     st.counters.emplace(std::string(counter), v);
@@ -182,9 +200,21 @@ void add(std::string_view counter, double v) {
     it->second += v;
 }
 
+void gauge(std::string_view name, double v) {
+  if (!enabled()) return;
+  ThreadState& st = thread_state();
+  const std::uint64_t seq =
+      g_gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(st.mu);
+  GaugeCell& c = st.gauges[std::string(name)];
+  c.value = v;
+  c.seq = seq;
+}
+
 void record(std::string_view name, double seconds) {
   if (!enabled()) return;
   ThreadState& st = thread_state();
+  std::lock_guard<std::mutex> lock(st.mu);
   TimerNode* n = st.current->child(name);
   n->ns += static_cast<std::uint64_t>(seconds * 1e9);
   ++n->count;
@@ -193,6 +223,7 @@ void record(std::string_view name, double seconds) {
 void hist(std::string_view name, double v) {
   if (!enabled()) return;
   ThreadState& st = thread_state();
+  std::lock_guard<std::mutex> lock(st.mu);
   HistogramSnapshot& h = st.hists[std::string(name)];
   if (h.count == 0) {
     h.min = v;
@@ -213,6 +244,7 @@ ScopedTimer::ScopedTimer(std::string_view name) : t0_ns_(now_ns()) {
   }
   if (!enabled()) return;
   ThreadState& st = thread_state();
+  std::lock_guard<std::mutex> lock(st.mu);
   TimerNode* n = st.current->child(name);
   st.current = n;
   node_ = n;
@@ -228,10 +260,12 @@ double ScopedTimer::stop() {
   }
   const std::uint64_t dns = now_ns() - t0_ns_;
   if (node_ != nullptr) {
+    ThreadState* st = static_cast<ThreadState*>(state_);
+    std::lock_guard<std::mutex> lock(st->mu);
     TimerNode* n = static_cast<TimerNode*>(node_);
     n->ns += dns;
     ++n->count;
-    static_cast<ThreadState*>(state_)->current = n->parent;
+    st->current = n->parent;
     node_ = nullptr;
   }
   return static_cast<double>(dns) * 1e-9;
@@ -268,11 +302,24 @@ double HistogramSnapshot::quantile(double q) const {
 
 Snapshot snapshot() {
   Snapshot s;
+  // Gauges merge by "most recent set wins" via the per-cell sequence
+  // stamp; the winning stamp per name lives only for this merge.
+  std::map<std::string, std::uint64_t> gauge_seq;
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   for (const auto& st : r.states) {
+    // Lock order is registry -> thread state everywhere; emission takes
+    // only its own state mutex, so snapshot() can run mid-flight.
+    std::lock_guard<std::mutex> state_lock(st->mu);
     merge_into(s.root, st->root);
     for (const auto& [name, v] : st->counters) s.counters[name] += v;
+    for (const auto& [name, c] : st->gauges) {
+      auto it = gauge_seq.find(name);
+      if (it == gauge_seq.end() || c.seq > it->second) {
+        gauge_seq[name] = c.seq;
+        s.gauges[name] = c.value;
+      }
+    }
     for (const auto& [name, h] : st->hists) {
       HistogramSnapshot& dst = s.histograms[name];
       if (dst.count == 0) {
@@ -362,7 +409,7 @@ std::string to_json(const Snapshot& s, std::string_view name,
   std::string out;
   out += "{\"name\":\"";
   out += json_escape(name);
-  out += "\",\"schema\":\"fdks-bench-v2\",\"config\":{";
+  out += "\",\"schema\":\"fdks-bench-v3\",\"config\":{";
   for (size_t i = 0; i < config.size(); ++i) {
     if (i > 0) out += ',';
     out += '"';
@@ -383,6 +430,17 @@ std::string to_json(const Snapshot& s, std::string_view name,
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += '"';
     out += json_escape(cname);
+    out += "\":";
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  i = 0;
+  for (const auto& [gname, v] : s.gauges) {
+    if (i++ > 0) out += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += '"';
+    out += json_escape(gname);
     out += "\":";
     out += buf;
   }
@@ -427,6 +485,11 @@ void print_tree(std::FILE* out, const Snapshot& s) {
   if (!s.counters.empty()) {
     std::fprintf(out, "-- counters --\n");
     for (const auto& [name, v] : s.counters)
+      std::fprintf(out, "  %-28s %.6g\n", name.c_str(), v);
+  }
+  if (!s.gauges.empty()) {
+    std::fprintf(out, "-- gauges --\n");
+    for (const auto& [name, v] : s.gauges)
       std::fprintf(out, "  %-28s %.6g\n", name.c_str(), v);
   }
   if (!s.histograms.empty()) {

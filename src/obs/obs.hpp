@@ -16,21 +16,29 @@
 //                  tracing is on (obs/trace.hpp) each scope also emits
 //                  begin/end events into the calling thread's trace.
 //   add()        — named counter accumulation (flops, GEMM calls,
-//                  skeleton ranks, mpisim traffic). Per-thread storage,
-//                  no atomics on the hot path; a disabled check up
-//                  front makes the off path one relaxed load.
-//   snapshot()   — thread-safe merge of every thread's tree and
-//                  counters into one Snapshot (trees merged by name,
-//                  counters summed).
+//                  skeleton ranks, mpisim traffic). Per-thread storage
+//                  behind a per-thread mutex that is uncontended on the
+//                  hot path; a disabled check up front makes the off
+//                  path one relaxed load.
+//   gauge()      — last-value metrics (current cache residency, error
+//                  budget). Each thread stores its last set; the merge
+//                  takes the most recent set across threads (a global
+//                  sequence stamp decides "most recent").
+//   snapshot()   — thread-safe merge of every thread's tree, counters,
+//                  gauges, and histograms into one Snapshot (trees
+//                  merged by name, counters summed).
 //
 // Threading contract: timers on one thread must close in LIFO order
 // (automatic with RAII). Scopes opened on different threads (e.g. OpenMP
 // workers inside a parallel factorization, mpisim rank threads) root at
 // that thread's top level and merge into the snapshot at top level.
-// reset() and snapshot() may run concurrently with nothing; call them at
-// quiescent points (no instrumented work in flight on other threads).
-// The registry owns all per-thread state, so threads may exit freely —
-// their measurements survive until the next reset().
+// snapshot() is safe concurrently with emission — each thread's state
+// sits behind its own mutex, taken briefly by both sides — which is
+// what lets the live exporter (obs/export.hpp) scrape a serving process
+// mid-flight. reset() still requires quiescence (it destroys the
+// per-thread states that open ScopedTimers point into). The registry
+// owns all per-thread state, so threads may exit freely — their
+// measurements survive until the next reset().
 #pragma once
 
 #include <array>
@@ -68,6 +76,13 @@ void record(std::string_view name, double seconds);
 /// from merged buckets are within one bucket (a factor of 2) of exact
 /// and exact for constant distributions.
 void hist(std::string_view name, double v);
+
+/// Set the named gauge to `v` (a level, not an accumulation: cache
+/// residency, error budget). Each thread keeps its last set value with
+/// a global sequence stamp; snapshot() reports the most recent set
+/// across all threads, so a gauge updated under an external lock (the
+/// FactorCache pattern) reads back exactly its latest value.
+void gauge(std::string_view name, double v);
 
 class ScopedTimer {
  public:
@@ -124,10 +139,12 @@ struct Snapshot {
   TraceNode root;  ///< Synthetic root (empty name); top phases are its
                    ///< children. root.seconds is the sum of top scopes.
   std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;  ///< Most recent set per name.
   std::map<std::string, HistogramSnapshot> histograms;
 };
 
-/// Merge every thread's trace tree, counters, and histograms.
+/// Merge every thread's trace tree, counters, gauges, and histograms.
+/// Safe concurrently with emission on other threads.
 Snapshot snapshot();
 
 // ---- Process memory --------------------------------------------------
@@ -153,10 +170,12 @@ ConfigKV kv(std::string key, std::string_view v);
 /// String literals would otherwise prefer the bool overload.
 ConfigKV kv(std::string key, const char* v);
 
-/// Serialize as {"name":..., "schema":"fdks-bench-v2", "config":{...},
-/// "timers":[...], "counters":{...}, "histograms":{...}}. Timer nodes
-/// carry name / seconds / count / children; histogram entries carry
-/// count / sum / min / max / p50 / p90 / p99.
+/// Serialize as {"name":..., "schema":"fdks-bench-v3", "config":{...},
+/// "timers":[...], "counters":{...}, "gauges":{...},
+/// "histograms":{...}}. Timer nodes carry name / seconds / count /
+/// children; histogram entries carry count / sum / min / max / p50 /
+/// p90 / p99. (v3 = v2 plus the "gauges" section; serve.cache_bytes
+/// moved there from "counters".)
 std::string to_json(const Snapshot& s, std::string_view name,
                     const std::vector<ConfigKV>& config = {});
 

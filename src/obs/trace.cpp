@@ -129,6 +129,12 @@ void set_thread_track(int rank) {
   thread_buffer().rank.store(rank, std::memory_order_relaxed);
 }
 
+void warm() {
+  // Gated on enabled(): a process that never traces should not pay a
+  // capacity-sized allocation per worker thread.
+  if (enabled()) (void)thread_buffer();
+}
+
 void begin(std::string_view name) {
   if (!enabled()) return;
   emit_named(Event::kBegin, name, 0, 0, 0);

@@ -67,6 +67,14 @@ void set_capacity(std::size_t events_per_thread);
 /// export under the shared "host" row.
 void set_thread_track(int rank);
 
+/// Pre-register the calling thread's event buffer (no-op while
+/// disabled). A thread's buffer is otherwise allocated and zero-filled
+/// lazily at its first emit — a multi-MB page-fault burst at default
+/// capacity. Long-lived worker threads (e.g. the serving engine's)
+/// call this at startup so the cost lands at thread creation, not
+/// inside the first request they serve.
+void warm();
+
 // ---- Emission (no-ops while disabled) --------------------------------
 
 void begin(std::string_view name);

@@ -9,6 +9,7 @@
 
 #include "core/verify.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace fdks::serve {
 
@@ -18,6 +19,16 @@ using steady_clock = std::chrono::steady_clock;
 
 constexpr steady_clock::time_point kNoDeadline =
     steady_clock::time_point::max();
+
+/// Trace events timestamp on the steady_clock-since-epoch ns scale
+/// (obs/trace.cpp); request windows handed to the tail sampler must
+/// live on the same scale.
+std::uint64_t ns_since_epoch(steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -78,10 +89,15 @@ void ServeEngine::shutdown() {
     std::lock_guard<std::mutex> lk(mu_);
     leftover.swap(queue_);
   }
-  for (Request& r : leftover)
+  for (Request& r : leftover) {
+    if (opts_.event_log) {
+      opts_.event_log->emit(r.id, obs::events::kEvFailed,
+                            {{"code", "shutting_down"}});
+    }
     r.promise.set_exception(std::make_exception_ptr(ServeError(
         ServeCode::ShuttingDown,
         "ServeEngine: engine shut down before solve")));
+  }
 }
 
 index_t ServeEngine::n() const {
@@ -98,11 +114,21 @@ std::future<ServeResult> ServeEngine::submit(std::vector<double> rhs) {
 
 std::future<ServeResult> ServeEngine::submit(
     std::vector<double> rhs, std::chrono::steady_clock::time_point deadline) {
+  // Every submission gets an id, even ones about to be rejected: the
+  // event log's contract is that each submitted request shows up with
+  // exactly one terminal event.
+  const std::uint64_t id = obs::next_request_id();
   // Validate before counting (the src/la convention): a rejected
   // request must not perturb serve.requests or Stats::requests.
-  if (static_cast<index_t>(rhs.size()) != n())
+  if (static_cast<index_t>(rhs.size()) != n()) {
+    if (opts_.event_log) {
+      opts_.event_log->emit(id, obs::events::kEvFailed,
+                            {{"code", "invalid_rhs"},
+                             {"reason", "size_mismatch"}});
+    }
     throw ServeError(ServeCode::InvalidRhs,
                      "ServeEngine::submit: rhs size mismatch");
+  }
   if (opts_.validate_rhs &&
       !core::all_finite(std::span<const double>(rhs.data(), rhs.size()))) {
     obs::add("serve.poison");
@@ -110,30 +136,61 @@ std::future<ServeResult> ServeEngine::submit(
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.poisoned;
     }
+    if (opts_.event_log) {
+      opts_.event_log->emit(id, obs::events::kEvFailed,
+                            {{"code", "invalid_rhs"},
+                             {"reason", "nonfinite_rhs"}});
+    }
     throw ServeError(ServeCode::InvalidRhs,
                      "ServeEngine::submit: rhs contains NaN/Inf");
   }
   Request r;
+  r.id = id;
   r.rhs = std::move(rhs);
   r.enqueued = steady_clock::now();
   r.deadline = deadline;
   std::future<ServeResult> fut = r.promise.get_future();
+  ServeCode reject = ServeCode::Ok;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stop_)
-      throw ServeError(ServeCode::ShuttingDown,
-                       "ServeEngine::submit: engine is stopping");
-    if (opts_.queue_max > 0 && queue_.size() >= opts_.queue_max) {
+    if (stop_) {
+      reject = ServeCode::ShuttingDown;
+    } else if (opts_.queue_max > 0 && queue_.size() >= opts_.queue_max) {
       ++stats_.shed;
       obs::add("serve.shed");
-      throw ServeError(ServeCode::Overloaded,
-                       "ServeEngine::submit: queue full, request shed");
+      reject = ServeCode::Overloaded;
+    } else {
+      queue_.push_back(std::move(r));
+      // Counter and stats field are bumped in the same critical section,
+      // after every rejection path, so they cannot diverge.
+      ++stats_.requests;
+      obs::add("serve.requests");
+      // "admitted" is emitted while still holding mu_: the worker can
+      // only pop this request under the same lock, so admitted always
+      // precedes the batched/terminal events. The submit-side half of
+      // the request's trace flow is stamped here too.
+      if (obs::trace::enabled()) {
+        obs::trace::flow_send(id, /*peer=*/0, /*tag=*/0);
+      }
+      if (opts_.event_log) {
+        opts_.event_log->emit(id, obs::events::kEvAdmitted);
+      }
     }
-    queue_.push_back(std::move(r));
-    // Counter and stats field are bumped in the same critical section,
-    // after every rejection path, so they cannot diverge.
-    ++stats_.requests;
-    obs::add("serve.requests");
+  }
+  if (reject == ServeCode::Overloaded) {
+    if (opts_.event_log) {
+      opts_.event_log->emit(id, obs::events::kEvShed);
+    }
+    throw ServeError(ServeCode::Overloaded,
+                     "ServeEngine::submit: queue full, request shed");
+  }
+  if (reject == ServeCode::ShuttingDown) {
+    if (opts_.event_log) {
+      opts_.event_log->emit(id, obs::events::kEvFailed,
+                            {{"code", "shutting_down"}});
+    }
+    throw ServeError(ServeCode::ShuttingDown,
+                     "ServeEngine::submit: engine is stopping");
   }
   cv_.notify_all();
   return fut;
@@ -339,6 +396,10 @@ void ServeEngine::run_degraded_batch(std::vector<Request>& reqs,
 }
 
 void ServeEngine::worker_loop() {
+  // Pre-fault this thread's trace buffer (multi-MB zero-fill at
+  // default capacity) at startup rather than inside the first
+  // request's solve window.
+  obs::trace::warm();
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     // Predicate wait (no polling): progress is possible exactly when
@@ -365,10 +426,16 @@ void ServeEngine::worker_loop() {
     // Saturation watermark: with the queue nearly full, serve this
     // batch through the relaxed-tolerance GMRES-only path to burn down
     // the backlog (results are marked Degraded).
-    const bool degraded_batch =
+    const bool watermark_degrade =
         opts_.queue_max > 0 && opts_.degrade_watermark > 0.0 &&
         static_cast<double>(queue_.size()) >=
             opts_.degrade_watermark * static_cast<double>(opts_.queue_max);
+    // Second trigger: an exhausted SLO error budget. The watermark sees
+    // load building up *now*; the SLO sees latency clients already ate.
+    const bool slo_degrade =
+        opts_.slo != nullptr && opts_.slo->degrade_recommended();
+    if (slo_degrade && !watermark_degrade) obs::add("serve.slo_breach");
+    const bool degraded_batch = watermark_degrade || slo_degrade;
 
     const index_t batch = std::min<index_t>(
         opts_.batch_max, static_cast<index_t>(queue_.size()));
@@ -385,16 +452,41 @@ void ServeEngine::worker_loop() {
     for (Request& r : dead) {
       obs::add("serve.expired");
       ++tally.expired;
-      obs::hist("serve.request_seconds",
-                std::chrono::duration<double>(now - r.enqueued).count());
+      const double lat =
+          std::chrono::duration<double>(now - r.enqueued).count();
+      obs::hist("serve.request_seconds", lat);
+      if (opts_.event_log) {
+        opts_.event_log->emit(r.id, obs::events::kEvExpired,
+                              {{"reason", "expired_in_queue"}});
+      }
+      if (opts_.slo) opts_.slo->record(lat, /*error=*/true);
+      if (opts_.tail_trace) {
+        opts_.tail_trace->observe(r.id, lat, /*error=*/true,
+                                  ns_since_epoch(r.enqueued),
+                                  ns_since_epoch(now));
+      }
       r.promise.set_exception(std::make_exception_ptr(ServeError(
           ServeCode::DeadlineExceeded,
           "ServeEngine: deadline expired before the request reached a "
           "batch")));
     }
 
+    const std::uint64_t batch_id = reqs.empty() ? 0 : ++batch_seq_;
     std::vector<Outcome> out(reqs.size());
     if (!reqs.empty()) {
+      for (const Request& r : reqs) {
+        // Close the request's trace flow on the worker side, then
+        // narrate which batch it rode in.
+        if (obs::trace::enabled()) {
+          obs::trace::flow_recv(r.id, /*peer=*/0, /*tag=*/0);
+        }
+        if (opts_.event_log) {
+          opts_.event_log->emit(
+              r.id, obs::events::kEvBatched,
+              {{"batch_id", batch_id},
+               {"width", static_cast<std::uint64_t>(reqs.size())}});
+        }
+      }
       // The batch runs under the latest deadline of its members: work
       // keeps going as long as any member could still use the result,
       // and aborts cooperatively once none can.
@@ -413,8 +505,9 @@ void ServeEngine::worker_loop() {
     for (size_t j = 0; j < reqs.size(); ++j) {
       Request& r = reqs[j];
       Outcome& o = out[j];
-      obs::hist("serve.request_seconds",
-                std::chrono::duration<double>(done - r.enqueued).count());
+      const double lat =
+          std::chrono::duration<double>(done - r.enqueued).count();
+      obs::hist("serve.request_seconds", lat);
       // A request whose own deadline passed during the solve fails even
       // if the batch (run under the *latest* member deadline) produced
       // a value for it.
@@ -427,6 +520,41 @@ void ServeEngine::worker_loop() {
         obs::add("serve.expired");
         ++tally.expired;
       }
+      // Exactly one terminal event per request, before the promise is
+      // fulfilled, so an event-log reader that reacts to the future
+      // never races a missing line.
+      if (opts_.event_log) {
+        switch (o.code) {
+          case ServeCode::Ok:
+            opts_.event_log->emit(r.id, obs::events::kEvSolved,
+                                  {{"residual", o.residual},
+                                   {"verified", o.residual >= 0.0},
+                                   {"batch_id", batch_id}});
+            break;
+          case ServeCode::Degraded:
+            opts_.event_log->emit(r.id, obs::events::kEvDegraded,
+                                  {{"residual", o.residual},
+                                   {"batch_id", batch_id}});
+            break;
+          case ServeCode::DeadlineExceeded:
+            opts_.event_log->emit(r.id, obs::events::kEvExpired,
+                                  {{"batch_id", batch_id}});
+            break;
+          default:
+            opts_.event_log->emit(r.id, obs::events::kEvFailed,
+                                  {{"code", to_string(o.code)},
+                                   {"batch_id", batch_id}});
+            break;
+        }
+      }
+      const bool error_outcome =
+          o.code != ServeCode::Ok && o.code != ServeCode::Degraded;
+      if (opts_.slo) opts_.slo->record(lat, error_outcome);
+      if (opts_.tail_trace) {
+        opts_.tail_trace->observe(r.id, lat, error_outcome,
+                                  ns_since_epoch(r.enqueued),
+                                  ns_since_epoch(done));
+      }
       if (o.code == ServeCode::Ok || o.code == ServeCode::Degraded) {
         ServeResult res;
         res.code = o.code;
@@ -438,6 +566,13 @@ void ServeEngine::worker_loop() {
         r.promise.set_exception(std::make_exception_ptr(
             ServeError(o.code, "ServeEngine: " + o.detail)));
       }
+    }
+    // Publish the SLO view once per batch: cheap enough to gauge every
+    // time, fresh enough for a scraper.
+    if (opts_.slo && (!reqs.empty() || !dead.empty())) {
+      const SloTracker::Status slo_st = opts_.slo->status();
+      obs::gauge("serve.slo_budget", slo_st.budget_remaining);
+      obs::gauge("serve.slo_p99_seconds", slo_st.p99_seconds);
     }
 
     lk.lock();

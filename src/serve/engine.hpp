@@ -42,7 +42,23 @@
 // Observability (obs/keys.hpp): serve.requests / serve.batches /
 // serve.shed / serve.expired / serve.degraded / serve.poison counters,
 // serve.batch_size / serve.batch_seconds / serve.request_seconds
-// histograms, and a serve.batch timer scope.
+// histograms, and a serve.batch timer scope. Live telemetry hooks
+// (all optional, attached through ServeOptions):
+//   - event_log: every submit() mints a monotonic request_id
+//     (obs::next_request_id) and the engine narrates the request's
+//     lifecycle — admitted / shed / batched / solved / expired /
+//     degraded / failed — one JSON line each, exactly one terminal
+//     event per request (obs/eventlog.hpp).
+//   - slo: completed requests feed a rolling-window SLO tracker whose
+//     exhausted error budget is a second trigger (besides the queue
+//     watermark) for degraded batches; the engine publishes
+//     serve.slo_budget / serve.slo_p99_seconds gauges per batch and
+//     counts serve.slo_breach when the SLO alone forces degradation.
+//   - tail_trace: at batch completion each request's latency/outcome is
+//     offered to a tail sampler that retroactively keeps the trace
+//     slice of the slowest (and all failed) requests, with request_id
+//     stamped as a trace flow from submit() into the worker's batch
+//     (serve/tail_trace.hpp).
 #pragma once
 
 #include <chrono>
@@ -59,7 +75,10 @@
 #include "core/cancel.hpp"
 #include "core/solver.hpp"
 #include "iterative/gmres.hpp"
+#include "obs/eventlog.hpp"
+#include "serve/slo.hpp"
 #include "serve/status.hpp"
+#include "serve/tail_trace.hpp"
 
 namespace fdks::serve {
 
@@ -116,6 +135,17 @@ struct ServeOptions {
   /// re-solved, batched), and a column the ladder cannot certify fails
   /// with ServeError(SolveFailed) instead of returning silently wrong.
   core::VerifyPolicy verify;
+  /// Request-lifecycle event log (obs/eventlog.hpp). Null = no logging.
+  /// Shared so several engines (one per lambda in fdks_serve) can feed
+  /// one stream; request_ids are process-global, so lines never clash.
+  std::shared_ptr<obs::EventLog> event_log;
+  /// Rolling-window SLO tracker. When its error budget runs out the
+  /// engine serves degraded batches exactly as if the queue had crossed
+  /// degrade_watermark. Null = no SLO input.
+  std::shared_ptr<SloTracker> slo;
+  /// Tail-based trace sampler consulted at batch completion. Null = no
+  /// tail sampling. Only useful while obs::trace is enabled.
+  std::shared_ptr<TailTraceSampler> tail_trace;
 };
 
 class ServeEngine {
@@ -194,6 +224,7 @@ class ServeEngine {
 
  private:
   struct Request {
+    std::uint64_t id = 0;  ///< Process-unique (obs::next_request_id).
     std::vector<double> rhs;
     std::promise<ServeResult> promise;
     std::chrono::steady_clock::time_point enqueued;
@@ -249,6 +280,7 @@ class ServeEngine {
   bool busy_ = false;  ///< A batch is being solved right now.
   Stats stats_;
   std::uint64_t verify_seq_ = 0;  ///< Batch sampling counter (worker only).
+  std::uint64_t batch_seq_ = 0;   ///< batch_id minting (worker only).
   std::thread worker_;
 };
 

@@ -52,8 +52,7 @@ void FactorCache::evict_locked() {
     auto e = entries_.find(*it);
     if (e != entries_.end() && e->second->ready) {
       bytes_ -= e->second->bytes;
-      obs::add("serve.cache_bytes",
-               -static_cast<double>(e->second->bytes));
+      obs::gauge("serve.cache_bytes", static_cast<double>(bytes_));
       entries_.erase(e);
       ++stats_.evictions;
       obs::add("serve.cache_evict");
@@ -111,7 +110,7 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
     auto cur = entries_.find(key);
     if (cur != entries_.end() && cur->second == e) {
       bytes_ -= e->bytes;
-      obs::add("serve.cache_bytes", -static_cast<double>(e->bytes));
+      obs::gauge("serve.cache_bytes", static_cast<double>(bytes_));
       entries_.erase(cur);
       lru_.remove(key);
     }
@@ -158,7 +157,7 @@ std::shared_ptr<const core::FastDirectSolver> FactorCache::get(
     e->ready = true;
     e->bytes = solver->factor_tree().memory_bytes();
     bytes_ += e->bytes;
-    obs::add("serve.cache_bytes", static_cast<double>(e->bytes));
+    obs::gauge("serve.cache_bytes", static_cast<double>(bytes_));
     breakers_.erase(key);  // Success closes/clears the breaker.
     evict_locked();        // Byte budget is only known now.
   } else {

@@ -13,8 +13,8 @@
 // bytes (FactorTree::memory_bytes()), and the least recently used
 // ready entries are evicted while the cache exceeds max_bytes (and/or
 // the entry-count capacity). The resident total is published as the
-// serve.cache_bytes gauge — emitted as signed deltas on insert/evict
-// so the accumulated counter always equals current residency.
+// serve.cache_bytes gauge (obs::gauge, last-value semantics): every
+// insert/evict/heal sets it to the bytes held right now.
 //
 // Resident factors are integrity-checked lazily: every FastDirectSolver
 // seals a content checksum (FNV-1a over the factor payload) at

@@ -1,0 +1,62 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdks::serve {
+
+SloTracker::SloTracker(SloOptions opts) : opts_(opts) {
+  if (opts_.window == 0) opts_.window = 1;
+  if (opts_.min_samples == 0) opts_.min_samples = 1;
+  latency_ring_.resize(opts_.window, 0.0);
+  error_ring_.resize(opts_.window, false);
+}
+
+void SloTracker::record(double latency_seconds, bool error) {
+  if (!(latency_seconds >= 0.0)) latency_seconds = 0.0;  // NaN-safe.
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_ring_[next_] = latency_seconds;
+  error_ring_[next_] = error;
+  next_ = (next_ + 1) % opts_.window;
+  if (count_ < opts_.window) ++count_;
+  ++total_;
+}
+
+SloTracker::Status SloTracker::status() const {
+  Status st;
+  std::vector<double> lat;
+  std::size_t errors = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st.samples = count_;
+    if (count_ < opts_.min_samples) return st;  // Abstain: full budget.
+    lat.assign(latency_ring_.begin(),
+               latency_ring_.begin() + static_cast<std::ptrdiff_t>(count_));
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (error_ring_[i]) ++errors;
+    }
+  }
+  // Nearest-rank p99 over the window.
+  const std::size_t rank = std::min(
+      lat.size() - 1,
+      static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(lat.size())) - 1.0));
+  std::nth_element(lat.begin(),
+                   lat.begin() + static_cast<std::ptrdiff_t>(rank), lat.end());
+  st.p99_seconds = lat[rank];
+  st.error_rate = static_cast<double>(errors) / static_cast<double>(st.samples);
+
+  double budget = 1.0;
+  if (opts_.p99_target_seconds > 0.0) {
+    budget = std::min(budget, 1.0 - st.p99_seconds / opts_.p99_target_seconds);
+    if (st.p99_seconds > opts_.p99_target_seconds) st.breached = true;
+  }
+  if (opts_.max_error_rate > 0.0) {
+    budget = std::min(budget, 1.0 - st.error_rate / opts_.max_error_rate);
+    if (st.error_rate > opts_.max_error_rate) st.breached = true;
+  }
+  st.budget_remaining = std::clamp(budget, 0.0, 1.0);
+  return st;
+}
+
+}  // namespace fdks::serve

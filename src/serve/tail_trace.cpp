@@ -1,0 +1,133 @@
+#include "serve/tail_trace.hpp"
+
+#include <algorithm>
+
+#include "obs/keys.hpp"
+#include "obs/obs.hpp"
+
+namespace fdks::serve {
+
+namespace {
+
+/// Slice `d` down to events inside the request's window, plus every
+/// flow event carrying its request_id (the submit-side flow_send
+/// predates the window start by however long the request queued).
+obs::trace::TraceData filter_window(const obs::trace::TraceData& d,
+                                    std::uint64_t request_id,
+                                    std::uint64_t t0_ns,
+                                    std::uint64_t t1_ns) {
+  obs::trace::TraceData out;
+  for (const obs::trace::ThreadTrace& t : d.threads) {
+    obs::trace::ThreadTrace ft;
+    ft.rank = t.rank;
+    ft.tid = t.tid;
+    ft.dropped = t.dropped;
+    for (const obs::trace::Event& e : t.events) {
+      const bool is_flow = e.type == obs::trace::Event::kFlowSend ||
+                           e.type == obs::trace::Event::kFlowRecv;
+      if (is_flow && e.id == request_id) {
+        ft.events.push_back(e);
+        continue;
+      }
+      if (e.ts_ns >= t0_ns && e.ts_ns <= t1_ns && !is_flow) {
+        ft.events.push_back(e);
+      }
+    }
+    if (!ft.events.empty()) out.threads.push_back(ft);
+  }
+  return out;
+}
+
+}  // namespace
+
+TailTraceSampler::TailTraceSampler(TailTraceOptions opts) : opts_(opts) {}
+
+bool TailTraceSampler::observe(std::uint64_t request_id,
+                               double latency_seconds, bool error,
+                               std::uint64_t window_t0_ns,
+                               std::uint64_t window_t1_ns) {
+  if (opts_.keep == 0) return false;
+  if (!error && latency_seconds < opts_.min_latency_seconds) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t evict = kept_.size();  // size() = no eviction needed.
+  if (kept_.size() >= opts_.keep) {
+    if (error) {
+      // Evict the fastest non-error entry; an all-error store only
+      // yields to a slower error.
+      std::size_t best = kept_.size();
+      for (std::size_t i = 0; i < kept_.size(); ++i) {
+        const bool worse =
+            best == kept_.size() ||
+            kept_[i].latency_seconds < kept_[best].latency_seconds;
+        if (!kept_[i].error && worse) best = i;
+      }
+      if (best == kept_.size()) {
+        // All kept entries are errors: keep the slowest `keep` errors.
+        std::size_t fastest = 0;
+        for (std::size_t i = 1; i < kept_.size(); ++i) {
+          if (kept_[i].latency_seconds < kept_[fastest].latency_seconds) {
+            fastest = i;
+          }
+        }
+        if (latency_seconds <= kept_[fastest].latency_seconds) return false;
+        best = fastest;
+      }
+      evict = best;
+    } else {
+      // Non-error: must beat the fastest non-error entry.
+      std::size_t fastest = kept_.size();
+      for (std::size_t i = 0; i < kept_.size(); ++i) {
+        if (kept_[i].error) continue;
+        if (fastest == kept_.size() ||
+            kept_[i].latency_seconds < kept_[fastest].latency_seconds) {
+          fastest = i;
+        }
+      }
+      if (fastest == kept_.size()) return false;  // Full of errors.
+      if (latency_seconds <= kept_[fastest].latency_seconds) return false;
+      evict = fastest;
+    }
+  }
+
+  KeptTrace entry;
+  entry.request_id = request_id;
+  entry.latency_seconds = latency_seconds;
+  entry.error = error;
+  entry.data = filter_window(obs::trace::collect(), request_id, window_t0_ns,
+                             window_t1_ns);
+  if (evict < kept_.size()) {
+    kept_[evict] = std::move(entry);
+  } else {
+    kept_.push_back(std::move(entry));
+  }
+  std::sort(kept_.begin(), kept_.end(),
+            [](const KeptTrace& a, const KeptTrace& b) {
+              return a.latency_seconds > b.latency_seconds;
+            });
+  obs::add(obs::keys::kServeTraceKept);
+  return true;
+}
+
+std::size_t TailTraceSampler::kept_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kept_.size();
+}
+
+std::vector<TailTraceSampler::KeptTrace> TailTraceSampler::kept() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kept_;
+}
+
+std::size_t TailTraceSampler::write_all(const std::string& prefix) const {
+  const std::vector<KeptTrace> entries = kept();
+  std::size_t written = 0;
+  for (const KeptTrace& e : entries) {
+    const std::string path =
+        prefix + "req" + std::to_string(e.request_id) + ".json";
+    if (obs::trace::write_chrome_trace(path, e.data)) ++written;
+  }
+  return written;
+}
+
+}  // namespace fdks::serve

@@ -184,13 +184,14 @@ std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
 TEST_F(ObsTest, JsonReportIsWellFormed) {
   spin_scopes();
   hist("lat.h", 0.5);
+  gauge("demo.level", 7.5);
   const std::string j =
       to_json(snapshot(), "unit \"test\"",
               {kv("n", 42LL), kv("tol", 1e-5), kv("hybrid", true),
                kv("dataset", "normal")});  // Literal: must NOT pick bool.
 
   // Required schema pieces.
-  EXPECT_NE(j.find("\"schema\":\"fdks-bench-v2\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"fdks-bench-v3\""), std::string::npos);
   EXPECT_NE(j.find("\"name\":\"unit \\\"test\\\"\""), std::string::npos);
   EXPECT_NE(j.find("\"n\":42"), std::string::npos);
   EXPECT_NE(j.find("\"hybrid\":true"), std::string::npos);
@@ -198,6 +199,9 @@ TEST_F(ObsTest, JsonReportIsWellFormed) {
   EXPECT_NE(j.find("\"outer\""), std::string::npos);
   EXPECT_NE(j.find("\"inner\""), std::string::npos);
   EXPECT_NE(j.find("\"work.units\":5"), std::string::npos);
+  // v3: gauges render in their own section with last-set values.
+  EXPECT_NE(j.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"demo.level\":7.5"), std::string::npos);
   // Histograms section carries count and quantiles.
   EXPECT_NE(j.find("\"histograms\":{"), std::string::npos);
   EXPECT_NE(j.find("\"lat.h\":{\"count\":1"), std::string::npos);
